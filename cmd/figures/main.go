@@ -1,0 +1,97 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation section (§7) and prints them as aligned text tables, annotated
+// with the paper's published values for comparison.
+//
+// Usage:
+//
+//	figures              # everything, full scale (several minutes)
+//	figures -quick       # everything, reduced trace lengths
+//	figures -only 6,7    # just Figure 6 and Figure 7
+//	figures -list        # list available experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"freecursive/internal/exp"
+)
+
+type experiment struct {
+	key  string
+	desc string
+	run  func(sc exp.Scale) (*exp.Table, error)
+}
+
+func experiments() []experiment {
+	return []experiment{
+		{"3", "Figure 3: recursion overhead vs capacity (analytic)",
+			func(exp.Scale) (*exp.Table, error) { return exp.Figure3(), nil }},
+		{"t2", "Table 2: ORAM latency vs DRAM channels",
+			func(exp.Scale) (*exp.Table, error) { return exp.Table2() }},
+		{"5", "Figure 5: PLB capacity sweep", exp.Figure5},
+		{"5a", "Figure 5 (text): PLB associativity ablation", exp.Figure5Assoc},
+		{"6", "Figure 6: scheme composition, slowdown vs insecure", exp.Figure6},
+		{"7", "Figure 7: scalability to 16/64 GB", exp.Figure7},
+		{"8", "Figure 8: comparison with [26]'s parameters", exp.Figure8},
+		{"9", "Figure 9: comparison with Phantom (4 KB blocks)", exp.Figure9},
+		{"t3", "Table 3: controller area breakdown",
+			func(exp.Scale) (*exp.Table, error) { return exp.Table3(), nil }},
+		{"t3a", "Table 3 (§7.2.3): alternative design areas",
+			func(exp.Scale) (*exp.Table, error) { return exp.Table3Alt(), nil }},
+		{"hash", "§6.3: PMMAC vs Merkle hash bandwidth",
+			func(sc exp.Scale) (*exp.Table, error) { return exp.HashBandwidth(sc.Ops / 100) }},
+		{"comp", "§5.3: compressed PosMap analysis",
+			func(sc exp.Scale) (*exp.Table, error) { return exp.Compression(1 << 16) }},
+		{"t54", "§5.4: asymptotic construction at concrete parameters",
+			func(exp.Scale) (*exp.Table, error) { return exp.Theory54(4 << 30) }},
+	}
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced trace lengths (~10x faster)")
+	only := flag.String("only", "", "comma-separated experiment keys (see -list)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	exps := experiments()
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-5s %s\n", e.key, e.desc)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, k := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(k)] = true
+		}
+	}
+	sc := exp.FullScale
+	if *quick {
+		sc = exp.QuickScale
+	}
+
+	failed := false
+	for _, e := range exps {
+		if len(want) > 0 && !want[e.key] {
+			continue
+		}
+		start := time.Now()
+		tb, err := e.run(sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", e.key, err)
+			failed = true
+			continue
+		}
+		fmt.Println(tb.String())
+		fmt.Printf("   [%s in %.1fs]\n\n", e.key, time.Since(start).Seconds())
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

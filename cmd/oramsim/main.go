@@ -1,0 +1,111 @@
+// Command oramsim runs a single ORAM configuration against a chosen
+// workload and reports performance statistics — a flexible workbench for
+// exploring the design space beyond the paper's figures.
+//
+// Examples:
+//
+//	oramsim -scheme PIC -bench mcf -ops 200000
+//	oramsim -scheme R -blocks 26 -channels 4
+//	oramsim -scheme PC -bench libquantum -plb 8192
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"freecursive/internal/cachesim"
+	"freecursive/internal/core"
+	"freecursive/internal/cpu"
+	"freecursive/internal/dram"
+	"freecursive/internal/trace"
+)
+
+func main() {
+	scheme := flag.String("scheme", "PIC", "R | P | PC | PI | PIC")
+	bench := flag.String("bench", "mcf", "SPEC06 benchmark personality")
+	logBlocks := flag.Int("blocks", 26, "log2 of ORAM capacity in blocks")
+	blockB := flag.Int("block", 64, "block (cache line) size in bytes")
+	plb := flag.Int("plb", 64<<10, "PLB capacity in bytes")
+	ways := flag.Int("ways", 1, "PLB associativity")
+	budget := flag.Int("onchip", 128<<10, "on-chip PosMap budget in bytes")
+	channels := flag.Int("channels", 2, "DRAM channels")
+	ops := flag.Int("ops", 100_000, "measured memory operations")
+	warm := flag.Int("warmup", 60_000, "warmup memory operations")
+	seed := flag.Uint64("seed", 1, "deterministic seed")
+	flag.Parse()
+
+	schemes := map[string]core.Scheme{
+		"R": core.SchemeRecursive, "P": core.SchemeP, "PC": core.SchemePC,
+		"PI": core.SchemePI, "PIC": core.SchemePIC,
+	}
+	s, ok := schemes[*scheme]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *scheme)
+		os.Exit(2)
+	}
+	mix, err := trace.ByName(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	params := core.Params{
+		Scheme: s, NBlocks: 1 << uint(*logBlocks), DataBytes: *blockB,
+		OnChipBudgetBytes: *budget, PLBCapacityBytes: *plb, PLBWays: *ways,
+		Functional: false, Seed: *seed,
+	}
+	if s == core.SchemeRecursive {
+		params.HOverride = 4
+	}
+	sys, err := core.Build(params)
+	check(err)
+
+	cfg := cpu.DefaultConfig()
+	cfg.LineBytes = *blockB
+	dcfg := dram.DefaultConfig(*channels)
+
+	// Insecure baseline.
+	gen, err := trace.New(mix, *seed)
+	check(err)
+	h, err := cachesim.NewHierarchy(cfg.LineBytes)
+	check(err)
+	ins, err := cpu.Run(gen, h, &cpu.InsecureDRAM{Sim: dram.New(dcfg), CPUGHz: cfg.CPUGHz},
+		cfg, *warm, *ops)
+	check(err)
+
+	// ORAM run.
+	gen, err = trace.New(mix, *seed)
+	check(err)
+	h, err = cachesim.NewHierarchy(cfg.LineBytes)
+	check(err)
+	mem, err := cpu.NewORAMMemory(sys, dcfg, cfg.CPUGHz, cfg.LineBytes)
+	check(err)
+	r, err := cpu.Run(gen, h, mem, cfg, *warm, *ops)
+	check(err)
+
+	c := sys.Counters
+	fmt.Printf("config      : %s  N=2^%d  block=%dB  H=%d  on-chip=%dB  PLB=%dB/%d-way\n",
+		sys.Params.Name(), *logBlocks, *blockB, sys.H, sys.OnChipBits/8, *plb, *ways)
+	fmt.Printf("benchmark   : %s  (%d ops after %d warmup, %d channels)\n",
+		mix.Name, *ops, *warm, *channels)
+	fmt.Printf("instructions: %d   MPKI=%.2f\n", r.Instructions, r.MPKI())
+	fmt.Printf("slowdown    : %.2fx vs insecure (CPI %.2f vs %.2f)\n",
+		r.Cycles/ins.Cycles, r.CPI(), ins.CPI())
+	fmt.Printf("PLB         : hit rate %.1f%%  refills=%d  evicts=%d\n",
+		100*c.PLBHitRate(), c.PLBRefills, c.PLBEvicts)
+	fmt.Printf("traffic     : %.1f KB/access  (PosMap %.1f%%)\n",
+		c.BytesPerAccess()/1024, 100*c.PosMapFraction())
+	fmt.Printf("backend     : %d path accesses, %d appends, %d group remaps\n",
+		c.BackendAccesses, c.Appends, c.GroupRemap)
+	if c.MACChecks > 0 {
+		fmt.Printf("integrity   : %d MAC checks, %d violations\n", c.MACChecks, c.Violations)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

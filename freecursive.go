@@ -1,0 +1,179 @@
+// Package freecursive is a simulator-grade implementation of Freecursive
+// ORAM (Fletcher, Ren, Kwon, van Dijk, Devadas — ASPLOS 2015): Path ORAM
+// with a PosMap Lookaside Buffer, compressed PosMap, and PMMAC integrity
+// verification, plus the Recursive-ORAM and Merkle-tree baselines the paper
+// evaluates against.
+//
+// The package exposes the LLC-facing view of the ORAM controller: create an
+// ORAM with New, then Read and Write fixed-size blocks by address. The
+// adversary's view — which tree paths were touched, what bytes moved — is
+// available through Stats and the lower-level knobs in Config.
+//
+//	o, err := freecursive.New(freecursive.Config{
+//		Scheme:    freecursive.PIC,    // PLB + compression + integrity
+//		Blocks:    1 << 20,            // 64 MiB of protected memory
+//		Integrity: true,
+//	})
+//	...
+//	o.Write(42, data)
+//	got, err := o.Read(42)
+package freecursive
+
+import (
+	"fmt"
+
+	"freecursive/internal/core"
+	"freecursive/internal/crypt"
+)
+
+// Scheme selects the frontend configuration, using the paper's names.
+type Scheme int
+
+const (
+	// Recursive is the R_X8 baseline: one physical ORAM tree per PosMap
+	// level (§3.2). Slow, but the reference point for every figure.
+	Recursive Scheme = iota
+	// PLB is P_X16: the PosMap Lookaside Buffer over a unified tree (§4).
+	PLB
+	// PC is PC_X32: PLB plus the compressed PosMap (§5). The paper's best
+	// non-integrity configuration.
+	PC
+	// PI is PI_X8: PLB plus PMMAC integrity with flat counters (§6.2.2).
+	PI
+	// PIC is PIC_X32: PLB + compression + PMMAC — the paper's headline
+	// configuration, verifying every access for 7% overhead.
+	PIC
+)
+
+func (s Scheme) String() string {
+	return [...]string{"Recursive", "PLB", "PC", "PI", "PIC"}[s]
+}
+
+func (s Scheme) internal() core.Scheme {
+	return [...]core.Scheme{core.SchemeRecursive, core.SchemeP, core.SchemePC,
+		core.SchemePI, core.SchemePIC}[s]
+}
+
+// Config parameterizes an ORAM. The zero value of every field takes the
+// paper's Table 1 default.
+type Config struct {
+	// Scheme picks the frontend; default PIC.
+	Scheme Scheme
+	// Blocks is the number of protected blocks N (default 2^20).
+	Blocks uint64
+	// BlockBytes is the block (cache line) size (default 64).
+	BlockBytes int
+	// Z is the bucket size (default 4).
+	Z int
+	// PLBBytes sizes the PosMap Lookaside Buffer (default 64 KB).
+	PLBBytes int
+	// PLBWays sets associativity (default 1, direct-mapped).
+	PLBWays int
+	// OnChipPosMapBytes bounds the on-chip PosMap; recursion depth follows
+	// (default 128 KB).
+	OnChipPosMapBytes int
+	// StashCapacity bounds the stash (default 200).
+	StashCapacity int
+	// Lightweight selects the bandwidth-accounting backend: no real tree,
+	// no encryption — orders of magnitude faster, same statistics. Use it
+	// for performance studies; leave it false to store real data.
+	Lightweight bool
+	// UnsafeBucketSeeds selects the per-bucket encryption seed scheme of
+	// [26] instead of the global-seed scheme. It exists to demonstrate the
+	// §6.4 one-time-pad replay attack; do not use it otherwise.
+	UnsafeBucketSeeds bool
+	// Seed makes the instance deterministic (default 1).
+	Seed uint64
+}
+
+// Stats is a snapshot of the controller's counters.
+type Stats struct {
+	Accesses        uint64  // LLC-level accesses served
+	BackendAccesses uint64  // ORAM tree path reads+writes
+	BytesMoved      uint64  // total bytes to/from untrusted memory
+	PosMapBytes     uint64  // subset of BytesMoved spent on PosMap blocks
+	PLBHitRate      float64 // fraction of PLB probes that hit
+	GroupRemaps     uint64  // compressed-PosMap group remap events
+	MACChecks       uint64  // PMMAC verifications
+	Violations      uint64  // integrity violations detected
+	StashMax        uint64  // peak stash occupancy
+}
+
+// ORAM is an oblivious memory of Blocks fixed-size blocks.
+type ORAM struct {
+	sys *core.System
+	cfg Config
+}
+
+// New builds an ORAM.
+func New(cfg Config) (*ORAM, error) {
+	if cfg.Blocks == 0 {
+		cfg.Blocks = 1 << 20
+	}
+	enc := crypt.SeedGlobal
+	if cfg.UnsafeBucketSeeds {
+		enc = crypt.SeedPerBucket
+	}
+	sys, err := core.Build(core.Params{
+		Scheme:            cfg.Scheme.internal(),
+		NBlocks:           cfg.Blocks,
+		DataBytes:         cfg.BlockBytes,
+		Z:                 cfg.Z,
+		StashCap:          cfg.StashCapacity,
+		OnChipBudgetBytes: cfg.OnChipPosMapBytes,
+		PLBCapacityBytes:  cfg.PLBBytes,
+		PLBWays:           cfg.PLBWays,
+		Functional:        !cfg.Lightweight,
+		EncScheme:         enc,
+		Seed:              cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("freecursive: %w", err)
+	}
+	return &ORAM{sys: sys, cfg: cfg}, nil
+}
+
+// BlockBytes returns the block size.
+func (o *ORAM) BlockBytes() int { return o.sys.Params.DataBytes }
+
+// Blocks returns the capacity in blocks.
+func (o *ORAM) Blocks() uint64 { return o.sys.Params.NBlocks }
+
+// SchemeName returns the paper-style configuration name, e.g. "PIC_X32".
+func (o *ORAM) SchemeName() string { return o.sys.Params.Name() }
+
+// Read returns the contents of the block at addr. Never-written blocks read
+// as zeros. Under PMMAC, a tampering adversary causes an error wrapping
+// ErrIntegrity and the ORAM refuses further use.
+func (o *ORAM) Read(addr uint64) ([]byte, error) {
+	return o.sys.Frontend.Access(addr, false, nil)
+}
+
+// Write replaces the block at addr (shorter data is zero-padded) and
+// returns its previous contents.
+func (o *ORAM) Write(addr uint64, data []byte) ([]byte, error) {
+	return o.sys.Frontend.Access(addr, true, data)
+}
+
+// Stats returns a snapshot of the controller counters.
+func (o *ORAM) Stats() Stats {
+	c := o.sys.Counters
+	return Stats{
+		Accesses:        c.Accesses,
+		BackendAccesses: c.BackendAccesses,
+		BytesMoved:      c.TotalBytes(),
+		PosMapBytes:     c.PosMapBytes,
+		PLBHitRate:      c.PLBHitRate(),
+		GroupRemaps:     c.GroupRemap,
+		MACChecks:       c.MACChecks,
+		Violations:      c.Violations,
+		StashMax:        c.StashMax,
+	}
+}
+
+// ErrIntegrity is returned (wrapped) once PMMAC detects tampering.
+var ErrIntegrity = core.ErrIntegrity
+
+// System exposes the underlying construction for experiments and tests that
+// need the adversary's view (untrusted store, counters, backends).
+func (o *ORAM) System() *core.System { return o.sys }

@@ -1,0 +1,155 @@
+package freecursive
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"freecursive/internal/backend"
+)
+
+func TestDefaults(t *testing.T) {
+	o, err := New(Config{Scheme: PIC, Blocks: 1 << 12, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.BlockBytes() != 64 || o.Blocks() != 1<<12 {
+		t.Fatalf("defaults wrong: %d x %dB", o.Blocks(), o.BlockBytes())
+	}
+	if o.SchemeName() != "PIC_X32" {
+		t.Fatalf("scheme name %s", o.SchemeName())
+	}
+}
+
+func TestAllSchemesRoundTrip(t *testing.T) {
+	for _, s := range []Scheme{Recursive, PLB, PC, PI, PIC} {
+		t.Run(s.String(), func(t *testing.T) {
+			o, err := New(Config{Scheme: s, Blocks: 1 << 10, Seed: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			prev, err := o.Write(7, []byte("hello"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(prev, make([]byte, 64)) {
+				t.Fatal("first write should return zeros")
+			}
+			got, err := o.Read(7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got[:5]) != "hello" {
+				t.Fatalf("read %q", got[:5])
+			}
+		})
+	}
+}
+
+// TestRandomOpsAgainstMap (property): the ORAM behaves as flat memory under
+// arbitrary random op sequences, for the flagship scheme.
+func TestRandomOpsAgainstMap(t *testing.T) {
+	o, err := New(Config{Scheme: PIC, Blocks: 1 << 10, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := map[uint64][]byte{}
+	f := func(addrRaw uint16, val uint8, write bool) bool {
+		addr := uint64(addrRaw) % (1 << 10)
+		if write {
+			data := bytes.Repeat([]byte{val}, 64)
+			if _, err := o.Write(addr, data); err != nil {
+				return false
+			}
+			ref[addr] = data
+			return true
+		}
+		got, err := o.Read(addr)
+		if err != nil {
+			return false
+		}
+		want := ref[addr]
+		if want == nil {
+			want = make([]byte, 64)
+		}
+		return bytes.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	o, _ := New(Config{Scheme: PIC, Blocks: 1 << 10, Seed: 5})
+	for i := uint64(0); i < 100; i++ {
+		if _, err := o.Write(i, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := o.Stats()
+	if s.Accesses != 100 || s.BackendAccesses == 0 || s.BytesMoved == 0 {
+		t.Fatalf("stats empty: %+v", s)
+	}
+	if s.Violations != 0 {
+		t.Fatal("unexpected violations")
+	}
+}
+
+func TestIntegrityViolationSurfaced(t *testing.T) {
+	o, err := New(Config{Scheme: PIC, Blocks: 1 << 10, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write enough blocks that most leave the trusted stash for the tree.
+	for a := uint64(0); a < 128; a++ {
+		if _, err := o.Write(a, []byte{byte(a)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	be := o.System().Backends[0].(*backend.PathORAM)
+	for idx := uint64(0); idx < be.Geometry().Buckets(); idx++ {
+		if raw := be.Store().Peek(idx); raw != nil {
+			raw[len(raw)-1] ^= 0xff // corrupt the ciphertext body
+			raw[7] ^= 0x01          // and nudge the encryption seed
+		}
+	}
+	var lastErr error
+	for a := uint64(0); a < 128; a++ {
+		if _, lastErr = o.Read(a); lastErr != nil {
+			break
+		}
+	}
+	if !errors.Is(lastErr, ErrIntegrity) {
+		t.Fatalf("expected ErrIntegrity, got %v", lastErr)
+	}
+}
+
+func TestLightweightMode(t *testing.T) {
+	o, err := New(Config{Scheme: PC, Blocks: 1 << 12, Lightweight: true, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Write(5, []byte("fast")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := o.Read(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got[:4]) != "fast" {
+		t.Fatal("lightweight mode lost data")
+	}
+	if o.Stats().BytesMoved == 0 {
+		t.Fatal("lightweight mode must still account bytes")
+	}
+}
+
+func TestSchemeStrings(t *testing.T) {
+	names := map[Scheme]string{Recursive: "Recursive", PLB: "PLB", PC: "PC", PI: "PI", PIC: "PIC"}
+	for s, want := range names {
+		if s.String() != want {
+			t.Fatalf("%v", s)
+		}
+	}
+}

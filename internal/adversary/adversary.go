@@ -1,0 +1,175 @@
+// Package adversary packages the active-adversary strategies of the threat
+// model (§2) as reusable operations against a mem.Store: bit flips, replay
+// of recorded ciphertexts, deletion, and encryption-seed rewinding (the
+// §6.4 attack). Tests and examples compose these to validate that PMMAC
+// catches what it must and that the encryption schemes resist what they
+// claim to.
+package adversary
+
+import (
+	"bytes"
+	"math/rand/v2"
+
+	"freecursive/internal/crypt"
+	"freecursive/internal/mem"
+)
+
+// BitFlipper corrupts stored buckets in place.
+type BitFlipper struct {
+	// Mask is XORed into the chosen byte (default 0x01).
+	Mask byte
+	// Offset selects the byte to flip, as a fraction of the bucket length
+	// in [0,1); e.g. 0 targets the seed field, 0.9 the ciphertext body.
+	Offset float64
+}
+
+// FlipAll corrupts every materialized bucket in [0, nBuckets) and returns
+// how many were touched.
+func (f BitFlipper) FlipAll(st *mem.Store, nBuckets uint64) int {
+	mask := f.Mask
+	if mask == 0 {
+		mask = 0x01
+	}
+	n := 0
+	for idx := uint64(0); idx < nBuckets; idx++ {
+		raw := st.Peek(idx)
+		if raw == nil {
+			continue
+		}
+		pos := int(f.Offset * float64(len(raw)))
+		if pos >= len(raw) {
+			pos = len(raw) - 1
+		}
+		raw[pos] ^= mask
+		st.Poke(idx, raw)
+		n++
+	}
+	return n
+}
+
+// FlipOne corrupts a single random materialized bucket; returns the index
+// and whether one was found.
+func (f BitFlipper) FlipOne(st *mem.Store, nBuckets uint64, rng *rand.Rand) (uint64, bool) {
+	var candidates []uint64
+	for idx := uint64(0); idx < nBuckets; idx++ {
+		if st.Peek(idx) != nil {
+			candidates = append(candidates, idx)
+		}
+	}
+	if len(candidates) == 0 {
+		return 0, false
+	}
+	idx := candidates[rng.IntN(len(candidates))]
+	raw := st.Peek(idx)
+	pos := int(f.Offset * float64(len(raw)))
+	if pos >= len(raw) {
+		pos = len(raw) - 1
+	}
+	mask := f.Mask
+	if mask == 0 {
+		mask = 0x01
+	}
+	raw[pos] ^= mask
+	st.Poke(idx, raw)
+	return idx, true
+}
+
+// Recorder snapshots DRAM for later replay — the freshness attack of §6.1.
+type Recorder struct {
+	snapshot map[uint64][]byte
+}
+
+// Record captures the current contents of every materialized bucket.
+func (r *Recorder) Record(st *mem.Store, nBuckets uint64) int {
+	r.snapshot = make(map[uint64][]byte)
+	for idx := uint64(0); idx < nBuckets; idx++ {
+		if raw := st.Peek(idx); raw != nil {
+			r.snapshot[idx] = bytes.Clone(raw)
+		}
+	}
+	return len(r.snapshot)
+}
+
+// Replay rolls every recorded bucket back to its snapshot. Each individual
+// (MAC, data) pair is genuine — only counters can catch this.
+func (r *Recorder) Replay(st *mem.Store) int {
+	for idx, raw := range r.snapshot {
+		st.Poke(idx, bytes.Clone(raw))
+	}
+	return len(r.snapshot)
+}
+
+// Deleter erases buckets — blocks silently vanish.
+type Deleter struct{}
+
+// DeleteAll removes every materialized bucket.
+func (Deleter) DeleteAll(st *mem.Store, nBuckets uint64) int {
+	n := 0
+	for idx := uint64(0); idx < nBuckets; idx++ {
+		if st.Peek(idx) != nil {
+			st.Poke(idx, nil)
+			n++
+		}
+	}
+	return n
+}
+
+// SeedRewinder performs the §6.4 seed-replay: it decrements the plaintext
+// encryption seed stored with each bucket, so a controller using
+// per-bucket seeds will re-derive an already-used one-time pad on its next
+// writeback. Against the global-seed scheme this only garbles decryption
+// (caught by PMMAC when it matters) and can never cause pad reuse.
+type SeedRewinder struct{}
+
+// RewindAll decrements every materialized bucket's stored seed.
+func (SeedRewinder) RewindAll(st *mem.Store, nBuckets uint64) int {
+	n := 0
+	for idx := uint64(0); idx < nBuckets; idx++ {
+		raw := st.Peek(idx)
+		if raw == nil || len(raw) < crypt.SeedBytes {
+			continue
+		}
+		seed := uint64(0)
+		for i := 0; i < crypt.SeedBytes; i++ {
+			seed = seed<<8 | uint64(raw[i])
+		}
+		if seed == 0 {
+			continue
+		}
+		seed--
+		for i := crypt.SeedBytes - 1; i >= 0; i-- {
+			raw[i] = byte(seed)
+			seed >>= 8
+		}
+		st.Poke(idx, raw)
+		n++
+	}
+	return n
+}
+
+// PadReuseDetector watches bucket writes and reports when the same
+// (bucket, seed) pair is sealed twice with different ciphertexts — the
+// observable signature of one-time-pad reuse the §6.4 adversary exploits.
+type PadReuseDetector struct {
+	seen   map[[2]uint64][]byte // (bucket, seed) -> first ciphertext
+	Reuses int
+}
+
+// Install hooks the detector into a store's write path.
+func (d *PadReuseDetector) Install(st *mem.Store) {
+	d.seen = make(map[[2]uint64][]byte)
+	st.OnWrite = func(idx uint64, data []byte) []byte {
+		if len(data) >= crypt.SeedBytes {
+			seed := uint64(0)
+			for i := 0; i < crypt.SeedBytes; i++ {
+				seed = seed<<8 | uint64(data[i])
+			}
+			key := [2]uint64{idx, seed}
+			if prev, ok := d.seen[key]; ok && !bytes.Equal(prev, data) {
+				d.Reuses++
+			}
+			d.seen[key] = bytes.Clone(data)
+		}
+		return data
+	}
+}

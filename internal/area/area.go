@@ -1,0 +1,119 @@
+// Package area is an analytical silicon-area model for the ORAM controller,
+// standing in for the paper's 32 nm ASIC synthesis flow (Table 3). It is a
+// calibrated substitution (see DESIGN.md §2): SRAM area follows a
+// bits-proportional model with a fixed per-array overhead — which is also
+// how the paper's own alternative-design estimates (§7.2.3) scale — and
+// logic blocks (AES datapath, SHA3, control) are constants fit once against
+// the paper's published post-synthesis numbers at 2 DRAM channels.
+package area
+
+// Constants in mm² (32 nm commercial process).
+const (
+	// SRAMPerKB reproduces §7.2.3's 2.5 MB PosMap ≈ 5 mm² data point.
+	SRAMPerKB = 0.00195
+	// ArrayOverhead covers decoders/sense amps per SRAM macro.
+	ArrayOverhead = 0.007
+
+	// PLBTagPerKB adds tag storage + comparators per KB of PLB data.
+	PLBTagPerKB = 0.0006
+
+	// SHA3Core is the PMMAC hash unit (SHA3-224, from OpenCores).
+	SHA3Core = 0.030
+	// PMMACCtl is PMMAC's counter/check control logic.
+	PMMACCtl = 0.004
+
+	// AESCore is one pipelined AES-128 unit; the Backend needs one per two
+	// DRAM channels (a 128-bit core rate-matches two 64-bit channels,
+	// §7.2.2's footnote).
+	AESCore = 0.120
+	// AESBufPerChannel covers per-channel read/write buffering.
+	AESBufPerChannel = 0.012
+
+	// StashBase is the stash arrays + eviction logic; StashPerChannel is
+	// the extra buffering to rate-match wider DRAM.
+	StashBase       = 0.086
+	StashPerChannel = 0.0035
+
+	// FrontendMisc is address generation and control.
+	FrontendMisc     = 0.0035
+	FrontendMiscPerC = 0.0005
+
+	// PRFCore is the non-pipelined AES PRF unit (12-cycle core) used by the
+	// compressed PosMap / PMMAC frontend.
+	PRFCore = 0.0045
+)
+
+// Config describes a controller design point.
+type Config struct {
+	Channels     int
+	OnChipKB     float64 // on-chip PosMap data
+	PLBKB        float64 // PLB data capacity (0 = no PLB)
+	PMMAC        bool
+	Recursion    bool // false: no PosMap ORAMs (Phantom-style flat PosMap)
+	StashEntries int  // informational; the paper's 200-entry stash is in StashBase
+}
+
+// Breakdown is the Table 3 area decomposition.
+type Breakdown struct {
+	PosMap   float64
+	PLB      float64
+	PMMAC    float64
+	FeMisc   float64
+	Stash    float64
+	AES      float64
+	Frontend float64 // PosMap + PLB + PMMAC + FeMisc
+	Backend  float64 // Stash + AES
+	Total    float64
+}
+
+// SRAM returns the area of an SRAM macro of the given capacity.
+func SRAM(kb float64) float64 {
+	if kb <= 0 {
+		return 0
+	}
+	return kb*SRAMPerKB + ArrayOverhead
+}
+
+// Estimate computes the area breakdown for a design point.
+func Estimate(c Config) Breakdown {
+	var b Breakdown
+	nch := float64(c.Channels)
+
+	b.PosMap = SRAM(c.OnChipKB)
+	if c.PLBKB > 0 {
+		b.PLB = SRAM(c.PLBKB) + c.PLBKB*PLBTagPerKB + 0.004 // refill/evict control
+	}
+	if c.PMMAC {
+		b.PMMAC = SHA3Core + PMMACCtl + PRFCore
+	}
+	b.FeMisc = FrontendMisc + FrontendMiscPerC*nch
+	b.Frontend = b.PosMap + b.PLB + b.PMMAC + b.FeMisc
+
+	cores := (c.Channels + 1) / 2
+	if cores < 1 {
+		cores = 1
+	}
+	b.AES = float64(cores)*AESCore + nch*AESBufPerChannel
+	b.Stash = StashBase + nch*StashPerChannel
+	b.Backend = b.Stash + b.AES
+
+	b.Total = b.Frontend + b.Backend
+	return b
+}
+
+// Paper32nm returns the paper's published Table 3 percentages and totals
+// for comparison, keyed by channel count.
+func Paper32nm() map[int]PaperRow {
+	return map[int]PaperRow{
+		1: {Frontend: 31.2, PosMap: 7.3, PLB: 10.2, PMMAC: 12.4, Misc: 1.3, Backend: 68.8, Stash: 28.3, AES: 40.5, TotalMM2: 0.316},
+		2: {Frontend: 30.0, PosMap: 7.0, PLB: 9.7, PMMAC: 11.9, Misc: 1.4, Backend: 70.0, Stash: 28.9, AES: 41.1, TotalMM2: 0.326},
+		4: {Frontend: 22.5, PosMap: 5.3, PLB: 7.3, PMMAC: 8.8, Misc: 1.1, Backend: 77.5, Stash: 21.9, AES: 55.6, TotalMM2: 0.438},
+	}
+}
+
+// PaperRow is one column of the paper's Table 3 (percent of total area).
+type PaperRow struct {
+	Frontend, PosMap, PLB, PMMAC, Misc float64
+	Backend, Stash, AES                float64
+	TotalMM2                           float64
+}

@@ -1,0 +1,84 @@
+package area
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBreakdownSumsToTotal(t *testing.T) {
+	for _, ch := range []int{1, 2, 4, 8} {
+		b := Estimate(Config{Channels: ch, OnChipKB: 8, PLBKB: 8, PMMAC: true})
+		sum := b.PosMap + b.PLB + b.PMMAC + b.FeMisc + b.Stash + b.AES
+		if math.Abs(sum-b.Total) > 1e-9 {
+			t.Fatalf("%d ch: components sum %.4f != total %.4f", ch, sum, b.Total)
+		}
+		if b.Frontend+b.Backend != b.Total {
+			t.Fatalf("%d ch: frontend+backend != total", ch)
+		}
+	}
+}
+
+// TestMatchesPaperTable3: the calibrated model must stay within a few
+// percentage points of every published cell.
+func TestMatchesPaperTable3(t *testing.T) {
+	paper := Paper32nm()
+	for ch, p := range paper {
+		b := Estimate(Config{Channels: ch, OnChipKB: 8, PLBKB: 8, PMMAC: true})
+		checks := []struct {
+			name        string
+			model, want float64
+		}{
+			{"Frontend", 100 * b.Frontend / b.Total, p.Frontend},
+			{"PosMap", 100 * b.PosMap / b.Total, p.PosMap},
+			{"PLB", 100 * b.PLB / b.Total, p.PLB},
+			{"PMMAC", 100 * b.PMMAC / b.Total, p.PMMAC},
+			{"Stash", 100 * b.Stash / b.Total, p.Stash},
+			{"AES", 100 * b.AES / b.Total, p.AES},
+		}
+		for _, c := range checks {
+			if math.Abs(c.model-c.want) > 4 {
+				t.Errorf("%d ch %s: model %.1f%% vs paper %.1f%%", ch, c.name, c.model, c.want)
+			}
+		}
+		if rel := math.Abs(b.Total-p.TotalMM2) / p.TotalMM2; rel > 0.15 {
+			t.Errorf("%d ch total: %.3f vs paper %.3f (%.0f%% off)", ch, b.Total, p.TotalMM2, 100*rel)
+		}
+	}
+}
+
+// TestSRAMAnchor: §7.2.3's 2.5 MB flat PosMap ~ 5 mm^2 data point.
+func TestSRAMAnchor(t *testing.T) {
+	if a := SRAM(2.5 * 1024); a < 4.5 || a > 5.5 {
+		t.Fatalf("2.5 MB SRAM = %.2f mm^2, want ~5", a)
+	}
+}
+
+// TestNoRecursionBlowup: dropping recursion costs >10x (§7.2.3).
+func TestNoRecursionBlowup(t *testing.T) {
+	base := Estimate(Config{Channels: 2, OnChipKB: 8, PLBKB: 8, PMMAC: true})
+	flat := Estimate(Config{Channels: 2, OnChipKB: 2.5 * 1024, PMMAC: true})
+	if flat.Total/base.Total < 10 {
+		t.Fatalf("flat PosMap only %.1fx bigger", flat.Total/base.Total)
+	}
+}
+
+func TestAESScalesWithChannels(t *testing.T) {
+	a1 := Estimate(Config{Channels: 1, OnChipKB: 8, PLBKB: 8, PMMAC: true}).AES
+	a2 := Estimate(Config{Channels: 2, OnChipKB: 8, PLBKB: 8, PMMAC: true}).AES
+	a4 := Estimate(Config{Channels: 4, OnChipKB: 8, PLBKB: 8, PMMAC: true}).AES
+	// The paper's footnote: 1 and 2 channels share the same AES cores, so
+	// the step from 1 to 2 is small, but 4 channels needs twice the cores.
+	if a2-a1 > 0.02 {
+		t.Fatalf("1->2 channels AES jump too large: %.3f -> %.3f", a1, a2)
+	}
+	if a4 < 1.7*a2 {
+		t.Fatalf("4 channels AES should roughly double: %.3f -> %.3f", a2, a4)
+	}
+}
+
+func TestOptionalComponents(t *testing.T) {
+	noPLB := Estimate(Config{Channels: 2, OnChipKB: 8, PMMAC: false})
+	if noPLB.PLB != 0 || noPLB.PMMAC != 0 {
+		t.Fatal("absent components charged")
+	}
+}

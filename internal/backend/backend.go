@@ -1,0 +1,102 @@
+// Package backend implements the Path ORAM Backend of §3.1: the ORAM tree
+// in untrusted memory, the stash, path reads/writes with greedy eviction,
+// and the readrmv/append operations (§4.2.2) that the PLB frontend needs.
+//
+// Two implementations are provided:
+//
+//   - PathORAM: fully functional. Blocks hold real payloads, buckets are
+//     sealed with probabilistic encryption, and an active adversary can
+//     tamper with stored bytes through mem.Store hooks.
+//   - Accounting: bandwidth-accounting only. Payloads are kept in a flat
+//     map (so frontends above it still behave exactly as they would over a
+//     real tree) but no tree is materialized; bytes moved are computed
+//     analytically. This enables the paper's 16 GB and 64 GB capacity
+//     points (Figure 7) on a laptop.
+//
+// Both charge identical wire bytes per access, so experiments may use
+// either interchangeably.
+package backend
+
+import (
+	"fmt"
+
+	"freecursive/internal/stats"
+	"freecursive/internal/tree"
+)
+
+// Op enumerates backend operations (§3.1 read/write, §4.2.2 readrmv/append).
+type Op int
+
+const (
+	// OpRead fetches a block and leaves it in the stash remapped to NewLeaf.
+	OpRead Op = iota
+	// OpWrite is OpRead plus replacement of the payload with Request.Data.
+	OpWrite
+	// OpReadRmv fetches a block and removes it from the ORAM entirely; the
+	// caller (the PLB) becomes responsible for it.
+	OpReadRmv
+	// OpAppend inserts a block into the stash without any tree access. Legal
+	// only for blocks previously read-removed (Observation 2).
+	OpAppend
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpReadRmv:
+		return "readrmv"
+	case OpAppend:
+		return "append"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Request describes one backend access.
+type Request struct {
+	Op      Op
+	Addr    uint64 // logical block address (PosMap blocks use i||a_i tags)
+	Leaf    uint64 // current leaf: the path to read (or, for append, the leaf the block carries)
+	NewLeaf uint64 // leaf to remap to (OpRead/OpWrite)
+	Data    []byte // payload for OpWrite/OpAppend
+	// Update, if non-nil, transforms the fetched payload before it re-enters
+	// the stash (read-modify-write, used to update leaves inside PosMap
+	// blocks in one access). found reports whether the block existed; a
+	// fresh (never-written) block arrives as a zero payload. Applied for
+	// OpRead only.
+	Update func(old []byte, found bool) []byte
+	// PosMap marks the access as PosMap traffic for byte attribution.
+	PosMap bool
+}
+
+// Result is what an access returns.
+type Result struct {
+	Data  []byte // payload as fetched (before Update/Write replacement)
+	Found bool   // false if the block had never been written (zero block)
+}
+
+// Backend is the interface the frontends (internal/core) drive. It captures
+// Property 1 of §6.5.2: an access reveals only the leaf and fixed-size
+// encrypted data.
+type Backend interface {
+	Access(req Request) (Result, error)
+	Geometry() tree.Geometry
+	Counters() *stats.Counters
+}
+
+// WireBucketBytes returns the size of one bucket on the DRAM bus: Z slots of
+// (payload + 8-byte packed address/leaf/valid header) plus an 8-byte
+// encryption seed, padded up to 512-bit (64-byte) DDR3 bursts, following the
+// padding used for the paper's Figure 3.
+func WireBucketBytes(g tree.Geometry) uint64 {
+	raw := uint64(g.Z)*(uint64(g.BlockBytes)+8) + 8
+	return (raw + 63) &^ 63
+}
+
+// PathWireBytes returns bytes moved by one full path access (read + write).
+func PathWireBytes(g tree.Geometry) uint64 {
+	return 2 * uint64(g.L+1) * WireBucketBytes(g)
+}

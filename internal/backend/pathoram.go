@@ -1,0 +1,274 @@
+package backend
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"freecursive/internal/crypt"
+	"freecursive/internal/mem"
+	"freecursive/internal/stash"
+	"freecursive/internal/stats"
+	"freecursive/internal/tree"
+)
+
+// PathORAM is the functional Path ORAM backend. It stores sealed buckets in
+// a sparse mem.Store, decrypts/encrypts with a crypt.BucketCipher, and
+// maintains the Path ORAM invariant: every block is on the path of its
+// mapped leaf or in the stash.
+type PathORAM struct {
+	geom  tree.Geometry
+	store *mem.Store
+	ciph  *crypt.BucketCipher // nil: plaintext buckets (fast functional mode)
+	stash *stash.Stash
+	ctr   *stats.Counters
+
+	// Scratch buffers reused across accesses.
+	pathIdx []uint64
+	// seeds of buckets read this access, for per-bucket reseal.
+	pathSeeds []uint64
+}
+
+// Config parameterizes a functional backend.
+type Config struct {
+	Geometry      tree.Geometry
+	Store         *mem.Store          // nil: fresh store
+	Cipher        *crypt.BucketCipher // nil: plaintext
+	StashCapacity int                 // 0: stash.DefaultCapacity
+	Counters      *stats.Counters     // nil: fresh counters
+}
+
+// NewPathORAM builds a functional backend.
+func NewPathORAM(cfg Config) (*PathORAM, error) {
+	if cfg.Geometry.Z < 1 || cfg.Geometry.BlockBytes < 1 {
+		return nil, fmt.Errorf("backend: invalid geometry %+v", cfg.Geometry)
+	}
+	st := cfg.Store
+	if st == nil {
+		st = mem.NewStore()
+	}
+	cap := cfg.StashCapacity
+	if cap == 0 {
+		cap = stash.DefaultCapacity
+	}
+	ctr := cfg.Counters
+	if ctr == nil {
+		ctr = &stats.Counters{}
+	}
+	return &PathORAM{
+		geom:  cfg.Geometry,
+		store: st,
+		ciph:  cfg.Cipher,
+		stash: stash.New(cap),
+		ctr:   ctr,
+	}, nil
+}
+
+// Geometry returns the tree geometry.
+func (p *PathORAM) Geometry() tree.Geometry { return p.geom }
+
+// Counters returns the shared counter set.
+func (p *PathORAM) Counters() *stats.Counters { return p.ctr }
+
+// Stash exposes the stash for invariant checks in tests.
+func (p *PathORAM) Stash() *stash.Stash { return p.stash }
+
+// Store exposes untrusted memory for adversarial tests.
+func (p *PathORAM) Store() *mem.Store { return p.store }
+
+// --- bucket serialization ------------------------------------------------
+//
+// Plaintext bucket body layout, per slot:
+//   [0]    flags (slotValid or 0)
+//   [1:9]  address (big endian)
+//   [9:17] leaf (big endian)
+//   [17:17+B] payload
+// The body is Z slots long. Dummy slots are all zeros. When sealed, the
+// body is encrypted and prefixed with the plaintext 8-byte seed.
+
+const (
+	slotValid  = 0x01
+	slotHeader = 17
+)
+
+func (p *PathORAM) slotBytes() int { return slotHeader + p.geom.BlockBytes }
+func (p *PathORAM) bodyBytes() int { return p.geom.Z * p.slotBytes() }
+
+func (p *PathORAM) encodeBucket(blocks []stash.Block) []byte {
+	body := make([]byte, p.bodyBytes())
+	for i, b := range blocks {
+		s := body[i*p.slotBytes():]
+		s[0] = slotValid
+		binary.BigEndian.PutUint64(s[1:9], b.Addr)
+		binary.BigEndian.PutUint64(s[9:17], b.Leaf)
+		copy(s[slotHeader:slotHeader+p.geom.BlockBytes], b.Data)
+	}
+	return body
+}
+
+// decodeBucket appends the real blocks found in body to dst.
+func (p *PathORAM) decodeBucket(body []byte, dst []stash.Block) []stash.Block {
+	if len(body) != p.bodyBytes() {
+		return dst // tampered to a wrong size: nothing decodable
+	}
+	for i := 0; i < p.geom.Z; i++ {
+		s := body[i*p.slotBytes():]
+		if s[0] != slotValid {
+			continue
+		}
+		data := make([]byte, p.geom.BlockBytes)
+		copy(data, s[slotHeader:slotHeader+p.geom.BlockBytes])
+		dst = append(dst, stash.Block{
+			Addr: binary.BigEndian.Uint64(s[1:9]),
+			Leaf: binary.BigEndian.Uint64(s[9:17]),
+			Data: data,
+		})
+	}
+	return dst
+}
+
+// --- access ---------------------------------------------------------------
+
+// Access performs one backend operation. See the Op documentation for
+// semantics. The returned Result.Data aliases freshly allocated memory.
+func (p *PathORAM) Access(req Request) (Result, error) {
+	switch req.Op {
+	case OpAppend:
+		return p.append(req)
+	case OpRead, OpWrite, OpReadRmv:
+		return p.access(req)
+	default:
+		return Result{}, fmt.Errorf("backend: unknown op %v", req.Op)
+	}
+}
+
+func (p *PathORAM) append(req Request) (Result, error) {
+	if !p.geom.ValidLeaf(req.Leaf) {
+		return Result{}, fmt.Errorf("backend: append leaf %d out of range", req.Leaf)
+	}
+	if p.stash.Get(req.Addr) != nil {
+		return Result{}, fmt.Errorf("backend: append would duplicate block %#x", req.Addr)
+	}
+	data := make([]byte, p.geom.BlockBytes)
+	copy(data, req.Data)
+	p.stash.Put(stash.Block{Addr: req.Addr, Leaf: req.Leaf, Data: data})
+	p.ctr.Appends++
+	p.stash.Note()
+	p.syncStashStats()
+	return Result{Found: true}, nil
+}
+
+func (p *PathORAM) access(req Request) (Result, error) {
+	if !p.geom.ValidLeaf(req.Leaf) {
+		return Result{}, fmt.Errorf("backend: leaf %d out of range (L=%d)", req.Leaf, p.geom.L)
+	}
+	if req.Op != OpReadRmv && !p.geom.ValidLeaf(req.NewLeaf) {
+		return Result{}, fmt.Errorf("backend: new leaf %d out of range", req.NewLeaf)
+	}
+
+	// Step 2 (§3.1): read and decrypt all buckets along the path; real
+	// blocks enter the stash.
+	p.pathIdx = p.geom.PathIndices(req.Leaf, p.pathIdx)
+	if cap(p.pathSeeds) < len(p.pathIdx) {
+		p.pathSeeds = make([]uint64, len(p.pathIdx))
+	}
+	p.pathSeeds = p.pathSeeds[:len(p.pathIdx)]
+
+	var incoming []stash.Block
+	for i, idx := range p.pathIdx {
+		sealed := p.store.Read(idx)
+		p.pathSeeds[i] = 0
+		if sealed == nil {
+			continue // never-written bucket: all dummies
+		}
+		body := sealed
+		if p.ciph != nil {
+			var seed uint64
+			var err error
+			body, seed, err = p.ciph.Open(idx, sealed)
+			if err != nil {
+				return Result{}, fmt.Errorf("backend: bucket %d: %w", idx, err)
+			}
+			p.pathSeeds[i] = seed
+		}
+		incoming = p.decodeBucket(body, nil)
+		for _, b := range incoming {
+			// A tampered bucket can decode garbage; never let it displace a
+			// block already in the trusted stash, and drop blocks whose leaf
+			// is not even a valid label.
+			if !p.geom.ValidLeaf(b.Leaf) || p.stash.Get(b.Addr) != nil {
+				continue
+			}
+			p.stash.Put(b)
+		}
+	}
+
+	// Steps 3-4: find the block of interest.
+	res := Result{}
+	blk := p.stash.Get(req.Addr)
+	if blk == nil {
+		// First-ever access: the ORAM is logically zero-initialized.
+		blk = &stash.Block{Addr: req.Addr, Data: make([]byte, p.geom.BlockBytes)}
+		res.Found = false
+	} else {
+		res.Found = true
+	}
+	res.Data = make([]byte, p.geom.BlockBytes)
+	copy(res.Data, blk.Data)
+
+	switch req.Op {
+	case OpReadRmv:
+		p.stash.Remove(req.Addr)
+	case OpRead:
+		if req.Update != nil {
+			upd := req.Update(blk.Data, res.Found)
+			data := make([]byte, p.geom.BlockBytes)
+			copy(data, upd)
+			blk.Data = data
+		}
+		blk.Leaf = req.NewLeaf
+		p.stash.Put(*blk)
+	case OpWrite:
+		data := make([]byte, p.geom.BlockBytes)
+		copy(data, req.Data)
+		blk.Data = data
+		blk.Leaf = req.NewLeaf
+		p.stash.Put(*blk)
+	}
+
+	// Step 5: evict as much as possible back to the same path.
+	p.writePath(req.Leaf)
+
+	p.ctr.BackendAccesses++
+	bytes := PathWireBytes(p.geom)
+	if req.PosMap {
+		p.ctr.PosMapBytes += bytes
+	} else {
+		p.ctr.DataBytes += bytes
+	}
+	p.stash.Note()
+	p.syncStashStats()
+	return res, nil
+}
+
+func (p *PathORAM) writePath(leaf uint64) {
+	perLevel := p.stash.EvictForPath(leaf, p.geom.L, p.geom.Z,
+		func(blockLeaf uint64, level int) bool {
+			return p.geom.CanReside(blockLeaf, leaf, level)
+		})
+	for lev, blocks := range perLevel {
+		idx := p.pathIdx[lev]
+		body := p.encodeBucket(blocks)
+		if p.ciph == nil {
+			p.store.Write(idx, body)
+			continue
+		}
+		p.store.Write(idx, p.ciph.Seal(idx, p.pathSeeds[lev], body))
+	}
+}
+
+func (p *PathORAM) syncStashStats() {
+	if m := uint64(p.stash.MaxSeen()); m > p.ctr.StashMax {
+		p.ctr.StashMax = m
+	}
+	p.ctr.StashOverflow = uint64(p.stash.Overflows())
+}

@@ -1,0 +1,202 @@
+// Package cachesim models the on-chip cache hierarchy of Table 1: a 32 KB
+// 4-way L1 data cache and a 1 MB 16-way L2 (the LLC), both LRU with 64-byte
+// lines, write-back and write-allocate. The LLC's miss and dirty-eviction
+// stream is what the ORAM controller sees (§1: "intercepts last-level cache
+// misses/evictions").
+package cachesim
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Cache is one set-associative write-back cache level.
+type Cache struct {
+	sets      int
+	ways      int
+	lineShift uint
+	lines     []line // sets*ways, set-major
+	clock     uint64
+
+	hits, misses uint64
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	age   uint64
+}
+
+// New builds a cache of capacityBytes with the given associativity and line
+// size. Sets must come out a power of two.
+func New(capacityBytes, ways, lineBytes int) (*Cache, error) {
+	if capacityBytes <= 0 || ways <= 0 || lineBytes <= 0 {
+		return nil, fmt.Errorf("cachesim: invalid parameters %d/%d/%d", capacityBytes, ways, lineBytes)
+	}
+	if lineBytes&(lineBytes-1) != 0 {
+		return nil, fmt.Errorf("cachesim: line size %d not a power of two", lineBytes)
+	}
+	entries := capacityBytes / lineBytes
+	sets := entries / ways
+	if sets == 0 || sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("cachesim: %dB/%d-way/%dB lines yields %d sets (need power of two)",
+			capacityBytes, ways, lineBytes, sets)
+	}
+	return &Cache{
+		sets:      sets,
+		ways:      ways,
+		lineShift: uint(bits.TrailingZeros(uint(lineBytes))),
+		lines:     make([]line, sets*ways),
+	}, nil
+}
+
+// LineBytes returns the line size.
+func (c *Cache) LineBytes() int { return 1 << c.lineShift }
+
+// Hits and Misses return access counts.
+func (c *Cache) Hits() uint64   { return c.hits }
+func (c *Cache) Misses() uint64 { return c.misses }
+
+// Result describes the outcome of a cache access or fill.
+type Result struct {
+	Hit          bool
+	Evicted      bool
+	EvictedAddr  uint64 // line-aligned byte address of the victim
+	EvictedDirty bool
+}
+
+func (c *Cache) set(lineAddr uint64) []line {
+	idx := int(lineAddr % uint64(c.sets))
+	return c.lines[idx*c.ways : (idx+1)*c.ways]
+}
+
+// Access looks up addr (a byte address); on a hit it updates LRU and the
+// dirty bit for writes. It does NOT allocate on miss — callers fill
+// explicitly via Fill after fetching the line, which lets the hierarchy
+// order evictions correctly.
+func (c *Cache) Access(addr uint64, write bool) bool {
+	c.clock++
+	la := addr >> c.lineShift
+	set := c.set(la)
+	for i := range set {
+		if set[i].valid && set[i].tag == la {
+			set[i].age = c.clock
+			set[i].dirty = set[i].dirty || write
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	return false
+}
+
+// Fill installs the line holding addr, marking it dirty if the triggering
+// access was a write. The LRU victim (if any) is reported for writeback.
+func (c *Cache) Fill(addr uint64, dirty bool) Result {
+	c.clock++
+	la := addr >> c.lineShift
+	set := c.set(la)
+
+	slot := -1
+	for i := range set {
+		if !set[i].valid {
+			slot = i
+			break
+		}
+	}
+	res := Result{}
+	if slot == -1 {
+		oldest := uint64(1<<64 - 1)
+		for i := range set {
+			if set[i].age < oldest {
+				oldest = set[i].age
+				slot = i
+			}
+		}
+		res.Evicted = true
+		res.EvictedAddr = set[slot].tag << c.lineShift
+		res.EvictedDirty = set[slot].dirty
+	}
+	set[slot] = line{tag: la, valid: true, dirty: dirty, age: c.clock}
+	return res
+}
+
+// MarkDirty sets the dirty bit of the line holding addr if present (used
+// when an upper-level dirty victim writes back into this level).
+func (c *Cache) MarkDirty(addr uint64) bool {
+	la := addr >> c.lineShift
+	set := c.set(la)
+	for i := range set {
+		if set[i].valid && set[i].tag == la {
+			set[i].dirty = true
+			return true
+		}
+	}
+	return false
+}
+
+// Hierarchy is the two-level hierarchy of Table 1 feeding an ORAM (or
+// plain DRAM) main memory.
+type Hierarchy struct {
+	L1, L2 *Cache
+}
+
+// NewHierarchy builds the Table 1 configuration: 32 KB 4-way L1, 1 MB
+// 16-way L2, with the given line size.
+func NewHierarchy(lineBytes int) (*Hierarchy, error) {
+	l1, err := New(32<<10, 4, lineBytes)
+	if err != nil {
+		return nil, err
+	}
+	l2, err := New(1<<20, 16, lineBytes)
+	if err != nil {
+		return nil, err
+	}
+	return &Hierarchy{L1: l1, L2: l2}, nil
+}
+
+// Outcome summarizes one hierarchy access.
+type Outcome struct {
+	L1Hit, L2Hit bool
+	// MemReads/MemWrites are line-aligned addresses the access pushed out
+	// to main memory: at most one demand read (LLC miss) and any dirty LLC
+	// evictions.
+	MemRead   bool
+	MemReadAt uint64
+	MemWrites []uint64
+}
+
+// Access runs one load/store through the hierarchy.
+func (h *Hierarchy) Access(addr uint64, write bool) Outcome {
+	var out Outcome
+	if h.L1.Access(addr, write) {
+		out.L1Hit = true
+		return out
+	}
+
+	l2hit := h.L2.Access(addr, false) // L2 dirty state tracked via writebacks
+	if !l2hit {
+		out.MemRead = true
+		out.MemReadAt = addr &^ uint64(h.L2.LineBytes()-1)
+		fill := h.L2.Fill(addr, false)
+		if fill.Evicted && fill.EvictedDirty {
+			out.MemWrites = append(out.MemWrites, fill.EvictedAddr)
+		}
+	} else {
+		out.L2Hit = true
+	}
+
+	// Fill L1; a dirty L1 victim writes back into L2 (possibly spilling a
+	// dirty L2 victim to memory).
+	v := h.L1.Fill(addr, write)
+	if v.Evicted && v.EvictedDirty {
+		if !h.L2.MarkDirty(v.EvictedAddr) {
+			f2 := h.L2.Fill(v.EvictedAddr, true)
+			if f2.Evicted && f2.EvictedDirty {
+				out.MemWrites = append(out.MemWrites, f2.EvictedAddr)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package cachesim
+
+import (
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 4, 64); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := New(32<<10, 4, 60); err == nil {
+		t.Error("non-power-of-two line accepted")
+	}
+	if _, err := New(3000, 4, 64); err == nil {
+		t.Error("non-power-of-two sets accepted")
+	}
+	c, err := New(32<<10, 4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.LineBytes() != 64 {
+		t.Fatal("line bytes wrong")
+	}
+}
+
+func TestHitAfterFill(t *testing.T) {
+	c, _ := New(4<<10, 4, 64)
+	if c.Access(0x1000, false) {
+		t.Fatal("hit on empty cache")
+	}
+	c.Fill(0x1000, false)
+	if !c.Access(0x1000, false) {
+		t.Fatal("miss after fill")
+	}
+	// Same line, different offset: still a hit.
+	if !c.Access(0x1030, false) {
+		t.Fatal("intra-line offset missed")
+	}
+	if c.Hits() != 2 || c.Misses() != 1 {
+		t.Fatalf("hits=%d misses=%d", c.Hits(), c.Misses())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c, _ := New(2*64, 2, 64) // one set, two ways
+	c.Fill(0*64, false)
+	c.Fill(1*64, false)
+	c.Access(0, false) // line 0 is now MRU
+	res := c.Fill(2*64, false)
+	if !res.Evicted || res.EvictedAddr != 1*64 {
+		t.Fatalf("expected eviction of line 1, got %+v", res)
+	}
+}
+
+func TestDirtyTracking(t *testing.T) {
+	c, _ := New(1*64, 1, 64) // single line
+	c.Fill(0, true)          // dirty fill
+	res := c.Fill(64, false)
+	if !res.Evicted || !res.EvictedDirty {
+		t.Fatal("dirty eviction lost")
+	}
+	// A write hit also dirties.
+	c.Access(64, true)
+	res = c.Fill(128, false)
+	if !res.EvictedDirty {
+		t.Fatal("write hit did not set dirty")
+	}
+	// MarkDirty on present/absent lines.
+	if !c.MarkDirty(128) {
+		t.Fatal("MarkDirty on present line failed")
+	}
+	if c.MarkDirty(4096) {
+		t.Fatal("MarkDirty on absent line succeeded")
+	}
+}
+
+func TestHierarchyMissPath(t *testing.T) {
+	h, err := NewHierarchy(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := h.Access(0x5000, false)
+	if out.L1Hit || out.L2Hit || !out.MemRead {
+		t.Fatalf("cold access should go to memory: %+v", out)
+	}
+	if out.MemReadAt != 0x5000 {
+		t.Fatalf("mem read at %#x", out.MemReadAt)
+	}
+	// Second access: L1 hit.
+	out = h.Access(0x5008, false)
+	if !out.L1Hit {
+		t.Fatal("expected L1 hit")
+	}
+}
+
+func TestHierarchyL2Hit(t *testing.T) {
+	h, _ := NewHierarchy(64)
+	h.Access(0x5000, false)
+	// Evict from L1 by filling its set (L1: 128 sets => stride 128*64).
+	stride := uint64(128 * 64)
+	for i := uint64(1); i <= 4; i++ {
+		h.Access(0x5000+i*stride, false)
+	}
+	out := h.Access(0x5000, false)
+	if out.L1Hit {
+		t.Fatal("L1 should have evicted the line")
+	}
+	if !out.L2Hit || out.MemRead {
+		t.Fatalf("expected L2 hit: %+v", out)
+	}
+}
+
+// TestHierarchyDirtyWriteback: a dirty line pushed out of both levels
+// surfaces as a memory write.
+func TestHierarchyDirtyWriteback(t *testing.T) {
+	h, _ := NewHierarchy(64)
+	h.Access(0x9000, true) // dirty in L1
+	// Thrash both caches: L2 is 1 MB, 16-way, 1024 sets; flood the set of
+	// 0x9000 with 20 conflicting lines.
+	stride := uint64(1024 * 64)
+	var writes int
+	for i := uint64(1); i <= 20; i++ {
+		out := h.Access(0x9000+i*stride, false)
+		writes += len(out.MemWrites)
+	}
+	if writes == 0 {
+		t.Fatal("dirty line never written back to memory")
+	}
+}
+
+// TestSequentialMissRate: a long unit-stride scan misses exactly once per
+// line — the sanity anchor for the workload calibration.
+func TestSequentialMissRate(t *testing.T) {
+	h, _ := NewHierarchy(64)
+	misses := 0
+	const ops = 1 << 14
+	for i := uint64(0); i < ops; i++ {
+		out := h.Access(0x100000+i*8, false)
+		if out.MemRead {
+			misses++
+		}
+	}
+	want := ops * 8 / 64
+	if misses < want-2 || misses > want+2 {
+		t.Fatalf("sequential scan: %d misses, want ~%d", misses, want)
+	}
+}

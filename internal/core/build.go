@@ -1,0 +1,315 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+	"math/rand/v2"
+
+	"freecursive/internal/backend"
+	"freecursive/internal/crypt"
+	"freecursive/internal/posmap"
+	"freecursive/internal/stats"
+	"freecursive/internal/tree"
+)
+
+// Params selects and sizes a complete ORAM configuration by paper scheme
+// name. Zero values take the Table 1 defaults.
+type Params struct {
+	Scheme     Scheme
+	NBlocks    uint64 // data blocks N (default 1<<20 for simulations)
+	DataBytes  int    // block size B (default 64)
+	Z          int    // slots per bucket (default 4)
+	Levels     int    // data-tree leaf level L override (0: log2(N/Z))
+	StashCap   int    // stash capacity (default 200)
+	BetaBits   int    // compressed individual counter width (default 14)
+	PosMapBlkB int    // recursive baseline PosMap ORAM block size (default 32)
+
+	// OnChipBudgetBytes bounds the on-chip PosMap; recursion depth is the
+	// smallest honoring it (default 128 KB as in §7.1.4). HOverride wins.
+	OnChipBudgetBytes int
+	HOverride         int
+
+	PLBCapacityBytes int // default 64 KB (§7.1.3)
+	PLBWays          int // default 1 (direct-mapped)
+
+	// Functional selects real trees + encryption (true) or the
+	// bandwidth-accounting backend (false).
+	Functional bool
+	EncScheme  crypt.SeedScheme // bucket encryption (functional mode)
+	Seed       uint64           // deterministic seed for keys and RNG
+}
+
+func (p *Params) setDefaults() {
+	if p.NBlocks == 0 {
+		p.NBlocks = 1 << 20
+	}
+	if p.DataBytes == 0 {
+		p.DataBytes = 64
+	}
+	if p.Z == 0 {
+		p.Z = 4
+	}
+	if p.StashCap == 0 {
+		p.StashCap = 200
+	}
+	if p.BetaBits == 0 {
+		p.BetaBits = 14
+	}
+	if p.PosMapBlkB == 0 {
+		p.PosMapBlkB = 32
+	}
+	if p.OnChipBudgetBytes == 0 {
+		p.OnChipBudgetBytes = 128 << 10
+	}
+	if p.PLBCapacityBytes == 0 {
+		p.PLBCapacityBytes = 64 << 10
+	}
+	if p.PLBWays == 0 {
+		p.PLBWays = 1
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+}
+
+// X returns the PosMap fan-out the scheme achieves with these parameters
+// (§5.3: compression raises X from B/4 or B/8 to (8B-64)/beta).
+func (p Params) X() (int, error) {
+	q := p
+	q.setDefaults()
+	var x int
+	switch q.Scheme {
+	case SchemeRecursive:
+		x = posmap.UncompressedXFor(q.PosMapBlkB)
+	case SchemeP:
+		x = posmap.UncompressedXFor(q.DataBytes)
+	case SchemePI:
+		x = posmap.FlatXFor(q.DataBytes)
+	case SchemePC, SchemePIC:
+		x = posmap.CompressedXFor(q.DataBytes, q.BetaBits)
+	default:
+		return 0, fmt.Errorf("core: unknown scheme %v", q.Scheme)
+	}
+	if x < 2 || x&(x-1) != 0 {
+		return 0, fmt.Errorf("core: scheme %v yields X=%d (need power of two >= 2)", q.Scheme, x)
+	}
+	return x, nil
+}
+
+// Name returns the paper-style scheme name, e.g. "PC_X32".
+func (p Params) Name() string {
+	x, err := p.X()
+	if err != nil {
+		return p.Scheme.String() + "_X?"
+	}
+	return fmt.Sprintf("%s_X%d", p.Scheme, x)
+}
+
+func deriveKey(seed uint64, purpose byte) []byte {
+	k := make([]byte, 16)
+	binary.BigEndian.PutUint64(k, seed)
+	k[8] = purpose
+	k[9] = ^purpose
+	k[15] = 0x5a
+	return k
+}
+
+// System bundles a built frontend with its shared pieces so experiments can
+// inspect them.
+type System struct {
+	Frontend Frontend
+	Counters *stats.Counters
+	Params   Params
+	XVal     int
+	H        int
+	// Backends holds the backend(s): one for PLB schemes, H for recursive.
+	Backends []backend.Backend
+	// OnChipBits is the on-chip PosMap size.
+	OnChipBits uint64
+}
+
+// Build constructs a complete ORAM system for the given parameters.
+func Build(p Params) (*System, error) {
+	p.setDefaults()
+	x, err := p.X()
+	if err != nil {
+		return nil, err
+	}
+	logX := uint(bits.TrailingZeros(uint(x)))
+	ctr := &stats.Counters{}
+	rng := rand.New(rand.NewPCG(p.Seed, 0x0ca7))
+
+	dataLevels := p.Levels
+	if dataLevels == 0 {
+		dataLevels = tree.LevelsForCapacity(p.NBlocks, p.Z)
+	}
+
+	prf, err := crypt.NewPRF(deriveKey(p.Seed, 'P'))
+	if err != nil {
+		return nil, err
+	}
+
+	newBackend := func(g tree.Geometry) (backend.Backend, error) {
+		if !p.Functional {
+			return backend.NewAccounting(g, ctr)
+		}
+		ciph, err := crypt.NewBucketCipher(deriveKey(p.Seed, 'E'), p.EncScheme)
+		if err != nil {
+			return nil, err
+		}
+		return backend.NewPathORAM(backend.Config{
+			Geometry:      g,
+			Cipher:        ciph,
+			StashCapacity: p.StashCap,
+			Counters:      ctr,
+		})
+	}
+
+	if p.Scheme == SchemeRecursive {
+		return buildRecursive(p, x, logX, dataLevels, ctr, rng, newBackend)
+	}
+	return buildPLB(p, x, logX, dataLevels, ctr, rng, prf, newBackend)
+}
+
+func buildRecursive(p Params, x int, logX uint, dataLevels int,
+	ctr *stats.Counters, rng *rand.Rand,
+	newBackend func(tree.Geometry) (backend.Backend, error)) (*System, error) {
+
+	// Depth: grow until the on-chip PosMap (L bits per entry) fits the
+	// budget, or use the explicit override.
+	h := p.HOverride
+	if h == 0 {
+		for h = 1; ; h++ {
+			entries := TopEntries(p.NBlocks, logX, h)
+			nTop := entries
+			lTop := dataLevels
+			if h > 1 {
+				lTop = tree.LevelsForCapacity(nTop, p.Z)
+			}
+			if entries*uint64(lTop) <= uint64(p.OnChipBudgetBytes)*8 {
+				break
+			}
+		}
+	}
+
+	backends := make([]backend.Backend, h)
+	for i := 0; i < h; i++ {
+		var g tree.Geometry
+		var err error
+		if i == 0 {
+			g, err = tree.NewGeometry(dataLevels, p.Z, p.DataBytes)
+		} else {
+			ni := TopEntries(p.NBlocks, logX, i+1)
+			g, err = tree.NewGeometry(tree.LevelsForCapacity(ni, p.Z), p.Z, p.PosMapBlkB)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if backends[i], err = newBackend(g); err != nil {
+			return nil, err
+		}
+	}
+
+	fe, err := NewRecursive(RecursiveConfig{
+		Backends: backends,
+		LogX:     logX,
+		NBlocks:  p.NBlocks,
+		Rand:     rng,
+		Counters: ctr,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		Frontend:   fe,
+		Counters:   ctr,
+		Params:     p,
+		XVal:       x,
+		H:          h,
+		Backends:   backends,
+		OnChipBits: fe.OnChipBits(),
+	}, nil
+}
+
+func buildPLB(p Params, x int, logX uint, dataLevels int,
+	ctr *stats.Counters, rng *rand.Rand, prf *crypt.PRF,
+	newBackend func(tree.Geometry) (backend.Backend, error)) (*System, error) {
+
+	// Unified tree: PosMap blocks add at most one level (§4.2.1).
+	unifiedLevels := dataLevels + 1
+
+	var mac *crypt.MAC
+	macBytes := 0
+	if p.Scheme.Integrity() {
+		var err error
+		mac, err = crypt.NewMAC(deriveKey(p.Seed, 'M'), crypt.DefaultTagBytes)
+		if err != nil {
+			return nil, err
+		}
+		macBytes = mac.TagBytes()
+	}
+
+	g, err := tree.NewGeometry(unifiedLevels, p.Z, p.DataBytes+macBytes)
+	if err != nil {
+		return nil, err
+	}
+	be, err := newBackend(g)
+	if err != nil {
+		return nil, err
+	}
+
+	var format posmap.Format
+	switch p.Scheme {
+	case SchemeP:
+		format, err = posmap.NewUncompressedFormat(x, unifiedLevels)
+	case SchemePI:
+		format, err = posmap.NewFlatCounters(x, prf, unifiedLevels)
+	case SchemePC, SchemePIC:
+		format, err = posmap.NewCompressedFormat(x, p.BetaBits, prf, unifiedLevels)
+	default:
+		err = fmt.Errorf("core: scheme %v is not PLB-based", p.Scheme)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// On-chip budget in entries: L bits per entry in leaf mode, 64 bits in
+	// counter mode (§6.2.2).
+	entryBits := uint64(unifiedLevels)
+	if p.Scheme.Integrity() {
+		entryBits = 64
+	}
+	maxEntries := uint64(p.OnChipBudgetBytes) * 8 / entryBits
+	if maxEntries == 0 {
+		maxEntries = 1
+	}
+
+	fe, err := NewPLB(PLBConfig{
+		Backend:          be,
+		NBlocks:          p.NBlocks,
+		DataBytes:        p.DataBytes,
+		Format:           format,
+		LogX:             logX,
+		MaxOnChipEntries: maxEntries,
+		H:                p.HOverride,
+		PLBCapacityBytes: p.PLBCapacityBytes,
+		PLBWays:          p.PLBWays,
+		MAC:              mac,
+		Rand:             rng,
+		PRF:              prf,
+		Counters:         ctr,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		Frontend:   fe,
+		Counters:   ctr,
+		Params:     p,
+		XVal:       x,
+		H:          fe.H(),
+		Backends:   []backend.Backend{be},
+		OnChipBits: fe.OnChipBits(),
+	}, nil
+}

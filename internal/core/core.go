@@ -1,0 +1,122 @@
+// Package core implements the paper's contribution: the ORAM Frontend.
+//
+// Three frontends are provided:
+//
+//   - RecursiveFrontend — the Recursive ORAM baseline of §3.2 ([26]'s
+//     design, the paper's R_X8): one physical ORAM tree per PosMap level,
+//     every access walks the full recursion.
+//   - PLBFrontend — the paper's design (§4-§6): a single unified ORAM tree
+//     holding data and PosMap blocks, fronted by the PosMap Lookaside
+//     Buffer, optionally with the compressed PosMap (§5) and PMMAC
+//     integrity verification (§6). Covers schemes P_X16, PC_X32, PI_X8,
+//     PIC_X32 and the 128-byte-block PC_X64.
+//   - Both compose with any backend.Backend (functional or accounting).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"freecursive/internal/stats"
+)
+
+// Frontend is the LLC-facing interface: accessORAM(a, op, d') of §3.1.
+type Frontend interface {
+	// Access reads or writes one data block. For writes, data is the new
+	// block content (shorter slices are zero-padded). The returned slice is
+	// the block's previous content (the read value).
+	Access(addr uint64, write bool, data []byte) ([]byte, error)
+	// Counters exposes the shared statistics.
+	Counters() *stats.Counters
+}
+
+// ErrIntegrity is returned (wrapped) when PMMAC detects tampering. The
+// processor would raise an exception at this point (§2); simulations treat
+// the ORAM as dead.
+var ErrIntegrity = errors.New("integrity violation detected")
+
+// Scheme names the frontend configurations evaluated in the paper (§7.1.4).
+type Scheme int
+
+const (
+	// SchemeRecursive is R_X8: Recursive ORAM baseline, separate trees.
+	SchemeRecursive Scheme = iota
+	// SchemeP is P_X16: PLB + unified tree, uncompressed PosMap.
+	SchemeP
+	// SchemePC is PC_X32 (or PC_X64 at 128-byte blocks): PLB + compression.
+	SchemePC
+	// SchemePI is PI_X8: PLB + PMMAC with flat 64-bit counters.
+	SchemePI
+	// SchemePIC is PIC_X32: PLB + compression + PMMAC.
+	SchemePIC
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case SchemeRecursive:
+		return "R"
+	case SchemeP:
+		return "P"
+	case SchemePC:
+		return "PC"
+	case SchemePI:
+		return "PI"
+	case SchemePIC:
+		return "PIC"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Integrity reports whether the scheme includes PMMAC.
+func (s Scheme) Integrity() bool { return s == SchemePI || s == SchemePIC }
+
+// Compressed reports whether the scheme uses the compressed PosMap.
+func (s Scheme) Compressed() bool { return s == SchemePC || s == SchemePIC }
+
+// UsesPLB reports whether the scheme has a PLB + unified tree.
+func (s Scheme) UsesPLB() bool { return s != SchemeRecursive }
+
+// --- address arithmetic (§3.2, §4.2.1) --------------------------------------
+
+// levelShift is the bit position of the recursion-level tag inside a
+// composite block address i||a_i. Data addresses must stay below 2^56.
+const levelShift = 56
+
+// Tag composes the disambiguated address i||a_i of §4.2.1.
+func Tag(level int, a uint64) uint64 {
+	return uint64(level)<<levelShift | a
+}
+
+// TagLevel extracts the recursion level from a composite address.
+func TagLevel(tag uint64) int { return int(tag >> levelShift) }
+
+// TagAddr extracts a_i from a composite address.
+func TagAddr(tag uint64) uint64 { return tag & (1<<levelShift - 1) }
+
+// AddrAtLevel returns a_i = a0 / X^i for power-of-two X given as log2(X).
+func AddrAtLevel(a0 uint64, logX uint, level int) uint64 {
+	return a0 >> (logX * uint(level))
+}
+
+// ChildIndex returns a_i's slot within its parent PosMap block: a_i mod X.
+func ChildIndex(ai uint64, logX uint) int {
+	return int(ai & (1<<logX - 1))
+}
+
+// RecursionDepth returns H, the total number of ORAMs (§3.2): the smallest
+// H >= 1 such that n / X^(H-1) <= maxOnChipEntries.
+func RecursionDepth(n uint64, logX uint, maxOnChipEntries uint64) int {
+	h := 1
+	for top := n; top > maxOnChipEntries; top >>= logX {
+		h++
+	}
+	return h
+}
+
+// TopEntries returns the number of on-chip PosMap entries for depth h:
+// ceil(n / X^(h-1)).
+func TopEntries(n uint64, logX uint, h int) uint64 {
+	shift := logX * uint(h-1)
+	return (n + (1 << shift) - 1) >> shift
+}

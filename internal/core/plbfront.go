@@ -1,0 +1,529 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"freecursive/internal/backend"
+	"freecursive/internal/crypt"
+	"freecursive/internal/plb"
+	"freecursive/internal/posmap"
+	"freecursive/internal/stats"
+)
+
+// PLBFrontend is the paper's Frontend: a PosMap Lookaside Buffer in front
+// of a single unified ORAM tree holding both data and PosMap blocks (§4),
+// optionally using the compressed PosMap format (§5) and PMMAC integrity
+// verification (§6). It drives an unmodified Position-based ORAM Backend.
+type PLBFrontend struct {
+	be     backend.Backend
+	plb    *plb.PLB
+	format posmap.Format // layout of PosMap blocks (levels >= 1); nil iff H == 1
+	onchip *posmap.OnChip
+	mac    *crypt.MAC // nil: no integrity
+
+	logX      uint
+	h         int    // recursion depth incl. the data "level 0"
+	n         uint64 // data block count
+	dataBytes int    // block payload visible to the LLC
+	macBytes  int    // MAC tag bytes prepended to each stored block
+
+	ctr *stats.Counters
+	rng *rand.Rand
+
+	violated  bool
+	violation error
+
+	// OnBackendAccess, if set, observes every unified-tree access (op and
+	// leaf) — the adversary's view used by the security tests.
+	OnBackendAccess func(op backend.Op, leaf uint64)
+}
+
+// PLBConfig parameterizes a PLBFrontend.
+type PLBConfig struct {
+	// Backend is the unified ORAM tree. Its Geometry().BlockBytes must be
+	// dataBytes + MAC tag bytes (if MAC is set).
+	Backend backend.Backend
+	// NBlocks is the data-block capacity N.
+	NBlocks uint64
+	// DataBytes is the LLC-visible block size (64 or 128 in the paper).
+	DataBytes int
+	// Format is the PosMap block layout; determines X. May be nil only if
+	// recursion depth is 1 (no PosMap blocks at all).
+	Format posmap.Format
+	// LogX is log2(Format.X()).
+	LogX uint
+	// MaxOnChipEntries bounds the on-chip PosMap; recursion depth H is the
+	// smallest that honors it. Explicit H wins if nonzero.
+	MaxOnChipEntries uint64
+	// H, if nonzero, fixes the recursion depth explicitly.
+	H int
+	// PLBCapacityBytes and PLBWays organize the PLB (§4.2.3). A capacity of
+	// zero disables the PLB only if H == 1.
+	PLBCapacityBytes int
+	PLBWays          int
+	// MAC enables PMMAC. The on-chip PosMap then runs in counter mode.
+	MAC *crypt.MAC
+	// Rand drives leaf remapping for non-PRF formats.
+	Rand *rand.Rand
+	// PRF is required when MAC is set (on-chip counter mode) or when Format
+	// is PRF-based.
+	PRF *crypt.PRF
+	// Counters is the shared stat sink (defaults to Backend.Counters()).
+	Counters *stats.Counters
+}
+
+// NewPLB builds the paper's frontend.
+func NewPLB(cfg PLBConfig) (*PLBFrontend, error) {
+	if cfg.Backend == nil {
+		return nil, fmt.Errorf("core: PLB frontend needs a backend")
+	}
+	if cfg.NBlocks == 0 {
+		return nil, fmt.Errorf("core: NBlocks must be positive")
+	}
+	if cfg.Rand == nil {
+		return nil, fmt.Errorf("core: Rand is required")
+	}
+
+	macBytes := 0
+	if cfg.MAC != nil {
+		macBytes = cfg.MAC.TagBytes()
+		if cfg.PRF == nil {
+			return nil, fmt.Errorf("core: PMMAC requires a PRF for on-chip counters")
+		}
+	}
+	g := cfg.Backend.Geometry()
+	if g.BlockBytes != cfg.DataBytes+macBytes {
+		return nil, fmt.Errorf("core: backend block %dB != data %dB + mac %dB",
+			g.BlockBytes, cfg.DataBytes, macBytes)
+	}
+
+	h := cfg.H
+	if h == 0 {
+		if cfg.MaxOnChipEntries == 0 {
+			return nil, fmt.Errorf("core: need H or MaxOnChipEntries")
+		}
+		if cfg.Format == nil {
+			h = 1
+		} else {
+			h = RecursionDepth(cfg.NBlocks, cfg.LogX, cfg.MaxOnChipEntries)
+		}
+	}
+	if h > 1 {
+		if cfg.Format == nil {
+			return nil, fmt.Errorf("core: recursion depth %d requires a PosMap format", h)
+		}
+		if cfg.Format.X() != 1<<cfg.LogX {
+			return nil, fmt.Errorf("core: format X=%d != 2^LogX=%d", cfg.Format.X(), 1<<cfg.LogX)
+		}
+		if cfg.Format.BlockBytes() > cfg.DataBytes {
+			return nil, fmt.Errorf("core: PosMap block %dB exceeds data block %dB",
+				cfg.Format.BlockBytes(), cfg.DataBytes)
+		}
+		if cfg.MAC != nil && !cfg.Format.HasCounters() {
+			return nil, fmt.Errorf("core: PMMAC requires a counter-based PosMap format")
+		}
+	}
+
+	top := TopEntries(cfg.NBlocks, cfg.LogX, h)
+	var onchip *posmap.OnChip
+	var err error
+	if cfg.MAC != nil {
+		onchip, err = posmap.NewOnChipCounter(top, cfg.PRF, g.L)
+	} else {
+		onchip, err = posmap.NewOnChipLeaf(top, g.L)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	var cache *plb.PLB
+	if h > 1 {
+		ways := cfg.PLBWays
+		if ways == 0 {
+			ways = 1
+		}
+		cache, err = plb.New(cfg.PLBCapacityBytes, cfg.Format.BlockBytes(), ways)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	ctr := cfg.Counters
+	if ctr == nil {
+		ctr = cfg.Backend.Counters()
+	}
+	return &PLBFrontend{
+		be:        cfg.Backend,
+		plb:       cache,
+		format:    cfg.Format,
+		onchip:    onchip,
+		mac:       cfg.MAC,
+		logX:      cfg.LogX,
+		h:         h,
+		n:         cfg.NBlocks,
+		dataBytes: cfg.DataBytes,
+		macBytes:  macBytes,
+		ctr:       ctr,
+		rng:       cfg.Rand,
+	}, nil
+}
+
+// H returns the recursion depth.
+func (fe *PLBFrontend) H() int { return fe.h }
+
+// OnChipEntries returns the on-chip PosMap entry count.
+func (fe *PLBFrontend) OnChipEntries() uint64 { return fe.onchip.Entries() }
+
+// OnChipBits returns the on-chip PosMap size in bits.
+func (fe *PLBFrontend) OnChipBits() uint64 { return fe.onchip.SizeBits() }
+
+// PLB exposes the cache for inspection in tests.
+func (fe *PLBFrontend) PLB() *plb.PLB { return fe.plb }
+
+// Counters implements Frontend.
+func (fe *PLBFrontend) Counters() *stats.Counters { return fe.ctr }
+
+// blocksAtLevel returns how many blocks exist at a recursion level:
+// N for data (level 0), ceil(N/X^i) for PosMap level i.
+func (fe *PLBFrontend) blocksAtLevel(level int) uint64 {
+	if level == 0 {
+		return fe.n
+	}
+	return TopEntries(fe.n, fe.logX, level+1)
+}
+
+func (fe *PLBFrontend) access(req backend.Request) (backend.Result, error) {
+	if fe.OnBackendAccess != nil {
+		fe.OnBackendAccess(req.Op, req.Leaf)
+	}
+	return fe.be.Access(req)
+}
+
+// fail latches an integrity violation: the frontend refuses all further
+// work, modeling the processor exception of §2.
+func (fe *PLBFrontend) fail(format string, args ...any) error {
+	fe.violated = true
+	fe.violation = fmt.Errorf(format+": %w", append(args, ErrIntegrity)...)
+	fe.ctr.Violations++
+	return fe.violation
+}
+
+// checkFetched authenticates a payload fetched for the tagged block address
+// at the given access counter and returns the data portion. found=false is
+// legal only for a counter of zero (never-accessed block, §6.2.2): PosMap
+// counters tell us whether a block must exist.
+func (fe *PLBFrontend) checkFetched(tag, counter uint64, payload []byte, found bool) ([]byte, error) {
+	if fe.mac == nil {
+		data := make([]byte, fe.dataBytes)
+		copy(data, payload)
+		return data, nil
+	}
+	if !found {
+		if counter != 0 {
+			return nil, fe.fail("core: block %#x absent but counter=%d", tag, counter)
+		}
+		return make([]byte, fe.dataBytes), nil
+	}
+	tagBytes, data := payload[:fe.macBytes], payload[fe.macBytes:]
+	fe.ctr.MACChecks++
+	fe.ctr.HashedBytes += uint64(fe.dataBytes) + 16
+	if !fe.mac.Verify(tagBytes, counter, tag, data) {
+		return nil, fe.fail("core: bad MAC for block %#x at counter %d", tag, counter)
+	}
+	out := make([]byte, fe.dataBytes)
+	copy(out, data)
+	return out, nil
+}
+
+// seal packs a block payload for storage: MAC(counter || tag || data) || data
+// under PMMAC, plain data otherwise.
+func (fe *PLBFrontend) seal(tag, counter uint64, data []byte) []byte {
+	if fe.mac == nil {
+		return data
+	}
+	fe.ctr.HashedBytes += uint64(fe.dataBytes) + 16
+	out := make([]byte, fe.macBytes+fe.dataBytes)
+	copy(out, fe.mac.Sum(counter, tag, data))
+	copy(out[fe.macBytes:], data)
+	return out
+}
+
+// mapping is a child block's position-map state extracted from its parent.
+type mapping struct {
+	curLeaf    uint64 // leaf to fetch the block from
+	curCounter uint64 // counter the block was last sealed under
+	newLeaf    uint64 // leaf the block is remapped to by this access
+	newCounter uint64 // counter after the remap
+}
+
+// mapFromOnChip reads and advances the on-chip mapping for top-level block
+// index idx with tagged address t.
+func (fe *PLBFrontend) mapFromOnChip(idx, t uint64) mapping {
+	var m mapping
+	m.curCounter = fe.onchip.Counter(idx)
+	m.curLeaf = fe.onchip.Leaf(idx, t, fe.rng)
+	m.newLeaf = fe.onchip.Remap(idx, t, fe.rng)
+	m.newCounter = fe.onchip.Counter(idx)
+	return m
+}
+
+// mapFromParent reads and advances child j's mapping inside the parent PLB
+// entry, performing a group remap if the child's individual counter rolls
+// over (§5.2.2).
+func (fe *PLBFrontend) mapFromParent(parent *plb.Entry, childTag uint64, j, childLevel int) (mapping, error) {
+	var m mapping
+	m.curCounter = fe.format.ChildCounter(parent.Block, j)
+	m.curLeaf = fe.format.ChildLeaf(parent.Block, childTag, j)
+	nl, needGroupRemap := fe.format.Remap(parent.Block, childTag, j, fe.rng)
+	if needGroupRemap {
+		if err := fe.groupRemap(parent, childLevel); err != nil {
+			return m, err
+		}
+		// The group remap moved every child (including this one) to the new
+		// group counter; re-read the mapping and remap again, which now
+		// succeeds with IC going 0 -> 1.
+		m.curCounter = fe.format.ChildCounter(parent.Block, j)
+		m.curLeaf = fe.format.ChildLeaf(parent.Block, childTag, j)
+		nl, needGroupRemap = fe.format.Remap(parent.Block, childTag, j, fe.rng)
+		if needGroupRemap {
+			return m, fmt.Errorf("core: group remap did not clear counter overflow")
+		}
+	}
+	m.newLeaf = nl
+	m.newCounter = fe.format.ChildCounter(parent.Block, j)
+	return m, nil
+}
+
+// Access implements Frontend: the §4.2.4 algorithm.
+func (fe *PLBFrontend) Access(a0 uint64, write bool, data []byte) ([]byte, error) {
+	if fe.violated {
+		return nil, fe.violation
+	}
+	if a0 >= fe.n {
+		return nil, fmt.Errorf("core: address %#x out of range (N=%d)", a0, fe.n)
+	}
+	fe.ctr.Accesses++
+
+	// Step 1 (PLB lookup): probe for the leaf of block a_i, held in block
+	// a_{i+1}, for i = 0 .. H-2. On a miss at every level, fall back to the
+	// on-chip PosMap, which maps block a_{H-1}.
+	hit := fe.h - 1 // level whose mapping we hold; H-1 means "use on-chip"
+	var parent *plb.Entry
+	for i := 0; i <= fe.h-2; i++ {
+		t := Tag(i+1, AddrAtLevel(a0, fe.logX, i+1))
+		if e := fe.plb.Lookup(t); e != nil {
+			fe.ctr.PLBHits++
+			hit = i
+			parent = e
+			break
+		}
+		fe.ctr.PLBMisses++
+	}
+
+	// Step 2 (PosMap block accesses): fetch blocks a_hit .. a_1 with
+	// readrmv, inserting each into the PLB.
+	for lev := hit; lev >= 1; lev-- {
+		ai := AddrAtLevel(a0, fe.logX, lev)
+		t := Tag(lev, ai)
+
+		var m mapping
+		var err error
+		if parent == nil {
+			m = fe.mapFromOnChip(ai, t)
+		} else {
+			m, err = fe.mapFromParent(parent, t, ChildIndex(ai, fe.logX), lev)
+			if err != nil {
+				return nil, err
+			}
+		}
+
+		res, err := fe.access(backend.Request{
+			Op: backend.OpReadRmv, Addr: t, Leaf: m.curLeaf, PosMap: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		block, err := fe.checkFetched(t, m.curCounter, res.Data, res.Found)
+		if err != nil {
+			return nil, err
+		}
+		if !res.Found && fe.mac == nil {
+			fe.format.Init(block, fe.rng)
+		}
+
+		inserted, victim, evicted := fe.plb.Insert(plb.Entry{
+			Tag: t, Leaf: m.newLeaf, Counter: m.newCounter, Block: block,
+		})
+		fe.ctr.PLBRefills++
+		if evicted {
+			if err := fe.appendVictim(victim); err != nil {
+				return nil, err
+			}
+		}
+		parent = inserted
+	}
+
+	// Step 3 (data block access).
+	var m mapping
+	var err error
+	if fe.h == 1 {
+		m = fe.mapFromOnChip(a0, a0)
+	} else {
+		m, err = fe.mapFromParent(parent, a0, ChildIndex(a0, fe.logX), 0)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return fe.accessData(a0, write, data, m)
+}
+
+func (fe *PLBFrontend) accessData(a0 uint64, write bool, data []byte, m mapping) ([]byte, error) {
+	if write {
+		buf := make([]byte, fe.dataBytes)
+		copy(buf, data)
+		res, err := fe.access(backend.Request{
+			Op: backend.OpWrite, Addr: a0, Leaf: m.curLeaf, NewLeaf: m.newLeaf,
+			Data: fe.seal(a0, m.newCounter, buf),
+		})
+		if err != nil {
+			return nil, err
+		}
+		if fe.mac != nil && !res.Found && m.curCounter != 0 {
+			return nil, fe.fail("core: block %#x absent but counter=%d", a0, m.curCounter)
+		}
+		// The overwritten value is returned unverified: it is discarded by
+		// the processor, and the write installed a fresh MAC.
+		if !res.Found {
+			return make([]byte, fe.dataBytes), nil
+		}
+		old := res.Data
+		if fe.mac != nil {
+			old = old[fe.macBytes:]
+		}
+		out := make([]byte, fe.dataBytes)
+		copy(out, old)
+		return out, nil
+	}
+
+	// Read: verify the fetched block and re-seal it under the new counter
+	// inside the same backend access (read-modify-write).
+	var out []byte
+	var vErr error
+	res, err := fe.access(backend.Request{
+		Op: backend.OpRead, Addr: a0, Leaf: m.curLeaf, NewLeaf: m.newLeaf, PosMap: false,
+		Update: func(old []byte, found bool) []byte {
+			block, err := fe.checkFetched(a0, m.curCounter, old, found)
+			if err != nil {
+				vErr = err
+				return old
+			}
+			out = block
+			return fe.seal(a0, m.newCounter, block)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if vErr != nil {
+		return nil, vErr
+	}
+	_ = res
+	return out, nil
+}
+
+// appendVictim returns an evicted PLB block to the ORAM stash (§4.2.4 step
+// 2: "append that block to the stash").
+func (fe *PLBFrontend) appendVictim(v plb.Entry) error {
+	_, err := fe.access(backend.Request{
+		Op: backend.OpAppend, Addr: v.Tag, Leaf: v.Leaf,
+		Data: fe.seal(v.Tag, v.Counter, v.Block), PosMap: true,
+	})
+	if err == nil {
+		fe.ctr.PLBEvicts++
+	}
+	return err
+}
+
+// groupRemap implements §5.2.2: when a child's individual counter rolls
+// over, every block in the parent's group is moved to the incremented group
+// counter. Children resident in the PLB are updated in place (they are
+// outside the tree); all others are read and rewritten through the Backend,
+// which is exactly the X unified-tree accesses the paper counts.
+func (fe *PLBFrontend) groupRemap(parent *plb.Entry, childLevel int) error {
+	cf, ok := fe.format.(*posmap.CompressedFormat)
+	if !ok {
+		return fmt.Errorf("core: group remap requires the compressed format")
+	}
+	fe.ctr.GroupRemap++
+
+	x := fe.format.X()
+	base := TagAddr(parent.Tag) << fe.logX
+	bound := fe.blocksAtLevel(childLevel)
+
+	type childState struct {
+		tag     uint64
+		leaf    uint64
+		counter uint64
+		live    bool
+	}
+	olds := make([]childState, x)
+	for k := 0; k < x; k++ {
+		addr := base + uint64(k)
+		if addr >= bound {
+			continue
+		}
+		t := Tag(childLevel, addr)
+		olds[k] = childState{
+			tag:     t,
+			leaf:    cf.ChildLeaf(parent.Block, t, k),
+			counter: cf.ChildCounter(parent.Block, k),
+			live:    true,
+		}
+	}
+
+	cf.BumpGroup(parent.Block)
+
+	for k := 0; k < x; k++ {
+		if !olds[k].live {
+			continue
+		}
+		t := olds[k].tag
+		newLeaf := cf.ChildLeaf(parent.Block, t, k)
+		newCounter := cf.ChildCounter(parent.Block, k)
+
+		// A PosMap-block child sitting in the PLB is outside the tree: its
+		// recorded position just moves with the group, no access needed.
+		if childLevel >= 1 && fe.plb != nil {
+			if e := fe.plb.Contains(t); e != nil {
+				e.Leaf = newLeaf
+				e.Counter = newCounter
+				continue
+			}
+		}
+
+		var vErr error
+		old := olds[k]
+		_, err := fe.access(backend.Request{
+			Op: backend.OpRead, Addr: t, Leaf: old.leaf, NewLeaf: newLeaf,
+			PosMap: childLevel >= 1,
+			Update: func(payload []byte, found bool) []byte {
+				block, err := fe.checkFetched(t, old.counter, payload, found)
+				if err != nil {
+					vErr = err
+					return payload
+				}
+				return fe.seal(t, newCounter, block)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		if vErr != nil {
+			return vErr
+		}
+	}
+	return nil
+}
+
+var _ Frontend = (*PLBFrontend)(nil)

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"freecursive/internal/backend"
+	"freecursive/internal/posmap"
+	"freecursive/internal/stats"
+)
+
+// RecursiveFrontend is the Recursive ORAM baseline of §3.2 as architected
+// by [26] (the paper's R_X8): H-1 PosMap ORAMs in separate physical trees
+// plus the Data ORAM. Every access walks on-chip PosMap → ORam_{H-1} → … →
+// ORam_1 → ORam_0, like a full page-table walk.
+type RecursiveFrontend struct {
+	orams  []backend.Backend // index 0 = Data ORAM, 1..H-1 = PosMap ORAMs
+	fmts   []*posmap.UncompressedFormat
+	onchip *posmap.OnChip
+	logX   uint
+	h      int
+	ctr    *stats.Counters
+	rng    *rand.Rand
+
+	// OnBackendAccess, if set, observes every backend access as the
+	// adversary would: which physical ORAM was touched and on which leaf.
+	// Used by the §4.1.2 leakage demonstration.
+	OnBackendAccess func(oramIndex int, leaf uint64)
+}
+
+// RecursiveConfig parameterizes the baseline.
+type RecursiveConfig struct {
+	// Backends, one per recursion level; Backends[0] is the Data ORAM.
+	// Each PosMap ORAM i (i >= 1) must have BlockBytes >= X*4.
+	Backends []backend.Backend
+	// LogX is log2(X), the leaves per PosMap block (X=8 → 3).
+	LogX uint
+	// NBlocks is the data-block capacity N.
+	NBlocks uint64
+	// Rand drives leaf remapping.
+	Rand *rand.Rand
+	// Counters is the shared stat sink (defaults to Backends[0].Counters()).
+	Counters *stats.Counters
+}
+
+// NewRecursive builds the baseline frontend. The recursion depth H is
+// len(Backends); the on-chip PosMap gets ceil(N / X^(H-1)) entries.
+func NewRecursive(cfg RecursiveConfig) (*RecursiveFrontend, error) {
+	h := len(cfg.Backends)
+	if h < 1 {
+		return nil, fmt.Errorf("core: recursive frontend needs >= 1 backend")
+	}
+	if cfg.LogX < 1 || cfg.LogX > 16 {
+		return nil, fmt.Errorf("core: logX=%d outside [1,16]", cfg.LogX)
+	}
+	if cfg.NBlocks == 0 {
+		return nil, fmt.Errorf("core: NBlocks must be positive")
+	}
+	if cfg.Rand == nil {
+		return nil, fmt.Errorf("core: Rand is required")
+	}
+	x := 1 << cfg.LogX
+
+	fmts := make([]*posmap.UncompressedFormat, h)
+	for i := 1; i < h; i++ {
+		g := cfg.Backends[i].Geometry()
+		if g.BlockBytes < x*posmap.LeafSlotBytes {
+			return nil, fmt.Errorf("core: ORam_%d block %dB cannot hold X=%d leaves",
+				i, g.BlockBytes, x)
+		}
+		// Leaves stored in ORam_i point into ORam_{i-1}.
+		f, err := posmap.NewUncompressedFormat(x, cfg.Backends[i-1].Geometry().L)
+		if err != nil {
+			return nil, err
+		}
+		fmts[i] = f
+	}
+
+	top := TopEntries(cfg.NBlocks, cfg.LogX, h)
+	onchip, err := posmap.NewOnChipLeaf(top, cfg.Backends[h-1].Geometry().L)
+	if err != nil {
+		return nil, err
+	}
+
+	ctr := cfg.Counters
+	if ctr == nil {
+		ctr = cfg.Backends[0].Counters()
+	}
+	return &RecursiveFrontend{
+		orams:  cfg.Backends,
+		fmts:   fmts,
+		onchip: onchip,
+		logX:   cfg.LogX,
+		h:      h,
+		ctr:    ctr,
+		rng:    cfg.Rand,
+	}, nil
+}
+
+// H returns the recursion depth (total ORAM count).
+func (r *RecursiveFrontend) H() int { return r.h }
+
+// OnChipEntries returns the on-chip PosMap entry count.
+func (r *RecursiveFrontend) OnChipEntries() uint64 { return r.onchip.Entries() }
+
+// OnChipBits returns the on-chip PosMap size in bits.
+func (r *RecursiveFrontend) OnChipBits() uint64 { return r.onchip.SizeBits() }
+
+// Counters implements Frontend.
+func (r *RecursiveFrontend) Counters() *stats.Counters { return r.ctr }
+
+// Access implements Frontend: a full Recursive ORAM access (§3.2).
+func (r *RecursiveFrontend) Access(a0 uint64, write bool, data []byte) ([]byte, error) {
+	r.ctr.Accesses++
+
+	// Root of the walk: the on-chip PosMap holds the leaf for block
+	// a_{H-1} of ORam_{H-1} (the Data ORAM itself when H == 1).
+	top := AddrAtLevel(a0, r.logX, r.h-1)
+	curLeaf := r.onchip.Leaf(top, top, r.rng)
+	newLeaf := r.onchip.Remap(top, top, r.rng)
+
+	// Walk down the PosMap ORAMs: each access is a read-modify-write that
+	// extracts the child's current leaf and remaps it in place.
+	for i := r.h - 1; i >= 1; i-- {
+		j := ChildIndex(AddrAtLevel(a0, r.logX, i-1), r.logX)
+		f := r.fmts[i]
+		var childLeaf, childNew uint64
+		req := backend.Request{
+			Op:      backend.OpRead,
+			Addr:    AddrAtLevel(a0, r.logX, i),
+			Leaf:    curLeaf,
+			NewLeaf: newLeaf,
+			PosMap:  true,
+			Update: func(old []byte, found bool) []byte {
+				if !found {
+					f.Init(old, r.rng)
+				}
+				childLeaf = f.ChildLeaf(old, 0, j)
+				childNew, _ = f.Remap(old, 0, j, r.rng)
+				return old
+			},
+		}
+		if r.OnBackendAccess != nil {
+			r.OnBackendAccess(i, curLeaf)
+		}
+		if _, err := r.orams[i].Access(req); err != nil {
+			return nil, fmt.Errorf("core: ORam_%d: %w", i, err)
+		}
+		curLeaf, newLeaf = childLeaf, childNew
+	}
+
+	// Data ORAM access.
+	req := backend.Request{
+		Op:      backend.OpRead,
+		Addr:    a0,
+		Leaf:    curLeaf,
+		NewLeaf: newLeaf,
+	}
+	if write {
+		req.Op = backend.OpWrite
+		req.Data = data
+	}
+	if r.OnBackendAccess != nil {
+		r.OnBackendAccess(0, curLeaf)
+	}
+	res, err := r.orams[0].Access(req)
+	if err != nil {
+		return nil, fmt.Errorf("core: ORam_0: %w", err)
+	}
+	return res.Data, nil
+}
+
+var _ Frontend = (*RecursiveFrontend)(nil)

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"freecursive/internal/crypt"
+)
+
+func allSchemes() []Scheme {
+	return []Scheme{SchemeRecursive, SchemeP, SchemePC, SchemePI, SchemePIC}
+}
+
+// testParams returns a small but non-trivial configuration.
+func testParams(s Scheme, functional bool) Params {
+	return Params{
+		Scheme:            s,
+		NBlocks:           1 << 12,
+		DataBytes:         64,
+		Z:                 4,
+		OnChipBudgetBytes: 256, // force real recursion even at small N
+		PLBCapacityBytes:  2 << 10,
+		Functional:        functional,
+		EncScheme:         crypt.SeedGlobal,
+		Seed:              7,
+	}
+}
+
+// TestReadYourWrites drives every scheme with a random op mix against a
+// reference flat memory, in both functional and accounting modes.
+func TestReadYourWrites(t *testing.T) {
+	for _, functional := range []bool{true, false} {
+		for _, s := range allSchemes() {
+			name := fmt.Sprintf("%v/functional=%v", s, functional)
+			t.Run(name, func(t *testing.T) {
+				p := testParams(s, functional)
+				sys, err := Build(p)
+				if err != nil {
+					t.Fatalf("Build: %v", err)
+				}
+				t.Logf("scheme=%s H=%d onchip=%dB", p.Name(), sys.H, sys.OnChipBits/8)
+
+				ref := make(map[uint64][]byte)
+				rng := rand.New(rand.NewPCG(42, 0))
+				const ops = 4000
+				for i := 0; i < ops; i++ {
+					addr := rng.Uint64() % p.NBlocks
+					if rng.IntN(2) == 0 { // write
+						data := make([]byte, p.DataBytes)
+						for j := range data {
+							data[j] = byte(rng.Uint64())
+						}
+						if _, err := sys.Frontend.Access(addr, true, data); err != nil {
+							t.Fatalf("op %d write %#x: %v", i, addr, err)
+						}
+						ref[addr] = data
+					} else { // read
+						got, err := sys.Frontend.Access(addr, false, nil)
+						if err != nil {
+							t.Fatalf("op %d read %#x: %v", i, addr, err)
+						}
+						want, ok := ref[addr]
+						if !ok {
+							want = make([]byte, p.DataBytes)
+						}
+						if !bytes.Equal(got, want) {
+							t.Fatalf("op %d read %#x: got %x want %x", i, addr, got[:8], want[:8])
+						}
+					}
+				}
+				c := sys.Counters
+				if c.Accesses != ops {
+					t.Errorf("accesses=%d want %d", c.Accesses, ops)
+				}
+				if c.Violations != 0 {
+					t.Errorf("unexpected integrity violations: %d", c.Violations)
+				}
+				if functional && c.StashOverflow != 0 {
+					t.Errorf("stash overflowed %d times (max=%d)", c.StashOverflow, c.StashMax)
+				}
+				t.Logf("%s", c.String())
+			})
+		}
+	}
+}

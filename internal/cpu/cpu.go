@@ -1,0 +1,211 @@
+// Package cpu is the trace-driven processor model of Table 1 (the Graphite
+// substitute): an in-order, single-issue core with a two-level cache
+// hierarchy whose LLC misses and dirty evictions go to main memory — either
+// plain DRAM (the insecure baseline) or an ORAM frontend.
+//
+// Timing model: every instruction retires in one cycle; memory operations
+// add the hierarchy latency (L1 2 cycles, L2 11 cycles, from Table 1's
+// data+tag access times) and block on main-memory accesses. ORAM accesses
+// cost Frontend latency + (backend accesses × (tree path latency + Backend
+// latency)), with the tree path latency taken from the DRAM model exactly
+// as §7.1.1 derives it.
+package cpu
+
+import (
+	"fmt"
+
+	"freecursive/internal/backend"
+	"freecursive/internal/cachesim"
+	"freecursive/internal/core"
+	"freecursive/internal/dram"
+	"freecursive/internal/trace"
+)
+
+// Memory is main memory behind the LLC. Addresses are line-aligned byte
+// addresses; the return value is the access latency in CPU cycles.
+type Memory interface {
+	Read(lineAddr uint64) (float64, error)
+	Write(lineAddr uint64) (float64, error)
+}
+
+// Config holds core timing parameters (Table 1 defaults via DefaultConfig).
+type Config struct {
+	CPUGHz      float64
+	L1HitCycles float64
+	L2HitCycles float64
+	LineBytes   int
+}
+
+// DefaultConfig returns the Table 1 processor: 1.3 GHz, L1 1+1 cycles,
+// L2 8+3 cycles, 64-byte lines.
+func DefaultConfig() Config {
+	return Config{CPUGHz: 1.3, L1HitCycles: 2, L2HitCycles: 11, LineBytes: 64}
+}
+
+// Result summarizes a simulation run.
+type Result struct {
+	Benchmark    string
+	Instructions uint64
+	MemOps       uint64
+	Cycles       float64
+	LLCMisses    uint64
+	LLCWrites    uint64 // dirty evictions written to memory
+	MemCycles    float64
+}
+
+// CPI returns cycles per instruction.
+func (r Result) CPI() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return r.Cycles / float64(r.Instructions)
+}
+
+// MPKI returns LLC misses per kilo-instruction.
+func (r Result) MPKI() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return 1000 * float64(r.LLCMisses) / float64(r.Instructions)
+}
+
+// Hierarchy abstracts the cache stack so callers can inject a custom one
+// (e.g. the Phantom block buffer of §7.1.6).
+type Hierarchy interface {
+	Access(addr uint64, write bool) cachesim.Outcome
+}
+
+// Run simulates nOps memory operations from gen after a warmup of
+// warmupOps (warmup accesses touch the caches and memory state but are not
+// counted).
+func Run(gen trace.Generator, hier Hierarchy, m Memory, cfg Config, warmupOps, nOps int) (Result, error) {
+	res := Result{Benchmark: gen.Name()}
+	for i := 0; i < warmupOps+nOps; i++ {
+		op := gen.Next()
+		counted := i >= warmupOps
+
+		out := hier.Access(op.Addr, op.Write)
+		var memCycles float64
+		if out.MemRead {
+			c, err := m.Read(out.MemReadAt)
+			if err != nil {
+				return res, fmt.Errorf("cpu: mem read: %w", err)
+			}
+			memCycles += c
+			if counted {
+				res.LLCMisses++
+			}
+		}
+		for _, wa := range out.MemWrites {
+			c, err := m.Write(wa)
+			if err != nil {
+				return res, fmt.Errorf("cpu: mem write: %w", err)
+			}
+			memCycles += c
+			if counted {
+				res.LLCWrites++
+			}
+		}
+
+		if !counted {
+			continue
+		}
+		res.Instructions += uint64(op.Gap) + 1
+		res.MemOps++
+		res.Cycles += float64(op.Gap) // non-memory instructions, 1 cycle each
+		switch {
+		case out.L1Hit:
+			res.Cycles += cfg.L1HitCycles
+		case out.L2Hit:
+			res.Cycles += cfg.L2HitCycles
+		default:
+			res.Cycles += cfg.L2HitCycles + memCycles
+		}
+		res.MemCycles += memCycles
+	}
+	return res, nil
+}
+
+// --- main-memory models -----------------------------------------------------
+
+// InsecureDRAM services LLC misses straight from the DRAM model.
+type InsecureDRAM struct {
+	Sim    *dram.Sim
+	CPUGHz float64
+}
+
+// Read implements Memory.
+func (m *InsecureDRAM) Read(a uint64) (float64, error) {
+	return m.Sim.CPUCycles(m.Sim.LineAccess(a), m.CPUGHz), nil
+}
+
+// Write implements Memory.
+func (m *InsecureDRAM) Write(a uint64) (float64, error) {
+	return m.Sim.CPUCycles(m.Sim.LineAccess(a), m.CPUGHz), nil
+}
+
+// ORAMMemory services LLC misses through an ORAM frontend, charging the
+// measured per-tree path latencies per backend access plus the fixed
+// Frontend/Backend pipeline latencies from the hardware prototype (§7.1.1).
+type ORAMMemory struct {
+	Sys *core.System
+	// PathCPU[i] is the average path latency (CPU cycles) of backend i.
+	PathCPU []float64
+	// FrontendCPU and BackendCPU are the fixed per-access latencies
+	// (Table 1: 20 and 30 cycles).
+	FrontendCPU float64
+	BackendCPU  float64
+	lineShift   uint
+}
+
+// NewORAMMemory wires a built system to its DRAM-derived path latencies.
+// lineBytes must equal the ORAM data block size (the paper couples them).
+func NewORAMMemory(sys *core.System, dcfg dram.Config, cpuGHz float64, lineBytes int) (*ORAMMemory, error) {
+	if lineBytes != sys.Params.DataBytes {
+		return nil, fmt.Errorf("cpu: line %dB != ORAM block %dB", lineBytes, sys.Params.DataBytes)
+	}
+	shift := uint(0)
+	for 1<<shift < lineBytes {
+		shift++
+	}
+	m := &ORAMMemory{
+		Sys:         sys,
+		FrontendCPU: 20,
+		BackendCPU:  30,
+		lineShift:   shift,
+	}
+	for i, be := range sys.Backends {
+		g := be.Geometry()
+		m.PathCPU = append(m.PathCPU, dram.EstimatePathCPUCycles(
+			dcfg, g, backend.WireBucketBytes(g), cpuGHz, 200, 97+uint64(i)))
+	}
+	return m, nil
+}
+
+func (m *ORAMMemory) access(lineAddr uint64, write bool) (float64, error) {
+	blockAddr := (lineAddr >> m.lineShift) % m.Sys.Params.NBlocks
+	before := *m.Sys.Counters
+	if _, err := m.Sys.Frontend.Access(blockAddr, write, nil); err != nil {
+		return 0, err
+	}
+	d := m.Sys.Counters.Delta(before)
+
+	cycles := m.FrontendCPU
+	if len(m.PathCPU) == 1 {
+		// Unified tree: every backend access walks the same tree.
+		cycles += float64(d.BackendAccesses) * (m.PathCPU[0] + m.BackendCPU)
+	} else {
+		// Recursive baseline: exactly one access per tree per ORAM access.
+		for _, p := range m.PathCPU {
+			cycles += p + m.BackendCPU
+		}
+	}
+	return cycles, nil
+}
+
+// Read implements Memory.
+func (m *ORAMMemory) Read(a uint64) (float64, error) { return m.access(a, false) }
+
+// Write implements Memory. LLC dirty evictions are full ORAM write
+// accesses, exactly like misses (§7.1.4 counts "LLC miss+eviction").
+func (m *ORAMMemory) Write(a uint64) (float64, error) { return m.access(a, true) }

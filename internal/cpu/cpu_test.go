@@ -1,0 +1,146 @@
+package cpu
+
+import (
+	"testing"
+
+	"freecursive/internal/cachesim"
+	"freecursive/internal/core"
+	"freecursive/internal/dram"
+	"freecursive/internal/trace"
+)
+
+func testMix() trace.Mix {
+	return trace.Mix{
+		Name: "test", WorkingSet: 32 << 20,
+		PRegion: 0.97, PRand: 0.03,
+		RegionBytes: 128 << 10,
+		MemFrac:     0.4, WriteFrac: 0.3,
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	run := func() Result {
+		gen, _ := trace.New(testMix(), 9)
+		h, _ := cachesim.NewHierarchy(64)
+		m := &InsecureDRAM{Sim: dram.New(dram.DefaultConfig(2)), CPUGHz: 1.3}
+		r, err := Run(gen, h, m, DefaultConfig(), 5000, 20000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestInsecureCPISanity(t *testing.T) {
+	gen, _ := trace.New(testMix(), 9)
+	h, _ := cachesim.NewHierarchy(64)
+	m := &InsecureDRAM{Sim: dram.New(dram.DefaultConfig(2)), CPUGHz: 1.3}
+	r, err := Run(gen, h, m, DefaultConfig(), 5000, 30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CPI() < 1 {
+		t.Fatalf("CPI %.2f below 1 (impossible for in-order core)", r.CPI())
+	}
+	if r.CPI() > 20 {
+		t.Fatalf("CPI %.2f absurdly high for this mix", r.CPI())
+	}
+	if r.Instructions == 0 || r.MemOps != 30000 {
+		t.Fatalf("bookkeeping: %+v", r)
+	}
+}
+
+// TestORAMCostModel: for the recursive baseline, every LLC miss costs
+// exactly Frontend + sum(paths) + H*Backend cycles — verify against a
+// hand-computed access.
+func TestORAMCostModel(t *testing.T) {
+	sys, err := core.Build(core.Params{
+		Scheme: core.SchemeRecursive, NBlocks: 1 << 20, DataBytes: 64,
+		HOverride: 3, Functional: false, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewORAMMemory(sys, dram.DefaultConfig(2), 1.3, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.FrontendCPU
+	for _, p := range m.PathCPU {
+		want += p + m.BackendCPU
+	}
+	got, err := m.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("recursive access cost %.1f, want %.1f", got, want)
+	}
+	if len(m.PathCPU) != 3 {
+		t.Fatalf("expected 3 per-tree latencies, got %d", len(m.PathCPU))
+	}
+	// PosMap trees are smaller: their paths must be cheaper than the data
+	// tree's.
+	if m.PathCPU[1] >= m.PathCPU[0] || m.PathCPU[2] >= m.PathCPU[1] {
+		t.Fatalf("path latencies not decreasing up the recursion: %v", m.PathCPU)
+	}
+}
+
+// TestORAMCostFollowsBackendAccesses: for the PLB frontend the cycle charge
+// scales with the number of backend accesses the access triggered.
+func TestORAMCostFollowsBackendAccesses(t *testing.T) {
+	sys, err := core.Build(core.Params{
+		Scheme: core.SchemePC, NBlocks: 1 << 20, DataBytes: 64,
+		OnChipBudgetBytes: 256, PLBCapacityBytes: 4 << 10,
+		Functional: false, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewORAMMemory(sys, dram.DefaultConfig(2), 1.3, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cold access: misses all PLB levels -> H backend accesses.
+	cold, _ := m.Read(0)
+	// Immediately repeated access: PLB hit at level 0 -> 1 backend access.
+	warm, _ := m.Read(64) // next line, same PosMap block
+	if warm >= cold {
+		t.Fatalf("PLB-hit access (%.0f) not cheaper than cold (%.0f)", warm, cold)
+	}
+	one := m.FrontendCPU + m.PathCPU[0] + m.BackendCPU
+	if warm != one {
+		t.Fatalf("warm access %.1f, want exactly one path %.1f", warm, one)
+	}
+}
+
+func TestLineSizeMismatchRejected(t *testing.T) {
+	sys, err := core.Build(core.Params{
+		Scheme: core.SchemePC, NBlocks: 1 << 16, DataBytes: 64,
+		OnChipBudgetBytes: 256, PLBCapacityBytes: 4 << 10, Functional: false, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewORAMMemory(sys, dram.DefaultConfig(2), 1.3, 128); err == nil {
+		t.Fatal("line/block mismatch accepted")
+	}
+}
+
+// TestWarmupNotCounted: results must cover only the measured window.
+func TestWarmupNotCounted(t *testing.T) {
+	gen, _ := trace.New(testMix(), 9)
+	h, _ := cachesim.NewHierarchy(64)
+	m := &InsecureDRAM{Sim: dram.New(dram.DefaultConfig(2)), CPUGHz: 1.3}
+	r, err := Run(gen, h, m, DefaultConfig(), 10000, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MemOps != 5000 {
+		t.Fatalf("mem ops %d, want 5000", r.MemOps)
+	}
+}

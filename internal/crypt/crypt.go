@@ -1,0 +1,224 @@
+// Package crypt provides the cryptographic primitives the paper builds on:
+//
+//   - PRF_K implemented with AES-128 (§5.1), used to derive leaf labels from
+//     compressed PosMap counters and PMMAC counters.
+//   - MAC_K implemented with keyed SHA3-224 (§6.1), truncated to a
+//     configurable tag size, used by PMMAC.
+//   - Probabilistic bucket encryption with AES counter mode (§3.1), in both
+//     the per-bucket-seed scheme of [26] and the global-seed scheme that
+//     fixes the one-time-pad replay attack (§6.4).
+package crypt
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/sha3"
+	"encoding/binary"
+	"fmt"
+)
+
+// PRF is a pseudorandom function keyed with AES-128. Inputs are a pair of
+// 64-bit words (typically block address and access counter); the output is a
+// 64-bit word. PRF is deterministic for a fixed key.
+type PRF struct {
+	block cipher.Block
+}
+
+// NewPRF builds a PRF from a 16-byte key.
+func NewPRF(key []byte) (*PRF, error) {
+	if len(key) != 16 {
+		return nil, fmt.Errorf("crypt: PRF key must be 16 bytes, got %d", len(key))
+	}
+	b, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	return &PRF{block: b}, nil
+}
+
+// Eval computes PRF_K(a || c) and returns the low 64 bits of the AES output.
+func (p *PRF) Eval(a, c uint64) uint64 {
+	var in, out [16]byte
+	binary.BigEndian.PutUint64(in[0:8], a)
+	binary.BigEndian.PutUint64(in[8:16], c)
+	p.block.Encrypt(out[:], in[:])
+	return binary.BigEndian.Uint64(out[0:8])
+}
+
+// Leaf computes PRF_K(a || c) mod 2^levels, i.e. a leaf label for an ORAM
+// tree with 2^levels leaves (§5.2.1).
+func (p *PRF) Leaf(a, c uint64, levels int) uint64 {
+	if levels <= 0 {
+		return 0
+	}
+	if levels >= 64 {
+		return p.Eval(a, c)
+	}
+	return p.Eval(a, c) & ((1 << uint(levels)) - 1)
+}
+
+// MAC computes keyed SHA3-224 tags over (counter || address || data) tuples,
+// truncated to TagBytes, following the PMMAC construction h = MAC_K(c‖a‖d).
+// SHA3 is safe to key by prefixing, unlike SHA-2 which would need HMAC.
+type MAC struct {
+	key      []byte
+	tagBytes int
+}
+
+// DefaultTagBytes is the tag size used throughout the evaluation: 128 bits,
+// inside the paper's 80-128 bit range (§6.3).
+const DefaultTagBytes = 16
+
+// NewMAC builds a MAC with the given key and tag truncation. tagBytes must
+// be in [8, 28] (SHA3-224 emits 28 bytes).
+func NewMAC(key []byte, tagBytes int) (*MAC, error) {
+	if len(key) == 0 {
+		return nil, fmt.Errorf("crypt: MAC key must be non-empty")
+	}
+	if tagBytes < 8 || tagBytes > 28 {
+		return nil, fmt.Errorf("crypt: MAC tag size %d outside [8,28]", tagBytes)
+	}
+	k := make([]byte, len(key))
+	copy(k, key)
+	return &MAC{key: k, tagBytes: tagBytes}, nil
+}
+
+// TagBytes returns the truncated tag size in bytes.
+func (m *MAC) TagBytes() int { return m.tagBytes }
+
+// Sum computes MAC_K(c || a || d).
+func (m *MAC) Sum(c, a uint64, d []byte) []byte {
+	h := sha3.New224()
+	h.Write(m.key)
+	var hdr [16]byte
+	binary.BigEndian.PutUint64(hdr[0:8], c)
+	binary.BigEndian.PutUint64(hdr[8:16], a)
+	h.Write(hdr[:])
+	h.Write(d)
+	return h.Sum(nil)[:m.tagBytes]
+}
+
+// Verify reports whether tag is a valid MAC for (c, a, d). It compares the
+// full truncated tag; the simulation does not need constant time.
+func (m *MAC) Verify(tag []byte, c, a uint64, d []byte) bool {
+	want := m.Sum(c, a, d)
+	if len(tag) != len(want) {
+		return false
+	}
+	for i := range want {
+		if tag[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SeedScheme selects how encryption seeds (AES-CTR counters) are managed.
+type SeedScheme int
+
+const (
+	// SeedPerBucket stores a plaintext per-bucket seed that increments on
+	// every re-encryption, as in [26]. Vulnerable to the seed-replay /
+	// one-time-pad-reuse attack of §6.4 when the adversary is active.
+	SeedPerBucket SeedScheme = iota
+	// SeedGlobal uses a single monotonic counter in the ORAM controller;
+	// every bucket encryption consumes fresh seed values (§6.4 fix).
+	SeedGlobal
+)
+
+func (s SeedScheme) String() string {
+	switch s {
+	case SeedPerBucket:
+		return "per-bucket"
+	case SeedGlobal:
+		return "global"
+	default:
+		return fmt.Sprintf("SeedScheme(%d)", int(s))
+	}
+}
+
+// BucketCipher performs probabilistic encryption of serialized buckets.
+// Ciphertexts are laid out as seed (8 bytes, plaintext) || body. The body is
+// AES-CTR encrypted with an IV derived from the seed and, for the per-bucket
+// scheme, the bucket ID.
+type BucketCipher struct {
+	block      cipher.Block
+	scheme     SeedScheme
+	globalSeed uint64 // next seed for SeedGlobal
+}
+
+// SeedBytes is the plaintext seed prefix length of every sealed bucket.
+const SeedBytes = 8
+
+// NewBucketCipher builds a bucket cipher from a 16-byte AES key.
+func NewBucketCipher(key []byte, scheme SeedScheme) (*BucketCipher, error) {
+	if len(key) != 16 {
+		return nil, fmt.Errorf("crypt: bucket key must be 16 bytes, got %d", len(key))
+	}
+	b, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	return &BucketCipher{block: b, scheme: scheme, globalSeed: 1}, nil
+}
+
+// Scheme returns the seed scheme in use.
+func (bc *BucketCipher) Scheme() SeedScheme { return bc.scheme }
+
+// GlobalSeed returns the controller's current global seed register value.
+func (bc *BucketCipher) GlobalSeed() uint64 { return bc.globalSeed }
+
+func (bc *BucketCipher) pad(bucketID, seed uint64, body []byte, out []byte) {
+	// IV layout: bucketID (48 bits) || seed (48 bits) || chunk counter (32
+	// bits, advanced by CTR mode across the body). For the global-seed
+	// scheme the bucket ID is deliberately excluded: freshness comes from
+	// the monotonic controller counter alone (§6.4). Seeds and bucket IDs
+	// beyond 2^48 are unreachable in simulation.
+	if bc.scheme == SeedGlobal {
+		bucketID = 0
+	}
+	var iv [16]byte
+	putUint48(iv[0:6], bucketID)
+	putUint48(iv[6:12], seed)
+	ctr := cipher.NewCTR(bc.block, iv[:])
+	ctr.XORKeyStream(out, body)
+}
+
+func putUint48(dst []byte, v uint64) {
+	for i := 5; i >= 0; i-- {
+		dst[i] = byte(v)
+		v >>= 8
+	}
+}
+
+// Seal encrypts body for the bucket with the given ID. For SeedPerBucket the
+// new seed is prevSeed+1 where prevSeed is the seed the bucket was last
+// sealed with (0 for never); for SeedGlobal the controller register is used
+// and incremented. The result is seed || ciphertext.
+func (bc *BucketCipher) Seal(bucketID, prevSeed uint64, body []byte) []byte {
+	var seed uint64
+	switch bc.scheme {
+	case SeedPerBucket:
+		seed = prevSeed + 1
+	case SeedGlobal:
+		seed = bc.globalSeed
+		bc.globalSeed++
+	}
+	out := make([]byte, SeedBytes+len(body))
+	binary.BigEndian.PutUint64(out[0:SeedBytes], seed)
+	bc.pad(bucketID, seed, body, out[SeedBytes:])
+	return out
+}
+
+// Open decrypts a sealed bucket, returning the body and the seed it was
+// sealed under. Open trusts nothing: the seed is read from the (possibly
+// tampered) ciphertext, exactly as a real controller must.
+func (bc *BucketCipher) Open(bucketID uint64, sealed []byte) (body []byte, seed uint64, err error) {
+	if len(sealed) < SeedBytes {
+		return nil, 0, fmt.Errorf("crypt: sealed bucket too short (%d bytes)", len(sealed))
+	}
+	seed = binary.BigEndian.Uint64(sealed[0:SeedBytes])
+	body = make([]byte, len(sealed)-SeedBytes)
+	bc.pad(bucketID, seed, sealed[SeedBytes:], body)
+	return body, seed, nil
+}

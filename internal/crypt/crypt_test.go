@@ -1,0 +1,232 @@
+package crypt
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func testKey(b byte) []byte {
+	k := make([]byte, 16)
+	for i := range k {
+		k[i] = b + byte(i)
+	}
+	return k
+}
+
+func TestPRFKeyValidation(t *testing.T) {
+	if _, err := NewPRF([]byte("short")); err == nil {
+		t.Fatal("expected error for short key")
+	}
+	if _, err := NewPRF(testKey(1)); err != nil {
+		t.Fatalf("valid key rejected: %v", err)
+	}
+}
+
+func TestPRFDeterministic(t *testing.T) {
+	p1, _ := NewPRF(testKey(1))
+	p2, _ := NewPRF(testKey(1))
+	for i := uint64(0); i < 100; i++ {
+		if p1.Eval(i, i*3) != p2.Eval(i, i*3) {
+			t.Fatalf("PRF not deterministic at %d", i)
+		}
+	}
+}
+
+func TestPRFKeySeparation(t *testing.T) {
+	p1, _ := NewPRF(testKey(1))
+	p2, _ := NewPRF(testKey(2))
+	same := 0
+	for i := uint64(0); i < 256; i++ {
+		if p1.Eval(i, 0) == p2.Eval(i, 0) {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions between different keys", same)
+	}
+}
+
+// TestPRFLeafRange is the §5.2.1 requirement: leaves must be valid labels
+// for a tree with 2^levels leaves, for every input.
+func TestPRFLeafRange(t *testing.T) {
+	p, _ := NewPRF(testKey(3))
+	f := func(a, c uint64, lraw uint8) bool {
+		levels := int(lraw % 64)
+		leaf := p.Leaf(a, c, levels)
+		if levels == 0 {
+			return leaf == 0
+		}
+		return leaf < 1<<uint(levels)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPRFLeafUniform checks the low bits look balanced — the property the
+// Path ORAM security argument rests on.
+func TestPRFLeafUniform(t *testing.T) {
+	p, _ := NewPRF(testKey(4))
+	const n = 20000
+	ones := 0
+	for i := 0; i < n; i++ {
+		ones += int(p.Leaf(uint64(i), 7, 20) & 1)
+	}
+	if ones < n*45/100 || ones > n*55/100 {
+		t.Fatalf("leaf LSB biased: %d/%d ones", ones, n)
+	}
+}
+
+func TestMACValidation(t *testing.T) {
+	if _, err := NewMAC(nil, 16); err == nil {
+		t.Fatal("empty key accepted")
+	}
+	if _, err := NewMAC(testKey(1), 4); err == nil {
+		t.Fatal("tiny tag accepted")
+	}
+	if _, err := NewMAC(testKey(1), 64); err == nil {
+		t.Fatal("oversized tag accepted")
+	}
+}
+
+func TestMACRoundTrip(t *testing.T) {
+	m, _ := NewMAC(testKey(5), 16)
+	d := []byte("some block data")
+	tag := m.Sum(9, 42, d)
+	if len(tag) != 16 {
+		t.Fatalf("tag length %d", len(tag))
+	}
+	if !m.Verify(tag, 9, 42, d) {
+		t.Fatal("genuine tag rejected")
+	}
+}
+
+// TestMACRejects covers every field PMMAC binds: counter, address, data,
+// and the tag itself (§6.2.1: h = MAC_K(c||a||d)).
+func TestMACRejects(t *testing.T) {
+	m, _ := NewMAC(testKey(5), 16)
+	d := []byte("some block data")
+	tag := m.Sum(9, 42, d)
+
+	if m.Verify(tag, 10, 42, d) {
+		t.Error("accepted wrong counter (replay!)")
+	}
+	if m.Verify(tag, 9, 43, d) {
+		t.Error("accepted wrong address")
+	}
+	d2 := bytes.Clone(d)
+	d2[0] ^= 1
+	if m.Verify(tag, 9, 42, d2) {
+		t.Error("accepted tampered data")
+	}
+	tag2 := bytes.Clone(tag)
+	tag2[5] ^= 0x80
+	if m.Verify(tag2, 9, 42, d) {
+		t.Error("accepted tampered tag")
+	}
+	if m.Verify(tag[:8], 9, 42, d) {
+		t.Error("accepted truncated tag")
+	}
+}
+
+func TestMACKeySeparation(t *testing.T) {
+	m1, _ := NewMAC(testKey(1), 16)
+	m2, _ := NewMAC(testKey(9), 16)
+	tag := m1.Sum(1, 2, []byte("x"))
+	if m2.Verify(tag, 1, 2, []byte("x")) {
+		t.Fatal("tag verified under a different key")
+	}
+}
+
+func TestBucketCipherRoundTrip(t *testing.T) {
+	for _, scheme := range []SeedScheme{SeedPerBucket, SeedGlobal} {
+		bc, err := NewBucketCipher(testKey(7), scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := []byte("bucket contents with some slack....")
+		sealed := bc.Seal(3, 0, body)
+		got, seed, err := bc.Open(3, sealed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, body) {
+			t.Fatalf("%v: roundtrip mismatch", scheme)
+		}
+		if seed == 0 {
+			t.Fatalf("%v: zero seed on first seal", scheme)
+		}
+	}
+}
+
+// TestProbabilisticEncryption: resealing the same plaintext must give a
+// different ciphertext (the §3.1 indistinguishability requirement).
+func TestProbabilisticEncryption(t *testing.T) {
+	for _, scheme := range []SeedScheme{SeedPerBucket, SeedGlobal} {
+		bc, _ := NewBucketCipher(testKey(7), scheme)
+		body := []byte("same plaintext body")
+		c1 := bc.Seal(3, 0, body)
+		_, seed1, _ := bc.Open(3, c1)
+		c2 := bc.Seal(3, seed1, body)
+		if bytes.Equal(c1[SeedBytes:], c2[SeedBytes:]) {
+			t.Fatalf("%v: identical ciphertexts for same plaintext", scheme)
+		}
+	}
+}
+
+// TestSeedReplayPadReuse demonstrates the §6.4 attack surface: under
+// SeedPerBucket, a replayed seed reuses the one-time pad; under SeedGlobal
+// it cannot.
+func TestSeedReplayPadReuse(t *testing.T) {
+	xorLeak := func(scheme SeedScheme) bool {
+		bc, _ := NewBucketCipher(testKey(7), scheme)
+		d1 := []byte("AAAAAAAAAAAAAAAA")
+		d2 := []byte("BBBBBBBBBBBBBBBB")
+		c1 := bc.Seal(7, 0, d1)
+		// Adversary makes the controller believe the previous seed was 0
+		// again, so the per-bucket scheme re-derives the same pad.
+		c2 := bc.Seal(7, 0, d2)
+		for i := range d1 {
+			if c1[SeedBytes+i]^c2[SeedBytes+i] != d1[i]^d2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if !xorLeak(SeedPerBucket) {
+		t.Error("per-bucket scheme should exhibit pad reuse under seed replay")
+	}
+	if xorLeak(SeedGlobal) {
+		t.Error("global-seed scheme must never reuse a pad")
+	}
+}
+
+func TestOpenTooShort(t *testing.T) {
+	bc, _ := NewBucketCipher(testKey(7), SeedGlobal)
+	if _, _, err := bc.Open(0, []byte{1, 2, 3}); err == nil {
+		t.Fatal("short ciphertext accepted")
+	}
+}
+
+func TestGlobalSeedMonotonic(t *testing.T) {
+	bc, _ := NewBucketCipher(testKey(7), SeedGlobal)
+	prev := uint64(0)
+	for i := 0; i < 50; i++ {
+		sealed := bc.Seal(uint64(i%3), 12345, []byte("x")) // prevSeed ignored
+		_, seed, _ := bc.Open(uint64(i%3), sealed)
+		if seed <= prev {
+			t.Fatalf("global seed not monotonic: %d after %d", seed, prev)
+		}
+		prev = seed
+	}
+}
+
+func TestSeedSchemeString(t *testing.T) {
+	if SeedPerBucket.String() != "per-bucket" || SeedGlobal.String() != "global" {
+		t.Fatal("unexpected scheme names")
+	}
+	if SeedScheme(9).String() == "" {
+		t.Fatal("unknown scheme should still print")
+	}
+}

@@ -1,0 +1,223 @@
+// Package dram is a cycle-approximate DDR3 timing model standing in for
+// DRAMSim2 (§7.1.1). It models the three properties the paper's latency
+// numbers rest on:
+//
+//   - peak bandwidth of ~10.67 GB/s per channel (DDR3-1333, 64-bit bus),
+//   - the row-buffer: row hits cost CAS only, misses pay precharge+activate,
+//   - channel/bank-level parallelism with sub-linear scaling (Table 2).
+//
+// Addresses are mapped with the packed-subtree layout of [26] (see
+// tree.SubtreeLayout) so most of a path's buckets stream out of open rows.
+package dram
+
+import (
+	"math/rand/v2"
+
+	"freecursive/internal/tree"
+)
+
+// Timing holds DDR3 command timings in DRAM command-clock cycles (667 MHz
+// for DDR3-1333: 1.5 ns per cycle).
+type Timing struct {
+	TCKNs float64 // clock period in ns
+	CL    uint64  // CAS latency
+	TRCD  uint64  // RAS-to-CAS
+	TRP   uint64  // precharge
+	TBst  uint64  // data bus busy per 64-byte line (BL8 = 4 clocks)
+	TCtrl uint64  // fixed controller/queueing overhead per request
+	TPath uint64  // fixed controller overhead per full path access
+}
+
+// DDR3_1333 is the default timing (Micron DDR3-1333H-ish, matching the
+// DRAMSim2 default configuration the paper uses).
+func DDR3_1333() Timing {
+	return Timing{TCKNs: 1.5, CL: 9, TRCD: 9, TRP: 9, TBst: 4, TCtrl: 2, TPath: 42}
+}
+
+// Config sizes the memory system.
+type Config struct {
+	Channels int
+	Banks    int    // banks per channel
+	RowBytes uint64 // row-buffer size
+	Timing   Timing
+}
+
+// DefaultConfig matches the paper's DRAMSim2 setup: 8 banks, 16384 rows,
+// 1024 columns x 64 bits = 8 KB rows, per channel.
+func DefaultConfig(channels int) Config {
+	return Config{Channels: channels, Banks: 8, RowBytes: 8192, Timing: DDR3_1333()}
+}
+
+// LineBytes is the transfer granularity (one BL8 burst on a 64-bit bus).
+const LineBytes = 64
+
+type bank struct {
+	openRow int64 // -1: closed
+	readyAt uint64
+}
+
+type channel struct {
+	banks   []bank
+	busFree uint64
+}
+
+// Sim is the memory-system simulator. It is sequential: requests are issued
+// in program order (the in-order core of Table 1 blocks on misses), and the
+// absolute clock advances monotonically.
+type Sim struct {
+	cfg Config
+	ch  []channel
+	now uint64 // absolute DRAM cycles
+}
+
+// New builds a simulator.
+func New(cfg Config) *Sim {
+	s := &Sim{cfg: cfg, ch: make([]channel, cfg.Channels)}
+	for i := range s.ch {
+		s.ch[i].banks = make([]bank, cfg.Banks)
+		for b := range s.ch[i].banks {
+			s.ch[i].banks[b].openRow = -1
+		}
+	}
+	return s
+}
+
+// Config returns the configuration.
+func (s *Sim) Config() Config { return s.cfg }
+
+// coord maps a physical byte address to (channel, bank, row). Channels
+// interleave at line (64-byte burst) granularity — the Phantom-style
+// backend drives a 64*nchannel-bit datapath, striping each bucket across
+// all channels — and a packed subtree then occupies one row in every
+// channel, preserving row-buffer locality.
+func (s *Sim) coord(addr uint64) (chIdx, bankIdx int, row int64) {
+	lineID := addr / LineBytes
+	chIdx = int(lineID % uint64(s.cfg.Channels))
+	perCh := lineID / uint64(s.cfg.Channels)
+	rowID := perCh / (s.cfg.RowBytes / LineBytes)
+	bankIdx = int(rowID % uint64(s.cfg.Banks))
+	row = int64(rowID / uint64(s.cfg.Banks))
+	return
+}
+
+// request issues one 64-byte line transfer at absolute time atLeast and
+// returns its completion time. Reads and writes share the simplified
+// datapath model.
+func (s *Sim) request(addr uint64, atLeast uint64) uint64 {
+	t := &s.cfg.Timing
+	chIdx, bankIdx, row := s.coord(addr)
+	ch := &s.ch[chIdx]
+	bk := &ch.banks[bankIdx]
+
+	start := max64(atLeast, bk.readyAt)
+	var ready uint64
+	if bk.openRow == row {
+		ready = start + t.CL // row hit
+	} else if bk.openRow == -1 {
+		ready = start + t.TRCD + t.CL // closed: activate
+	} else {
+		ready = start + t.TRP + t.TRCD + t.CL // conflict: precharge + activate
+	}
+	bk.openRow = row
+
+	dataStart := max64(ready, ch.busFree)
+	done := dataStart + t.TBst + t.TCtrl
+	ch.busFree = dataStart + t.TBst
+	// CAS commands pipeline: the next command to this bank may issue while
+	// this burst is still on the bus, so that back-to-back row hits stream
+	// at the burst rate (tCCD), not at CL intervals.
+	next := dataStart + t.TBst
+	if next >= t.CL {
+		next -= t.CL
+	}
+	bk.readyAt = max64(next, start)
+	return done
+}
+
+// LineAccess performs a single 64-byte access (the insecure baseline's LLC
+// miss) and returns its latency in DRAM cycles.
+func (s *Sim) LineAccess(addr uint64) uint64 {
+	done := s.request(addr, s.now)
+	lat := done - s.now
+	s.now = done
+	return lat
+}
+
+// PathAccess performs a full ORAM path read + write for the given leaf:
+// every bucket on the path is streamed in (buckets split into 64-byte
+// lines), then written back. Requests across channels proceed in parallel;
+// the returned latency is the critical path in DRAM cycles.
+func (s *Sim) PathAccess(layout tree.SubtreeLayout, leaf uint64) uint64 {
+	start := s.now
+	finish := start
+
+	lines := int(layout.BucketBytes+LineBytes-1) / LineBytes
+	// Read sweep then write sweep, root to leaf: the order the backend
+	// streams buckets. Each request is issued as early as its channel
+	// allows; `start` is the issue time for all (the controller has the
+	// whole path's addresses up front).
+	for pass := 0; pass < 2; pass++ {
+		for level := 0; level <= layout.Geom.L; level++ {
+			base := layout.PhysAddr(leaf, level)
+			for l := 0; l < lines; l++ {
+				done := s.request(base+uint64(l*LineBytes), start)
+				finish = max64(finish, done)
+			}
+		}
+	}
+	finish += s.cfg.Timing.TPath
+	s.now = finish
+	return finish - start
+}
+
+// CyclesToNs converts DRAM cycles to nanoseconds.
+func (s *Sim) CyclesToNs(c uint64) float64 { return float64(c) * s.cfg.Timing.TCKNs }
+
+// CPUCycles converts DRAM cycles to CPU cycles at cpuGHz.
+func (s *Sim) CPUCycles(c uint64, cpuGHz float64) float64 {
+	return s.CyclesToNs(c) * cpuGHz
+}
+
+// PeakBandwidthGBs returns the theoretical peak bandwidth across channels.
+func (s *Sim) PeakBandwidthGBs() float64 {
+	perChannel := float64(LineBytes) / (float64(s.cfg.Timing.TBst) * s.cfg.Timing.TCKNs) // B/ns
+	return perChannel * float64(s.cfg.Channels)
+}
+
+// EstimatePathCPUCycles Monte-Carlo-averages the CPU-cycle latency of a
+// path access for the given bucket geometry, sampling uniform leaves. This
+// is how experiments derive the "ORAM Tree latency" of Table 2.
+func EstimatePathCPUCycles(cfg Config, g tree.Geometry, wireBucketBytes uint64,
+	cpuGHz float64, samples int, seed uint64) float64 {
+
+	s := New(cfg)
+	layout := tree.NewSubtreeLayout(g, wireBucketBytes, cfg.RowBytes)
+	rng := rand.New(rand.NewPCG(seed, 0xd7a3))
+	var total float64
+	for i := 0; i < samples; i++ {
+		leaf := rng.Uint64() & (uint64(1)<<uint(g.L) - 1)
+		total += s.CPUCycles(s.PathAccess(layout, leaf), cpuGHz)
+	}
+	return total / float64(samples)
+}
+
+// EstimateLineCPUCycles averages the latency of independent single-line
+// accesses at random addresses (the insecure baseline's DRAM latency).
+func EstimateLineCPUCycles(cfg Config, cpuGHz float64, samples int, seed uint64) float64 {
+	s := New(cfg)
+	rng := rand.New(rand.NewPCG(seed, 0x11e5))
+	span := uint64(cfg.Channels) * uint64(cfg.Banks) * 16384 * cfg.RowBytes
+	var total float64
+	for i := 0; i < samples; i++ {
+		addr := rng.Uint64() % span &^ (LineBytes - 1)
+		total += float64(s.LineAccess(addr)) * cfg.Timing.TCKNs * cpuGHz
+	}
+	return total / float64(samples)
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,80 @@
+package exp
+
+import (
+	"testing"
+
+	"freecursive/internal/cachesim"
+	"freecursive/internal/cpu"
+	"freecursive/internal/dram"
+	"freecursive/internal/trace"
+)
+
+// TestWorkloadMPKIBands pins each synthetic benchmark's LLC miss rate to
+// the band its SPEC06 counterpart occupies on a 1 MB LLC (DESIGN.md §4).
+// If a trace-generator change drifts a personality out of its band, the
+// figures lose their meaning — this test is the canary.
+func TestWorkloadMPKIBands(t *testing.T) {
+	bands := map[string][2]float64{
+		"astar":      {1.5, 5},
+		"bzip2":      {2.5, 7},
+		"gcc":        {1, 4},
+		"gobmk":      {0.4, 2},
+		"h264ref":    {0.8, 3},
+		"hmmer":      {0.2, 1.2},
+		"libquantum": {8, 18},
+		"mcf":        {5, 12},
+		"omnetpp":    {3.5, 9},
+		"perlbench":  {0.6, 2.5},
+		"sjeng":      {0.8, 2.5},
+	}
+	cfg := cpu.DefaultConfig()
+	for _, mix := range trace.SPEC06() {
+		gen, err := trace.New(mix, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := cachesim.NewHierarchy(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := &cpu.InsecureDRAM{Sim: dram.New(dram.DefaultConfig(2)), CPUGHz: cfg.CPUGHz}
+		r, err := cpu.Run(gen, h, m, cfg, 60_000, 200_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		band, ok := bands[mix.Name]
+		if !ok {
+			t.Fatalf("no MPKI band for %s", mix.Name)
+		}
+		if mpki := r.MPKI(); mpki < band[0] || mpki > band[1] {
+			t.Errorf("%s: MPKI %.2f outside band [%.1f, %.1f]", mix.Name, mpki, band[0], band[1])
+		}
+		if cpi := r.CPI(); cpi < 1 || cpi > 12 {
+			t.Errorf("%s: insecure CPI %.2f implausible", mix.Name, cpi)
+		}
+	}
+}
+
+// TestWorkloadOrdering pins the relative facts the figures rest on.
+func TestWorkloadOrdering(t *testing.T) {
+	cfg := cpu.DefaultConfig()
+	mpki := map[string]float64{}
+	for _, mix := range trace.SPEC06() {
+		gen, _ := trace.New(mix, 11)
+		h, _ := cachesim.NewHierarchy(64)
+		m := &cpu.InsecureDRAM{Sim: dram.New(dram.DefaultConfig(2)), CPUGHz: cfg.CPUGHz}
+		r, err := cpu.Run(gen, h, m, cfg, 40_000, 120_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mpki[mix.Name] = r.MPKI()
+	}
+	// libquantum and mcf are the memory hogs; hmmer and gobmk the light ones.
+	for _, heavy := range []string{"libquantum", "mcf"} {
+		for _, light := range []string{"hmmer", "gobmk"} {
+			if mpki[heavy] <= mpki[light] {
+				t.Errorf("%s (%.1f) should out-miss %s (%.1f)", heavy, mpki[heavy], light, mpki[light])
+			}
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package exp
+
+import (
+	"fmt"
+
+	"freecursive/internal/core"
+	"freecursive/internal/crypt"
+	"freecursive/internal/posmap"
+)
+
+// Compression reproduces the §5.3 analysis: the compressed PosMap raises X
+// from 16 to 32 for 512-bit blocks (α=64, β=14), shrinking recursion depth
+// and bounding worst-case group-remap overhead at X'/2^β = 0.2%. The
+// worst-case bound is verified empirically by hammering a single block (the
+// adversarial pattern of §5.2.2) through a functional PIC ORAM.
+func Compression(accesses int) (*Table, error) {
+	t := &Table{
+		ID:    "compression",
+		Title: "Compressed PosMap: fan-out, recursion depth, and group-remap overhead",
+		Note: "Paper §5.3: X'=32 for 512-bit blocks regardless of L (vs X=16\n" +
+			"uncompressed for L=17..32); worst-case remap overhead X'/2^14 = 0.2%.",
+		Header: []string{"quantity", "uncompressed", "compressed", "paper"},
+	}
+
+	const b = 64 // block bytes
+	xu := posmap.UncompressedXFor(b)
+	xc := posmap.CompressedXFor(b, 14)
+	t.AddRow("X (children per PosMap block)", fmt.Sprintf("%d", xu), fmt.Sprintf("%d", xc), "16 vs 32")
+
+	hu := core.RecursionDepth(1<<26, 4, (8<<10)*8/25) // leaf-mode entries in 8 KB
+	hc := core.RecursionDepth(1<<26, 5, (8<<10)*8/25) // X=32
+	t.AddRow("recursion depth H (4 GB, 8 KB budget)", fmt.Sprintf("%d", hu), fmt.Sprintf("%d", hc), "compressed needs fewer")
+
+	worst := float64(xc) / float64(uint64(1)<<14)
+	t.AddRow("worst-case remap overhead (analytic)", "-", fmt.Sprintf("%.2f%%", 100*worst), "0.2%")
+
+	// Empirical worst case (§5.2.2): request the same block forever. Every
+	// 2^β accesses its individual counter rolls over, forcing X extra
+	// backend accesses for the group remap.
+	if accesses < 1<<15 {
+		accesses = 1 << 15 // need at least one rollover at β=14
+	}
+	sys, err := core.Build(core.Params{
+		Scheme: core.SchemePIC, NBlocks: 1 << 12, DataBytes: 64,
+		OnChipBudgetBytes: 64, Functional: false, Seed: 9,
+		EncScheme: crypt.SeedGlobal,
+	})
+	if err != nil {
+		return nil, err
+	}
+	before := *sys.Counters
+	for i := 0; i < accesses; i++ {
+		if _, err := sys.Frontend.Access(42, false, nil); err != nil {
+			return nil, err
+		}
+	}
+	d := sys.Counters.Delta(before)
+	remapAccesses := float64(d.GroupRemap) * float64(sys.XVal)
+	measured := remapAccesses / float64(accesses)
+	t.AddRow(fmt.Sprintf("same-block hammer x%d (measured)", accesses),
+		"-", fmt.Sprintf("%.2f%% extra accesses", 100*measured),
+		fmt.Sprintf("X/2^beta = %.2f%%", 100*worst))
+	return t, nil
+}

@@ -1,0 +1,277 @@
+package exp
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// num parses a formatted cell ("61.8%", "1.43", "37.0 (58%)") to its
+// leading float.
+func num(s string) float64 {
+	s = strings.TrimSpace(s)
+	if i := strings.IndexAny(s, "%( "); i > 0 {
+		s = s[:i]
+	}
+	v, _ := strconv.ParseFloat(s, 64)
+	return v
+}
+
+// TestFigure3Shape asserts the three structural facts of Figure 3: PosMap
+// overhead grows with capacity, small blocks suffer more, and a bigger
+// on-chip PosMap dampens the effect.
+func TestFigure3Shape(t *testing.T) {
+	tb := Figure3()
+	t.Log("\n" + tb.String())
+	first, last := tb.Rows[0], tb.Rows[len(tb.Rows)-1]
+	for col := 1; col <= 4; col++ {
+		if num(last[col]) <= num(first[col]) {
+			t.Errorf("column %d not growing with capacity", col)
+		}
+	}
+	for _, r := range tb.Rows {
+		if num(r[1]) <= num(r[2]) {
+			t.Errorf("log2=%s: b64 (%s) should exceed b128 (%s)", r[0], r[1], r[2])
+		}
+		if num(r[1]) < num(r[3]) {
+			t.Errorf("log2=%s: pm8 (%s) should be >= pm256 (%s)", r[0], r[1], r[3])
+		}
+		// The paper's 4 GB anchor: roughly half the bytes go to PosMaps.
+		if r[0] == "32" && (num(r[1]) < 45 || num(r[1]) > 75) {
+			t.Errorf("4GB b64_pm8 = %s, expected roughly half-ish", r[1])
+		}
+	}
+}
+
+// TestTable2Matches asserts each channel count lands within 10% of the
+// paper's DRAMSim2 latency.
+func TestTable2Matches(t *testing.T) {
+	tb, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tb.String())
+	for _, r := range tb.Rows {
+		got, paper := num(r[1]), num(r[2])
+		if got < paper*0.9 || got > paper*1.1 {
+			t.Errorf("%s channels: %v cycles vs paper %v", r[0], got, paper)
+		}
+		if ins := num(r[3]); ins < 40 || ins > 85 {
+			t.Errorf("insecure latency %v implausible", ins)
+		}
+	}
+}
+
+// TestTable3Matches asserts every area percentage is within 4 points of
+// the paper's post-synthesis value (cells are "model% (paper%)").
+func TestTable3Matches(t *testing.T) {
+	tb := Table3()
+	t.Log("\n" + tb.String())
+	for _, r := range tb.Rows[:len(tb.Rows)-1] { // skip the mm^2 row
+		for col := 1; col <= 3; col++ {
+			cell := r[col]
+			model := num(cell)
+			open := strings.Index(cell, "(")
+			paper := num(cell[open+1:])
+			if d := model - paper; d > 4 || d < -4 {
+				t.Errorf("%s col %d: model %.1f vs paper %.1f", r[0], col, model, paper)
+			}
+		}
+	}
+	t.Log("\n" + Table3Alt().String())
+}
+
+// TestHashBandwidthHeadline asserts the >=68x reduction (§6.3).
+func TestHashBandwidthHeadline(t *testing.T) {
+	tb, err := HashBandwidth(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tb.String())
+	measured := num(strings.TrimSuffix(tb.Rows[0][3], "x"))
+	if measured < 68 {
+		t.Errorf("measured reduction %.0fx below the paper's 68x", measured)
+	}
+	l32 := num(strings.TrimSuffix(tb.Rows[3][3], "x"))
+	if l32 < 132 {
+		t.Errorf("L=32 analytic reduction %.0fx below the paper's 132x", l32)
+	}
+}
+
+// TestCompressionHeadlines asserts X'=32 and the 0.2% remap bound.
+func TestCompressionHeadlines(t *testing.T) {
+	tb, err := Compression(1 << 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tb.String())
+	if tb.Rows[0][1] != "16" || tb.Rows[0][2] != "32" {
+		t.Errorf("X row: %v", tb.Rows[0])
+	}
+	if num(tb.Rows[2][2]) > 0.25 {
+		t.Errorf("analytic remap overhead %s exceeds 0.2%%-ish", tb.Rows[2][2])
+	}
+	if num(tb.Rows[3][2]) > 0.3 {
+		t.Errorf("measured remap overhead %s too high", tb.Rows[3][2])
+	}
+}
+
+func TestTheory54(t *testing.T) {
+	tb, err := Theory54(4 << 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tb.String())
+	// Both constructions must show the 1/B overhead decay.
+	if num(tb.Rows[0][1]) <= num(tb.Rows[len(tb.Rows)-1][1]) {
+		t.Error("recursive overhead should fall with B")
+	}
+}
+
+// --- simulation figures (shape assertions at quick scale) -------------------
+
+func TestFigure5Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf sweep")
+	}
+	tb, err := Figure5(QuickScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tb.String())
+	best := map[string]float64{}
+	for _, r := range tb.Rows {
+		best[r[0]] = num(r[4]) // 128K column
+		for c := 2; c <= 4; c++ {
+			if num(r[c]) > num(r[c-1])+0.02 {
+				t.Errorf("%s: runtime grew with PLB capacity (%s -> %s)", r[0], r[c-1], r[c])
+			}
+		}
+	}
+	// bzip2 and mcf are the standout gainers (Figure 5's finding).
+	for _, name := range []string{"bzip2", "mcf"} {
+		if best[name] > 0.90 {
+			t.Errorf("%s should gain >10%% at 128K, got %.3f", name, best[name])
+		}
+	}
+	for _, name := range []string{"hmmer", "h264ref"} {
+		if best[name] < 0.9 {
+			t.Errorf("%s gained implausibly much: %.3f", name, best[name])
+		}
+	}
+}
+
+func TestFigure6Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf sweep")
+	}
+	tb, err := Figure6(QuickScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tb.String())
+	n := len(tb.Rows)
+	speedup := num(tb.Rows[n-2][1])
+	overhead := num(tb.Rows[n-1][1])
+	if speedup < 1.25 || speedup > 1.65 {
+		t.Errorf("PC over R speedup %.2f outside [1.25,1.65] (paper 1.43)", speedup)
+	}
+	if overhead < 1.02 || overhead > 1.15 {
+		t.Errorf("PIC over PC overhead %.2f outside [1.02,1.15] (paper 1.07)", overhead)
+	}
+	for _, r := range tb.Rows[:11] {
+		if num(r[3]) < num(r[2])-0.01 {
+			t.Errorf("%s: integrity made it faster?! PC=%s PIC=%s", r[0], r[2], r[3])
+		}
+	}
+}
+
+func TestFigure7Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf sweep")
+	}
+	tb, err := Figure7(Scale{Warmup: 30_000, Ops: 50_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tb.String())
+	get := func(row, col int) float64 { return num(tb.Rows[row][col]) }
+	// Every PLB scheme beats R_X8 at every capacity; compression beats its
+	// uncompressed sibling.
+	for col := 1; col <= 3; col++ {
+		for row := 1; row < 5; row++ {
+			if get(row, col) >= get(0, col) {
+				t.Errorf("scheme %s not cheaper than R_X8 at col %d", tb.Rows[row][0], col)
+			}
+		}
+		if get(2, col) >= get(1, col) {
+			t.Errorf("PC_X32 should beat P_X16 at col %d", col)
+		}
+		if get(4, col) >= get(3, col) {
+			t.Errorf("PIC_X32 should beat PI_X8 at col %d", col)
+		}
+	}
+	// R_X8's 64 GB point must exceed its 4 GB point by a wide margin.
+	if get(0, 3) < get(0, 1)*1.3 {
+		t.Error("R_X8 does not degrade with capacity as Figure 7 shows")
+	}
+}
+
+func TestFigure8Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf sweep")
+	}
+	tb, err := Figure8(QuickScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tb.String())
+	n := len(tb.Rows)
+	sp64 := num(tb.Rows[n-4][1])
+	sp32 := num(tb.Rows[n-3][1])
+	if sp64 < 1.15 || sp64 > 1.55 {
+		t.Errorf("PC_X64 speedup %.2f outside [1.15,1.55] (paper 1.27)", sp64)
+	}
+	if sp32 < 1.15 || sp32 > 1.55 {
+		t.Errorf("PC_X32 speedup %.2f outside [1.15,1.55] (paper 1.27)", sp32)
+	}
+}
+
+func TestFigure9Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf sweep")
+	}
+	tb, err := Figure9(QuickScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tb.String())
+	// The per-access byte ratio is the mechanism behind the 10x claim.
+	ratioRow := tb.Rows[len(tb.Rows)-1]
+	if r := num(ratioRow[1]); r > 5 {
+		t.Errorf("PC/Phantom bytes-per-access ratio %.1f%% too high (paper ~2.1%%)", r)
+	}
+	// Pointer-chasing benchmarks see the big Phantom penalty.
+	for _, r := range tb.Rows {
+		if r[0] == "mcf" && num(r[1]) < 5 {
+			t.Errorf("mcf speedup over Phantom %.1f too small", num(r[1]))
+		}
+	}
+}
+
+func TestFigure5AssocQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf sweep")
+	}
+	tb, err := Figure5Assoc(QuickScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tb.String())
+	for _, r := range tb.Rows {
+		// Paper: fully associative buys <=10% — direct-mapped is enough.
+		if num(r[3]) < 0.85 {
+			t.Errorf("%s: 16-way gained more than 15%%: %s", r[0], r[3])
+		}
+	}
+}

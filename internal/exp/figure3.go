@@ -1,0 +1,74 @@
+package exp
+
+import (
+	"fmt"
+
+	"freecursive/internal/backend"
+	"freecursive/internal/tree"
+)
+
+// recursionBytes computes, analytically, the bytes moved per full Recursive
+// ORAM access (§3.2.1): the Data ORAM path plus every PosMap ORAM path.
+// blockBytes is the data block size; posMapBlk the PosMap ORAM block size
+// (32 B for X=8, following [26]); onChipBudget bounds the on-chip PosMap.
+func recursionBytes(capacityBytes uint64, blockBytes, posMapBlk, z int,
+	onChipBudget uint64) (data, posmap uint64, h int) {
+
+	n := capacityBytes / uint64(blockBytes)
+	x := uint64(posMapBlk / 4) // 4-byte leaves
+	dataLevels := tree.LevelsForCapacity(n, z)
+
+	// Depth: entries at the top times leaf width must fit the budget.
+	h = 1
+	top := n
+	for {
+		lTop := dataLevels
+		if h > 1 {
+			lTop = tree.LevelsForCapacity(top, z)
+		}
+		if top*uint64(lTop) <= onChipBudget*8 {
+			break
+		}
+		h++
+		top = (top + x - 1) / x
+	}
+
+	g, _ := tree.NewGeometry(dataLevels, z, blockBytes)
+	data = backend.PathWireBytes(g)
+
+	ni := n
+	for i := 1; i < h; i++ {
+		ni = (ni + x - 1) / x
+		gi, _ := tree.NewGeometry(tree.LevelsForCapacity(ni, z), z, posMapBlk)
+		posmap += backend.PathWireBytes(gi)
+	}
+	return data, posmap, h
+}
+
+// Figure3 reproduces the percentage of bytes read from PosMap ORAMs in a
+// full Recursive ORAM access, for X=8 and Z=4, sweeping Data ORAM capacity,
+// with block sizes 64 B / 128 B and on-chip PosMaps of 8 KB / 256 KB.
+func Figure3() *Table {
+	t := &Table{
+		ID:    "figure-3",
+		Title: "% of access bytes from PosMap ORAMs (Recursive ORAM, X=8, Z=4)",
+		Note: "Series bXX_pmYY: XX-byte blocks, YY-KB on-chip PosMap.\n" +
+			"Paper reports 39%-56% at 4 GB (log2=32) depending on block size,\n" +
+			"growing with capacity; kinks appear when another PosMap ORAM is added.",
+		Header: []string{"log2(capacity B)", "b64_pm8", "b128_pm8", "b64_pm256", "b128_pm256"},
+	}
+	type series struct {
+		block  int
+		budget uint64
+	}
+	cols := []series{{64, 8 << 10}, {128, 8 << 10}, {64, 256 << 10}, {128, 256 << 10}}
+	for lg := 30; lg <= 40; lg++ {
+		row := []string{fmt.Sprintf("%d", lg)}
+		for _, c := range cols {
+			data, posmap, _ := recursionBytes(uint64(1)<<uint(lg), c.block, 32, 4, c.budget)
+			row = append(row, pct(float64(posmap)/float64(posmap+data)))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

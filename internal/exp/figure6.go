@@ -1,0 +1,63 @@
+package exp
+
+import (
+	"freecursive/internal/core"
+	"freecursive/internal/cpu"
+	"freecursive/internal/trace"
+)
+
+// fig6Scheme describes one bar series of Figure 6.
+type fig6Scheme struct {
+	label string
+	param core.Params
+}
+
+func fig6Schemes() []fig6Scheme {
+	// R_X8 follows [26]: 32-byte PosMap ORAM blocks, H=4, which yields the
+	// 272 KB on-chip PosMap the paper quotes. PC/PIC recurse until the
+	// on-chip PosMap is <=128 KB (§7.1.4).
+	return []fig6Scheme{
+		{"R_X8", core.Params{Scheme: core.SchemeRecursive, NBlocks: 1 << 26, DataBytes: 64, HOverride: 4, Seed: 5}},
+		{"PC_X32", core.Params{Scheme: core.SchemePC, NBlocks: 1 << 26, DataBytes: 64, OnChipBudgetBytes: 128 << 10, PLBCapacityBytes: 64 << 10, Seed: 5}},
+		{"PIC_X32", core.Params{Scheme: core.SchemePIC, NBlocks: 1 << 26, DataBytes: 64, OnChipBudgetBytes: 128 << 10, PLBCapacityBytes: 64 << 10, Seed: 5}},
+	}
+}
+
+// Figure6 reproduces the main result: slowdown of R_X8, PC_X32 and PIC_X32
+// relative to an insecure (no-ORAM) system, per benchmark, on 2 DRAM
+// channels, 4 GB ORAM.
+func Figure6(sc Scale) (*Table, error) {
+	t := &Table{
+		ID:    "figure-6",
+		Title: "Slowdown vs insecure DRAM (4 GB ORAM, 2 channels)",
+		Note: "Paper: PC_X32 achieves 1.43x geomean speedup over R_X8; PIC_X32 adds\n" +
+			"~7% over PC_X32 for integrity. Worst benchmark slowdown 17.5x.",
+		Header: []string{"benchmark", "R_X8", "PC_X32", "PIC_X32", "mpki"},
+	}
+	cfg := cpu.DefaultConfig()
+	schemes := fig6Schemes()
+
+	slows := make([][]float64, len(schemes))
+	for _, mix := range trace.SPEC06() {
+		ins, err := runInsecure(mix, 2, cfg, sc, 977)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{mix.Name}
+		for i, s := range schemes {
+			r, err := runORAM(mix, s.param, 2, cfg, sc, 977)
+			if err != nil {
+				return nil, err
+			}
+			sd := r.Cycles / ins.Cycles
+			slows[i] = append(slows[i], sd)
+			row = append(row, f2(sd))
+		}
+		row = append(row, f1(ins.MPKI()))
+		t.AddRow(row...)
+	}
+	t.AddRow("geomean", f2(geomean(slows[0])), f2(geomean(slows[1])), f2(geomean(slows[2])), "")
+	t.AddRow("PC_X32 speedup over R_X8", f2(geomean(slows[0])/geomean(slows[1])), "", "", "")
+	t.AddRow("PIC_X32 overhead over PC_X32", f2(geomean(slows[2])/geomean(slows[1])), "", "", "")
+	return t, nil
+}

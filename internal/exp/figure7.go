@@ -1,0 +1,65 @@
+package exp
+
+import (
+	"fmt"
+
+	"freecursive/internal/core"
+	"freecursive/internal/cpu"
+	"freecursive/internal/trace"
+)
+
+// Figure7 reproduces the capacity-scaling study: average data moved per
+// ORAM access (KB), split into PosMap and data traffic, for five schemes at
+// 4/16/64 GB. The accounting backend makes the 64 GB point simulable.
+func Figure7(sc Scale) (*Table, error) {
+	t := &Table{
+		ID:    "figure-7",
+		Title: "Data moved per ORAM access (KB), SPEC average; posmap share in parens",
+		Note: "Paper: at 4 GB, PC_X32 cuts PosMap traffic 82% and total 38% vs R_X8;\n" +
+			"at 64 GB the cuts grow to 90% and 57%. PI_X8 spends nearly half its\n" +
+			"bytes on PosMap; PIC_X32 fixes that.",
+		Header: []string{"scheme", "4GB", "16GB", "64GB"},
+	}
+	cfg := cpu.DefaultConfig()
+
+	type schemeDef struct {
+		label  string
+		scheme core.Scheme
+		budget int
+	}
+	schemes := []schemeDef{
+		{"R_X8", core.SchemeRecursive, 256 << 10}, // paper grants R up to 256 KB on-chip
+		{"P_X16", core.SchemeP, 128 << 10},
+		{"PC_X32", core.SchemePC, 128 << 10},
+		{"PI_X8", core.SchemePI, 128 << 10},
+		{"PIC_X32", core.SchemePIC, 128 << 10},
+	}
+	capacities := []uint64{4 << 30, 16 << 30, 64 << 30}
+
+	for _, s := range schemes {
+		row := []string{s.label}
+		for _, capBytes := range capacities {
+			var totalBPA, posFrac float64
+			n := 0
+			for _, mix := range trace.SPEC06() {
+				p := core.Params{
+					Scheme: s.scheme, NBlocks: capBytes / 64, DataBytes: 64,
+					OnChipBudgetBytes: s.budget, PLBCapacityBytes: 64 << 10,
+					Functional: false, Seed: 7,
+				}
+				r, err := runORAM(mix, p, 2, cfg, sc, 977)
+				if err != nil {
+					return nil, err
+				}
+				totalBPA += r.ORAM.BytesPerAccess()
+				posFrac += r.ORAM.PosMapFraction()
+				n++
+			}
+			totalBPA /= float64(n)
+			posFrac /= float64(n)
+			row = append(row, fmt.Sprintf("%.1f (%.0f%%)", totalBPA/1024, 100*posFrac))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}

@@ -1,0 +1,89 @@
+package exp
+
+import (
+	"fmt"
+
+	"freecursive/internal/core"
+	"freecursive/internal/cpu"
+	"freecursive/internal/trace"
+)
+
+// Figure8 reproduces the apples-to-apples comparison with [26]: all of that
+// work's parameters (4 DRAM channels, 2.6 GHz processor, 128-byte cache
+// lines and ORAM blocks, Z=3). PC_X64 keeps the 128-byte block; PC_X32
+// shows the 64-byte-block alternative (with a matching 64-byte cache line).
+func Figure8(sc Scale) (*Table, error) {
+	t := &Table{
+		ID:    "figure-8",
+		Title: "Slowdown vs insecure with [26]'s parameters (4ch, 2.6 GHz, Z=3)",
+		Note: "Paper: PC_X64 and PC_X32 both achieve ~1.27x geomean speedup over\n" +
+			"R_X8; PC_X64 cuts PosMap traffic 95% and total traffic 37%. Larger\n" +
+			"blocks help good-locality benchmarks (hmmer, libq), hurt poor-locality\n" +
+			"ones (bzip2, mcf, omnetpp). KB/acc columns give data moved per access.",
+		Header: []string{"benchmark", "R_X8", "PC_X64", "PC_X32",
+			"R KB/acc", "PC_X64 KB/acc", "PC_X32 KB/acc"},
+	}
+
+	cfg128 := cpu.Config{CPUGHz: 2.6, L1HitCycles: 2, L2HitCycles: 11, LineBytes: 128}
+	cfg64 := cpu.Config{CPUGHz: 2.6, L1HitCycles: 2, L2HitCycles: 11, LineBytes: 64}
+	const channels = 4
+
+	mk := func(scheme core.Scheme, dataBytes int) core.Params {
+		return core.Params{
+			Scheme: scheme, NBlocks: (4 << 30) / uint64(dataBytes), DataBytes: dataBytes,
+			Z: 3, OnChipBudgetBytes: 128 << 10, PLBCapacityBytes: 64 << 10, Seed: 5,
+		}
+	}
+	pR := mk(core.SchemeRecursive, 128)
+	pR.HOverride = 4
+	p64 := mk(core.SchemePC, 128) // X = (1024-64)/14 -> 64
+	p32 := mk(core.SchemePC, 64)  // X = (512-64)/14 -> 32
+
+	var sR, s64, s32 []float64
+	var posR, pos64, totR, tot64 float64
+	for _, mix := range trace.SPEC06() {
+		ins128, err := runInsecure(mix, channels, cfg128, sc, 977)
+		if err != nil {
+			return nil, err
+		}
+		ins64, err := runInsecure(mix, channels, cfg64, sc, 977)
+		if err != nil {
+			return nil, err
+		}
+		rR, err := runORAM(mix, pR, channels, cfg128, sc, 977)
+		if err != nil {
+			return nil, err
+		}
+		r64, err := runORAM(mix, p64, channels, cfg128, sc, 977)
+		if err != nil {
+			return nil, err
+		}
+		r32, err := runORAM(mix, p32, channels, cfg64, sc, 977)
+		if err != nil {
+			return nil, err
+		}
+
+		// Compare runtimes for the same instruction count: CPI ratios.
+		a := rR.CPI() / ins128.CPI()
+		b := r64.CPI() / ins128.CPI()
+		c := r32.CPI() / ins64.CPI()
+		sR, s64, s32 = append(sR, a), append(s64, b), append(s32, c)
+		posR += float64(rR.ORAM.PosMapBytes)
+		totR += float64(rR.ORAM.TotalBytes())
+		pos64 += float64(r64.ORAM.PosMapBytes)
+		tot64 += float64(r64.ORAM.TotalBytes())
+
+		t.AddRow(mix.Name, f2(a), f2(b), f2(c),
+			f1(rR.ORAM.BytesPerAccess()/1024),
+			f1(r64.ORAM.BytesPerAccess()/1024),
+			f1(r32.ORAM.BytesPerAccess()/1024))
+	}
+	t.AddRow("geomean", f2(geomean(sR)), f2(geomean(s64)), f2(geomean(s32)), "", "", "")
+	t.AddRow("PC_X64 speedup over R_X8", f2(geomean(sR)/geomean(s64)), "", "", "", "", "")
+	t.AddRow("PC_X32 speedup over R_X8", f2(geomean(sR)/geomean(s32)), "", "", "", "", "")
+	posCut := 1 - pos64/posR
+	totCut := 1 - tot64/totR
+	t.AddRow("PC_X64 PosMap traffic cut", fmt.Sprintf("%.0f%%", 100*posCut), "", "", "", "", "")
+	t.AddRow("PC_X64 total traffic cut", fmt.Sprintf("%.0f%%", 100*totCut), "", "", "", "", "")
+	return t, nil
+}

@@ -1,0 +1,159 @@
+package exp
+
+import (
+	"fmt"
+
+	"freecursive/internal/backend"
+	"freecursive/internal/core"
+	"freecursive/internal/cpu"
+	"freecursive/internal/dram"
+	"freecursive/internal/trace"
+	"freecursive/internal/tree"
+)
+
+// phantomMemory models Phantom [21] as evaluated in §7.1.6: a
+// non-Recursive Path ORAM with 4 KB blocks (N=2^20, L=19, Z=4) whose whole
+// PosMap lives on-chip, fronted by a 32 KB block buffer with CLOCK
+// eviction (Section 5.7 of [21]). Every buffer miss costs one 4 KB-block
+// path access; dirty buffer evictions cost another.
+type phantomMemory struct {
+	pathCPU    float64
+	blockShift uint
+	// CLOCK buffer state.
+	slots    []phantomSlot
+	hand     int
+	accesses uint64
+	hits     uint64
+}
+
+type phantomSlot struct {
+	block uint64
+	valid bool
+	ref   bool
+	dirty bool
+}
+
+const (
+	phantomBlockBytes = 4096
+	phantomLevels     = 19
+	phantomBufBlocks  = 32 << 10 / phantomBlockBytes // 8 blocks
+)
+
+func newPhantomMemory(channels int, cpuGHz float64) *phantomMemory {
+	g, _ := tree.NewGeometry(phantomLevels, 4, phantomBlockBytes)
+	lat := dram.EstimatePathCPUCycles(dram.DefaultConfig(channels), g,
+		backend.WireBucketBytes(g), cpuGHz, 60, 3)
+	return &phantomMemory{
+		pathCPU:    lat + 50, // frontend+backend pipeline latency
+		blockShift: 12,
+		slots:      make([]phantomSlot, phantomBufBlocks),
+	}
+}
+
+func (m *phantomMemory) access(lineAddr uint64, write bool) (float64, error) {
+	m.accesses++
+	block := lineAddr >> m.blockShift
+	for i := range m.slots {
+		if m.slots[i].valid && m.slots[i].block == block {
+			m.slots[i].ref = true
+			m.slots[i].dirty = m.slots[i].dirty || write
+			m.hits++
+			return 0, nil
+		}
+	}
+	// Miss: fetch the 4 KB block via ORAM; evict a victim with CLOCK.
+	cycles := m.pathCPU
+	for {
+		s := &m.slots[m.hand]
+		if !s.valid {
+			*s = phantomSlot{block: block, valid: true, ref: true, dirty: write}
+			m.hand = (m.hand + 1) % len(m.slots)
+			break
+		}
+		if s.ref {
+			s.ref = false
+			m.hand = (m.hand + 1) % len(m.slots)
+			continue
+		}
+		if s.dirty {
+			cycles += m.pathCPU // write the dirty victim back through ORAM
+		}
+		*s = phantomSlot{block: block, valid: true, ref: true, dirty: write}
+		m.hand = (m.hand + 1) % len(m.slots)
+		break
+	}
+	return cycles, nil
+}
+
+// Read implements cpu.Memory.
+func (m *phantomMemory) Read(a uint64) (float64, error) { return m.access(a, false) }
+
+// Write implements cpu.Memory.
+func (m *phantomMemory) Write(a uint64) (float64, error) { return m.access(a, true) }
+
+// Figure9 reproduces the Phantom comparison: runtime of the Phantom
+// configuration (4 KB blocks, no recursion, 2 channels) and of the
+// Recursive-ORAM design (the Ascend-style R_X8 baseline) relative to
+// PC_X32, per benchmark. The paper reports ~10x average speedup for PC_X32
+// over Phantom-with-4KB-blocks.
+func Figure9(sc Scale) (*Table, error) {
+	t := &Table{
+		ID:    "figure-9",
+		Title: "PC_X32 speedup (runtime ratio) over Phantom w/ 4 KB blocks and over R_X8",
+		Note: "Paper: ~10x average over Phantom (byte movement ratio ~2.1% explains\n" +
+			"it); 'Ascend' series is the Recursive-ORAM design of [26].",
+		Header: []string{"benchmark", "vs Phantom", "vs Ascend(R_X8)"},
+	}
+	cfgPh := cpu.Config{CPUGHz: 1.3, L1HitCycles: 2, L2HitCycles: 11, LineBytes: 128}
+	cfg64 := cpu.DefaultConfig()
+
+	pPC := core.Params{Scheme: core.SchemePC, NBlocks: 1 << 26, DataBytes: 64,
+		OnChipBudgetBytes: 128 << 10, PLBCapacityBytes: 64 << 10, Seed: 5}
+	pR := core.Params{Scheme: core.SchemeRecursive, NBlocks: 1 << 26, DataBytes: 64,
+		HOverride: 4, Seed: 5}
+
+	var spPh, spR []float64
+	for _, mix := range trace.SPEC06() {
+		// Phantom run (128-byte processor lines, block-buffered 4 KB ORAM).
+		genP, err := trace.New(mix, 977)
+		if err != nil {
+			return nil, err
+		}
+		hP, err := newHierarchy(cfgPh.LineBytes)
+		if err != nil {
+			return nil, err
+		}
+		ph, err := cpu.Run(genP, hP, newPhantomMemory(2, cfgPh.CPUGHz), cfgPh, sc.Warmup, sc.Ops)
+		if err != nil {
+			return nil, err
+		}
+
+		pc, err := runORAM(mix, pPC, 2, cfg64, sc, 977)
+		if err != nil {
+			return nil, err
+		}
+		rr, err := runORAM(mix, pR, 2, cfg64, sc, 977)
+		if err != nil {
+			return nil, err
+		}
+
+		a := ph.CPI() / pc.CPI()
+		b := rr.CPI() / pc.CPI()
+		spPh, spR = append(spPh, a), append(spR, b)
+		t.AddRow(mix.Name, f1(a), f2(b))
+	}
+	t.AddRow("geomean", f1(geomean(spPh)), f2(geomean(spR)))
+
+	// The paper's §7.1.6 headline: byte movement per ORAM access of PC_X32
+	// is ~2.1% of Phantom's ((26*64)/(19*4096)). Ours, measured:
+	gPh, _ := tree.NewGeometry(phantomLevels, 4, phantomBlockBytes)
+	phantomBytes := float64(backend.PathWireBytes(gPh))
+	sysPC, err := core.Build(pPC)
+	if err != nil {
+		return nil, err
+	}
+	gU := sysPC.Backends[0].Geometry()
+	pcBytes := float64(backend.PathWireBytes(gU)) // one unified-tree path
+	t.AddRow("bytes/ORAM access ratio", fmt.Sprintf("%.1f%% (paper ~2.1%%)", 100*pcBytes/phantomBytes), "")
+	return t, nil
+}

@@ -1,0 +1,106 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"freecursive/internal/cachesim"
+	"freecursive/internal/core"
+	"freecursive/internal/cpu"
+	"freecursive/internal/dram"
+	"freecursive/internal/stats"
+	"freecursive/internal/trace"
+)
+
+// Scale controls simulation length. Figures in the paper run 3 B
+// instructions; we run enough memory operations for PLB hit rates and MPKI
+// to stabilize.
+type Scale struct {
+	Warmup int // memory operations before measurement (caches + PLB warm)
+	Ops    int // measured memory operations
+}
+
+// FullScale is used by cmd/figures; QuickScale by the test suite and the
+// benchmark harness (same shapes, looser convergence).
+var (
+	FullScale  = Scale{Warmup: 300_000, Ops: 300_000}
+	QuickScale = Scale{Warmup: 60_000, Ops: 100_000}
+)
+
+// benchRun is one (benchmark, memory system) simulation outcome.
+type benchRun struct {
+	cpu.Result
+	ORAM stats.Counters // zero for insecure runs
+}
+
+// runInsecure simulates a benchmark against plain DRAM.
+func runInsecure(mix trace.Mix, channels int, cfg cpu.Config, sc Scale, seed uint64) (benchRun, error) {
+	gen, err := trace.New(mix, seed)
+	if err != nil {
+		return benchRun{}, err
+	}
+	h, err := cachesim.NewHierarchy(cfg.LineBytes)
+	if err != nil {
+		return benchRun{}, err
+	}
+	m := &cpu.InsecureDRAM{Sim: dram.New(dram.DefaultConfig(channels)), CPUGHz: cfg.CPUGHz}
+	r, err := cpu.Run(gen, h, m, cfg, sc.Warmup, sc.Ops)
+	return benchRun{Result: r}, err
+}
+
+// runORAM simulates a benchmark against an ORAM built from params.
+func runORAM(mix trace.Mix, p core.Params, channels int, cfg cpu.Config, sc Scale, seed uint64) (benchRun, error) {
+	gen, err := trace.New(mix, seed)
+	if err != nil {
+		return benchRun{}, err
+	}
+	h, err := cachesim.NewHierarchy(cfg.LineBytes)
+	if err != nil {
+		return benchRun{}, err
+	}
+	sys, err := core.Build(p)
+	if err != nil {
+		return benchRun{}, err
+	}
+	m, err := cpu.NewORAMMemory(sys, dram.DefaultConfig(channels), cfg.CPUGHz, cfg.LineBytes)
+	if err != nil {
+		return benchRun{}, err
+	}
+	// Warm caches and PLB first, then snapshot the ORAM counters so that
+	// bytes/access reflects steady state only.
+	if _, err := cpu.Run(gen, h, m, cfg, 0, sc.Warmup); err != nil {
+		return benchRun{}, fmt.Errorf("%s/%s warmup: %w", mix.Name, p.Name(), err)
+	}
+	snap := *sys.Counters
+	r, err := cpu.Run(gen, h, m, cfg, 0, sc.Ops)
+	if err != nil {
+		return benchRun{}, fmt.Errorf("%s/%s: %w", mix.Name, p.Name(), err)
+	}
+	return benchRun{Result: r, ORAM: sys.Counters.Delta(snap)}, nil
+}
+
+// newHierarchy builds the Table 1 cache stack for the given line size.
+func newHierarchy(lineBytes int) (*cachesim.Hierarchy, error) {
+	return cachesim.NewHierarchy(lineBytes)
+}
+
+// geomean of a slice.
+func geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// benchNames returns the SPEC06 benchmark names in figure order.
+func benchNames() []string {
+	var names []string
+	for _, m := range trace.SPEC06() {
+		names = append(names, m.Name)
+	}
+	return names
+}

@@ -1,0 +1,35 @@
+package exp
+
+import (
+	"fmt"
+
+	"freecursive/internal/backend"
+	"freecursive/internal/dram"
+	"freecursive/internal/tree"
+)
+
+// Table2 reproduces ORAM tree access latency versus DRAM channel count for
+// the Table 1 configuration (4 GB ORAM, 64 B blocks, Z=4, unified tree).
+func Table2() (*Table, error) {
+	t := &Table{
+		ID:    "table-2",
+		Title: "ORAM access latency by DRAM channel count (CPU cycles @1.3 GHz)",
+		Note: "Paper (DRAMSim2): 2147 / 1208 / 697 / 463 cycles for 1/2/4/8 channels.\n" +
+			"Insecure DRAM access for reference: paper reports 58 cycles on average.",
+		Header: []string{"DRAM channels", "ORAM Tree latency", "paper", "insecure line"},
+	}
+	paper := map[int]int{1: 2147, 2: 1208, 4: 697, 8: 463}
+
+	// The Table 1 config: N=2^26 data blocks; the unified tree adds a level.
+	g, err := tree.NewGeometry(tree.LevelsForCapacity(1<<26, 4), 4, 64)
+	if err != nil {
+		return nil, err
+	}
+	for _, ch := range []int{1, 2, 4, 8} {
+		cfg := dram.DefaultConfig(ch)
+		lat := dram.EstimatePathCPUCycles(cfg, g, backend.WireBucketBytes(g), 1.3, 400, 11)
+		ins := dram.EstimateLineCPUCycles(cfg, 1.3, 4000, 11)
+		t.AddRow(fmt.Sprintf("%d", ch), f0(lat), fmt.Sprintf("%d", paper[ch]), f0(ins))
+	}
+	return t, nil
+}

@@ -1,0 +1,67 @@
+// Package mem models the untrusted external memory holding sealed ORAM
+// buckets. Storage is sparse (a map keyed by heap bucket index) so that
+// trees for multi-gigabyte capacities can be simulated: only touched buckets
+// materialize.
+//
+// The store exposes tamper hooks so tests and examples can play the active
+// adversary of §2: every read and write can be intercepted and the bytes
+// modified, replayed, or recorded.
+package mem
+
+// TamperFunc inspects or alters a sealed bucket in flight. idx is the heap
+// bucket index; data is the sealed bucket (may be nil for a never-written
+// bucket on read). The returned slice replaces the data; return the input
+// unchanged to observe passively.
+type TamperFunc func(idx uint64, data []byte) []byte
+
+// Store is sparse untrusted bucket storage.
+type Store struct {
+	buckets map[uint64][]byte
+
+	// OnRead, if set, sees every bucket leaving memory toward the ORAM
+	// controller. OnWrite sees every bucket arriving from the controller.
+	OnRead  TamperFunc
+	OnWrite TamperFunc
+
+	reads, writes uint64
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{buckets: make(map[uint64][]byte)}
+}
+
+// Read returns the sealed bucket at idx, or nil if it has never been
+// written. The returned slice must not be modified by the caller.
+func (s *Store) Read(idx uint64) []byte {
+	s.reads++
+	data := s.buckets[idx]
+	if s.OnRead != nil {
+		data = s.OnRead(idx, data)
+	}
+	return data
+}
+
+// Write stores the sealed bucket at idx. The store takes ownership of data.
+func (s *Store) Write(idx uint64, data []byte) {
+	s.writes++
+	if s.OnWrite != nil {
+		data = s.OnWrite(idx, data)
+	}
+	s.buckets[idx] = data
+}
+
+// Peek returns the stored bucket without counting a read or invoking hooks
+// (adversary/testing aid: direct inspection of memory).
+func (s *Store) Peek(idx uint64) []byte { return s.buckets[idx] }
+
+// Poke overwrites the stored bucket without counting a write or invoking
+// hooks (adversary/testing aid: direct tampering of memory at rest).
+func (s *Store) Poke(idx uint64, data []byte) { s.buckets[idx] = data }
+
+// Len returns the number of materialized buckets.
+func (s *Store) Len() int { return len(s.buckets) }
+
+// Reads and Writes return operation counts.
+func (s *Store) Reads() uint64  { return s.reads }
+func (s *Store) Writes() uint64 { return s.writes }

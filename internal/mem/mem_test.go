@@ -1,0 +1,71 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestReadWritePeekPoke(t *testing.T) {
+	s := NewStore()
+	if s.Read(5) != nil {
+		t.Fatal("read of never-written bucket should be nil")
+	}
+	s.Write(5, []byte{1, 2, 3})
+	if !bytes.Equal(s.Read(5), []byte{1, 2, 3}) {
+		t.Fatal("read back mismatch")
+	}
+	if s.Reads() != 2 || s.Writes() != 1 {
+		t.Fatalf("reads=%d writes=%d", s.Reads(), s.Writes())
+	}
+	// Peek/Poke bypass counters (the adversary's direct line to DRAM).
+	s.Poke(9, []byte{7})
+	if !bytes.Equal(s.Peek(9), []byte{7}) {
+		t.Fatal("poke/peek mismatch")
+	}
+	if s.Reads() != 2 || s.Writes() != 1 {
+		t.Fatal("peek/poke must not count")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("len=%d", s.Len())
+	}
+}
+
+func TestTamperHooks(t *testing.T) {
+	s := NewStore()
+	var sawWrite, sawRead uint64
+	s.OnWrite = func(idx uint64, data []byte) []byte {
+		sawWrite = idx
+		return append([]byte{0xff}, data...) // adversary prepends a byte
+	}
+	s.OnRead = func(idx uint64, data []byte) []byte {
+		sawRead = idx
+		return data[1:] // and strips it again
+	}
+	s.Write(3, []byte{1, 2})
+	got := s.Read(3)
+	if sawWrite != 3 || sawRead != 3 {
+		t.Fatal("hooks not invoked")
+	}
+	if !bytes.Equal(got, []byte{1, 2}) {
+		t.Fatalf("hook plumbing broken: %v", got)
+	}
+	// At rest, the stored bytes are the tampered ones.
+	if !bytes.Equal(s.Peek(3), []byte{0xff, 1, 2}) {
+		t.Fatal("stored bytes should reflect OnWrite result")
+	}
+}
+
+func TestReadHookSeesNil(t *testing.T) {
+	s := NewStore()
+	called := false
+	s.OnRead = func(idx uint64, data []byte) []byte {
+		called = true
+		if data != nil {
+			t.Error("expected nil for never-written bucket")
+		}
+		return data
+	}
+	if s.Read(1) != nil || !called {
+		t.Fatal("hook not called for missing bucket")
+	}
+}

@@ -1,0 +1,165 @@
+// Package plb implements the PosMap Lookaside Buffer (§4): a hardware-style
+// cache holding whole PosMap blocks, tagged with their level-disambiguated
+// address i||a_i, each stored alongside its current leaf in the unified
+// ORAM tree so it can be appended back on eviction (§4.2.3).
+package plb
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Entry is one cached PosMap block.
+type Entry struct {
+	Tag  uint64 // composite address i||a_i
+	Leaf uint64 // block's current leaf in ORamU
+	// Counter is the block's own PMMAC access counter (as held by its
+	// parent), carried along so the block can be re-MACed at append time
+	// without consulting the parent (§6.2.2). Zero for non-PMMAC schemes.
+	Counter uint64
+	Block   []byte // PosMap block payload (any posmap.Format layout)
+	valid   bool
+	// age is the per-set LRU stamp (monotonic per cache).
+	age uint64
+}
+
+// PLB is a set-associative cache of PosMap blocks. Ways=1 gives the
+// direct-mapped organization used in the paper's final configuration.
+type PLB struct {
+	sets  int
+	ways  int
+	data  []Entry // sets*ways entries, set-major
+	clock uint64
+
+	hits, misses, refills, evicts uint64
+}
+
+// New builds a PLB with capacityBytes of block storage, holding blocks of
+// blockBytes, organized into the given number of ways. The entry count is
+// rounded down to a power of two of sets (hardware indexing).
+func New(capacityBytes, blockBytes, ways int) (*PLB, error) {
+	switch {
+	case capacityBytes <= 0 || blockBytes <= 0:
+		return nil, fmt.Errorf("plb: capacity %d / block %d must be positive", capacityBytes, blockBytes)
+	case ways < 1:
+		return nil, fmt.Errorf("plb: ways %d must be >= 1", ways)
+	}
+	entries := capacityBytes / blockBytes
+	if entries < ways {
+		return nil, fmt.Errorf("plb: capacity %dB holds %d blocks < %d ways", capacityBytes, entries, ways)
+	}
+	sets := entries / ways
+	// Round sets down to a power of two for index extraction.
+	if sets&(sets-1) != 0 {
+		sets = 1 << (bits.Len(uint(sets)) - 1)
+	}
+	return &PLB{sets: sets, ways: ways, data: make([]Entry, sets*ways)}, nil
+}
+
+// Sets and Ways return the organization.
+func (p *PLB) Sets() int { return p.sets }
+func (p *PLB) Ways() int { return p.ways }
+
+// CapacityBlocks returns how many blocks the PLB holds.
+func (p *PLB) CapacityBlocks() int { return p.sets * p.ways }
+
+// Hits, Misses, Refills, Evicts return event counts.
+func (p *PLB) Hits() uint64    { return p.hits }
+func (p *PLB) Misses() uint64  { return p.misses }
+func (p *PLB) Refills() uint64 { return p.refills }
+func (p *PLB) Evicts() uint64  { return p.evicts }
+
+func (p *PLB) set(tag uint64) []Entry {
+	idx := int(tag % uint64(p.sets))
+	return p.data[idx*p.ways : (idx+1)*p.ways]
+}
+
+// Lookup probes the PLB. On a hit the returned entry is mutable in place
+// (the frontend remaps leaves inside the cached block on every hit); on a
+// miss it returns nil.
+func (p *PLB) Lookup(tag uint64) *Entry {
+	p.clock++
+	set := p.set(tag)
+	for i := range set {
+		if set[i].valid && set[i].Tag == tag {
+			set[i].age = p.clock
+			p.hits++
+			return &set[i]
+		}
+	}
+	p.misses++
+	return nil
+}
+
+// Contains reports whether tag is cached, without touching LRU state or
+// hit/miss counters (used by group remap to find PLB-resident children).
+func (p *PLB) Contains(tag uint64) *Entry {
+	set := p.set(tag)
+	for i := range set {
+		if set[i].valid && set[i].Tag == tag {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Insert adds a block to the PLB, evicting the set's LRU victim if the set
+// is full. It returns a pointer to the inserted (live, mutable) entry plus
+// the victim (if any) so the frontend can append it back to the ORAM stash.
+// Any previously held *Entry pointers into the same set are invalidated.
+func (p *PLB) Insert(e Entry) (inserted *Entry, victim Entry, evicted bool) {
+	p.clock++
+	p.refills++
+	set := p.set(e.Tag)
+
+	slot := -1
+	for i := range set {
+		if !set[i].valid {
+			slot = i
+			break
+		}
+	}
+	if slot == -1 {
+		oldest := uint64(1<<64 - 1)
+		for i := range set {
+			if set[i].age < oldest {
+				oldest = set[i].age
+				slot = i
+			}
+		}
+		victim = set[slot]
+		victim.valid = false // callers treat it as a plain value
+		evicted = true
+		p.evicts++
+	}
+	e.valid = true
+	e.age = p.clock
+	set[slot] = e
+	return &set[slot], victim, evicted
+}
+
+// Flush invalidates every entry, returning all resident blocks (used when a
+// simulation needs to drain the PLB back into the ORAM).
+func (p *PLB) Flush() []Entry {
+	var out []Entry
+	for i := range p.data {
+		if p.data[i].valid {
+			e := p.data[i]
+			e.valid = false
+			out = append(out, e)
+			p.data[i] = Entry{}
+		}
+	}
+	return out
+}
+
+// Len returns the number of valid entries.
+func (p *PLB) Len() int {
+	n := 0
+	for i := range p.data {
+		if p.data[i].valid {
+			n++
+		}
+	}
+	return n
+}

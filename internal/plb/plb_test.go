@@ -1,0 +1,178 @@
+package plb
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 64, 1); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := New(8<<10, 64, 0); err == nil {
+		t.Error("zero ways accepted")
+	}
+	if _, err := New(64, 64, 4); err == nil {
+		t.Error("capacity < ways accepted")
+	}
+	p, err := New(8<<10, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Sets() != 128 || p.Ways() != 1 || p.CapacityBlocks() != 128 {
+		t.Fatalf("organization %d sets x %d ways", p.Sets(), p.Ways())
+	}
+}
+
+func TestSetsRoundedToPowerOfTwo(t *testing.T) {
+	// 100 blocks of capacity -> 64 sets.
+	p, err := New(100*64, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Sets() != 64 {
+		t.Fatalf("sets=%d want 64", p.Sets())
+	}
+}
+
+func TestLookupMissThenHit(t *testing.T) {
+	p, _ := New(4*64, 64, 1)
+	if p.Lookup(5) != nil {
+		t.Fatal("hit on empty cache")
+	}
+	p.Insert(Entry{Tag: 5, Leaf: 9, Counter: 2, Block: []byte{1}})
+	e := p.Lookup(5)
+	if e == nil || e.Leaf != 9 || e.Counter != 2 {
+		t.Fatal("inserted entry not found intact")
+	}
+	if p.Hits() != 1 || p.Misses() != 1 {
+		t.Fatalf("hits=%d misses=%d", p.Hits(), p.Misses())
+	}
+}
+
+func TestEntryMutableInPlace(t *testing.T) {
+	p, _ := New(4*64, 64, 1)
+	p.Insert(Entry{Tag: 5, Block: []byte{1, 2, 3}})
+	e := p.Lookup(5)
+	e.Leaf = 42
+	e.Block[0] = 0xff
+	e2 := p.Lookup(5)
+	if e2.Leaf != 42 || e2.Block[0] != 0xff {
+		t.Fatal("in-place mutation lost — the frontend remaps leaves in cached blocks")
+	}
+}
+
+func TestDirectMappedConflict(t *testing.T) {
+	p, _ := New(4*64, 64, 1) // 4 sets, direct-mapped
+	_, _, ev := p.Insert(Entry{Tag: 1})
+	if ev {
+		t.Fatal("eviction from empty set")
+	}
+	// Tag 5 maps to the same set (5 % 4 == 1): must evict tag 1.
+	_, victim, ev := p.Insert(Entry{Tag: 5})
+	if !ev || victim.Tag != 1 {
+		t.Fatalf("expected conflict eviction of tag 1, got ev=%v victim=%d", ev, victim.Tag)
+	}
+	if p.Lookup(1) != nil {
+		t.Fatal("evicted entry still present")
+	}
+}
+
+func TestAssociativityAvoidsConflict(t *testing.T) {
+	p, _ := New(8*64, 64, 2) // 4 sets, 2-way
+	p.Insert(Entry{Tag: 1})
+	_, _, ev := p.Insert(Entry{Tag: 5})
+	if ev {
+		t.Fatal("2-way set should hold both conflicting tags")
+	}
+	if p.Lookup(1) == nil || p.Lookup(5) == nil {
+		t.Fatal("lost an entry")
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	p, _ := New(8*64, 64, 2) // 4 sets, 2-way
+	p.Insert(Entry{Tag: 1})
+	p.Insert(Entry{Tag: 5})
+	p.Lookup(1) // make 5 the LRU
+	_, victim, ev := p.Insert(Entry{Tag: 9})
+	if !ev || victim.Tag != 5 {
+		t.Fatalf("LRU violation: evicted %d want 5", victim.Tag)
+	}
+}
+
+func TestContainsDoesNotTouchState(t *testing.T) {
+	p, _ := New(8*64, 64, 2)
+	p.Insert(Entry{Tag: 1})
+	p.Insert(Entry{Tag: 5})
+	hits, misses := p.Hits(), p.Misses()
+	p.Contains(1) // must NOT refresh LRU or count
+	if p.Hits() != hits || p.Misses() != misses {
+		t.Fatal("Contains disturbed hit/miss counters")
+	}
+	// 1 is still LRU (inserted first, Contains didn't refresh): evicted next.
+	_, victim, _ := p.Insert(Entry{Tag: 9})
+	if victim.Tag != 1 {
+		t.Fatalf("Contains refreshed LRU: victim %d want 1", victim.Tag)
+	}
+}
+
+func TestFlushReturnsAll(t *testing.T) {
+	p, _ := New(8*64, 64, 1)
+	for i := uint64(0); i < 5; i++ {
+		p.Insert(Entry{Tag: i})
+	}
+	if p.Len() != 5 {
+		t.Fatalf("len=%d", p.Len())
+	}
+	out := p.Flush()
+	if len(out) != 5 || p.Len() != 0 {
+		t.Fatalf("flush returned %d, left %d", len(out), p.Len())
+	}
+}
+
+// TestNoPhantomEntries (property): the cache never returns an entry that
+// was not inserted, and insert-then-lookup always succeeds immediately.
+func TestNoPhantomEntries(t *testing.T) {
+	f := func(tags []uint64) bool {
+		p, err := New(16*64, 64, 2)
+		if err != nil {
+			return false
+		}
+		present := map[uint64]bool{}
+		for _, tag := range tags {
+			if e := p.Lookup(tag); e != nil && !present[tag] {
+				return false // phantom
+			}
+			_, victim, ev := p.Insert(Entry{Tag: tag})
+			present[tag] = true
+			if ev {
+				if !present[victim.Tag] {
+					return false // evicted something never inserted
+				}
+				if victim.Tag != tag {
+					present[victim.Tag] = false
+				}
+			}
+			if p.Lookup(tag) == nil {
+				return false // just inserted, must hit
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountersAccumulate(t *testing.T) {
+	p, _ := New(4*64, 64, 1)
+	p.Insert(Entry{Tag: 0})
+	p.Insert(Entry{Tag: 4}) // evicts 0
+	p.Lookup(4)
+	p.Lookup(0)
+	if p.Refills() != 2 || p.Evicts() != 1 || p.Hits() != 1 || p.Misses() != 1 {
+		t.Fatalf("refills=%d evicts=%d hits=%d misses=%d",
+			p.Refills(), p.Evicts(), p.Hits(), p.Misses())
+	}
+}

@@ -1,0 +1,200 @@
+package posmap
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"freecursive/internal/crypt"
+)
+
+// Format abstracts the three PosMap block layouts so the frontend can treat
+// them uniformly:
+//
+//   - Uncompressed leaves (baseline, §3.2)
+//   - Flat 64-bit counters (PMMAC without compression, §6.2.2: PI_X8)
+//   - Compressed GC||IC counters (§5: PC_X32 / PIC_X32)
+type Format interface {
+	// X returns how many children one block maps.
+	X() int
+	// BlockBytes returns the serialized block size.
+	BlockBytes() int
+	// ChildLeaf returns the current leaf of child j (childAddr is the
+	// child's full tagged address, used only by PRF-based formats).
+	ChildLeaf(p []byte, childAddr uint64, j int) uint64
+	// ChildCounter returns the composite access counter for child j, used
+	// by PMMAC as the MAC counter. Formats without counters return 0.
+	ChildCounter(p []byte, j int) uint64
+	// Remap advances child j's mapping and returns the new leaf. If
+	// needGroupRemap is reported, the mapping was NOT advanced: the caller
+	// must perform the §5.2.2 group remap and call Remap again.
+	Remap(p []byte, childAddr uint64, j int, rng *rand.Rand) (newLeaf uint64, needGroupRemap bool)
+	// Init formats a fresh block whose children have never been accessed.
+	Init(p []byte, rng *rand.Rand)
+	// HasCounters reports whether ChildCounter is meaningful (PMMAC-capable).
+	HasCounters() bool
+}
+
+// --- Uncompressed as Format --------------------------------------------------
+
+// UncompressedFormat adapts Uncompressed to Format for a given tree depth.
+type UncompressedFormat struct {
+	*Uncompressed
+	Levels int
+}
+
+// NewUncompressedFormat builds the adapter.
+func NewUncompressedFormat(x, levels int) (*UncompressedFormat, error) {
+	u, err := NewUncompressed(x)
+	if err != nil {
+		return nil, err
+	}
+	return &UncompressedFormat{Uncompressed: u, Levels: levels}, nil
+}
+
+// ChildLeaf implements Format.
+func (u *UncompressedFormat) ChildLeaf(p []byte, _ uint64, j int) uint64 {
+	return u.Leaf(p, j)
+}
+
+// ChildCounter implements Format (no counters in this layout).
+func (u *UncompressedFormat) ChildCounter([]byte, int) uint64 { return 0 }
+
+// Remap implements Format: a fresh uniformly random leaf.
+func (u *UncompressedFormat) Remap(p []byte, _ uint64, j int, rng *rand.Rand) (uint64, bool) {
+	leaf := rng.Uint64() & (uint64(1)<<uint(u.Levels) - 1)
+	u.SetLeaf(p, j, leaf)
+	return leaf, false
+}
+
+// Init implements Format.
+func (u *UncompressedFormat) Init(p []byte, rng *rand.Rand) {
+	u.InitRandom(p, u.Levels, rng)
+}
+
+// HasCounters implements Format.
+func (u *UncompressedFormat) HasCounters() bool { return false }
+
+// --- Flat counters as Format -------------------------------------------------
+
+// FlatCounters is the §6.2.2 PMMAC layout without compression: one 64-bit
+// counter per child, leaf = PRF_K(childAddr || c) mod 2^L. With 64-byte
+// blocks this yields X = 8 (the paper's PI_X8).
+type FlatCounters struct {
+	x   int
+	prf *crypt.PRF
+	l   int
+}
+
+// FlatCounterBytes is the serialized size of one flat counter.
+const FlatCounterBytes = 8
+
+// NewFlatCounters builds a flat-counter format with x children for a tree
+// with leaf level l.
+func NewFlatCounters(x int, prf *crypt.PRF, l int) (*FlatCounters, error) {
+	if x < 1 {
+		return nil, fmt.Errorf("posmap: X=%d must be >= 1", x)
+	}
+	if prf == nil {
+		return nil, fmt.Errorf("posmap: flat counters need a PRF")
+	}
+	return &FlatCounters{x: x, prf: prf, l: l}, nil
+}
+
+// FlatXFor returns the largest X fitting in blockBytes.
+func FlatXFor(blockBytes int) int { return blockBytes / FlatCounterBytes }
+
+// X implements Format.
+func (f *FlatCounters) X() int { return f.x }
+
+// BlockBytes implements Format.
+func (f *FlatCounters) BlockBytes() int { return f.x * FlatCounterBytes }
+
+func (f *FlatCounters) counter(p []byte, j int) uint64 {
+	o := j * FlatCounterBytes
+	var v uint64
+	for i := 0; i < FlatCounterBytes; i++ {
+		v = v<<8 | uint64(p[o+i])
+	}
+	return v
+}
+
+func (f *FlatCounters) setCounter(p []byte, j int, v uint64) {
+	o := j * FlatCounterBytes
+	for i := FlatCounterBytes - 1; i >= 0; i-- {
+		p[o+i] = byte(v)
+		v >>= 8
+	}
+}
+
+// ChildLeaf implements Format.
+func (f *FlatCounters) ChildLeaf(p []byte, childAddr uint64, j int) uint64 {
+	return f.prf.Leaf(childAddr, f.counter(p, j), f.l)
+}
+
+// ChildCounter implements Format.
+func (f *FlatCounters) ChildCounter(p []byte, j int) uint64 { return f.counter(p, j) }
+
+// Remap implements Format: increment the counter; 64-bit counters never
+// overflow in any feasible execution.
+func (f *FlatCounters) Remap(p []byte, childAddr uint64, j int, _ *rand.Rand) (uint64, bool) {
+	c := f.counter(p, j) + 1
+	f.setCounter(p, j, c)
+	return f.prf.Leaf(childAddr, c, f.l), false
+}
+
+// Init implements Format: all counters zero.
+func (f *FlatCounters) Init(p []byte, _ *rand.Rand) {
+	for i := range p {
+		p[i] = 0
+	}
+}
+
+// HasCounters implements Format.
+func (f *FlatCounters) HasCounters() bool { return true }
+
+// --- Compressed as Format ----------------------------------------------------
+
+// CompressedFormat adapts Compressed to Format.
+type CompressedFormat struct {
+	*Compressed
+}
+
+// NewCompressedFormat builds the adapter.
+func NewCompressedFormat(x, beta int, prf *crypt.PRF, l int) (*CompressedFormat, error) {
+	c, err := NewCompressed(x, beta, prf, l)
+	if err != nil {
+		return nil, err
+	}
+	return &CompressedFormat{Compressed: c}, nil
+}
+
+// ChildLeaf implements Format.
+func (c *CompressedFormat) ChildLeaf(p []byte, childAddr uint64, j int) uint64 {
+	return c.Leaf(p, childAddr, j)
+}
+
+// ChildCounter implements Format.
+func (c *CompressedFormat) ChildCounter(p []byte, j int) uint64 {
+	return c.Counter(p, j)
+}
+
+// Remap implements Format. On individual-counter overflow it reports
+// needGroupRemap without advancing anything.
+func (c *CompressedFormat) Remap(p []byte, childAddr uint64, j int, _ *rand.Rand) (uint64, bool) {
+	if c.Increment(p, j) {
+		return 0, true
+	}
+	return c.Leaf(p, childAddr, j), false
+}
+
+// Init implements Format.
+func (c *CompressedFormat) Init(p []byte, _ *rand.Rand) { c.InitZero(p) }
+
+// HasCounters implements Format.
+func (c *CompressedFormat) HasCounters() bool { return true }
+
+var (
+	_ Format = (*UncompressedFormat)(nil)
+	_ Format = (*FlatCounters)(nil)
+	_ Format = (*CompressedFormat)(nil)
+)

@@ -1,0 +1,109 @@
+package posmap
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"freecursive/internal/crypt"
+)
+
+// OnChip is the on-chip PosMap: the root of the recursion, analogous to the
+// root page table (§3.2). It maps the highest-level PosMap blocks (or data
+// blocks, when there is no recursion) to leaves.
+//
+// It runs in one of two modes:
+//
+//   - Leaf mode: each entry stores an uncompressed leaf label. Remapping
+//     draws a fresh uniform leaf. Used by R_X8, P_X16, PC_X32.
+//   - Counter mode: each entry stores a flat 64-bit access counter; the
+//     leaf is PRF_K(addr || counter) mod 2^L. The counters double as the
+//     tamper-proof root of trust for PMMAC (§6.2). Used by PI_X8, PIC_X32.
+type OnChip struct {
+	counterMode bool
+	entries     []uint64
+	assigned    []bool // leaf mode: whether the entry holds a real leaf yet
+	prf         *crypt.PRF
+	l           int // leaf level of the tree entries point into
+	leafBits    int // width accounted per entry in leaf mode
+}
+
+// NewOnChipLeaf builds a leaf-mode on-chip PosMap with n entries for a tree
+// with leaf level l.
+func NewOnChipLeaf(n uint64, l int) (*OnChip, error) {
+	if n == 0 {
+		return nil, fmt.Errorf("posmap: on-chip PosMap needs >= 1 entry")
+	}
+	return &OnChip{
+		entries:  make([]uint64, n),
+		assigned: make([]bool, n),
+		l:        l,
+		leafBits: l,
+	}, nil
+}
+
+// NewOnChipCounter builds a counter-mode on-chip PosMap.
+func NewOnChipCounter(n uint64, prf *crypt.PRF, l int) (*OnChip, error) {
+	if n == 0 {
+		return nil, fmt.Errorf("posmap: on-chip PosMap needs >= 1 entry")
+	}
+	if prf == nil {
+		return nil, fmt.Errorf("posmap: counter mode needs a PRF")
+	}
+	return &OnChip{
+		counterMode: true,
+		entries:     make([]uint64, n),
+		prf:         prf,
+		l:           l,
+	}, nil
+}
+
+// Entries returns the entry count.
+func (o *OnChip) Entries() uint64 { return uint64(len(o.entries)) }
+
+// CounterMode reports whether entries are PMMAC counters.
+func (o *OnChip) CounterMode() bool { return o.counterMode }
+
+// SizeBits returns the on-chip storage the PosMap occupies: L bits per
+// entry in leaf mode, 64 bits per entry in counter mode (§6.2.2).
+func (o *OnChip) SizeBits() uint64 {
+	if o.counterMode {
+		return uint64(len(o.entries)) * 64
+	}
+	return uint64(len(o.entries)) * uint64(o.leafBits)
+}
+
+// Leaf returns the current leaf for entry idx. taggedAddr is the block's
+// full address (with the recursion-level tag), used by counter mode's PRF.
+// In leaf mode, a never-assigned entry is assigned a fresh random leaf
+// first, drawn from rng.
+func (o *OnChip) Leaf(idx, taggedAddr uint64, rng *rand.Rand) uint64 {
+	if o.counterMode {
+		return o.prf.Leaf(taggedAddr, o.entries[idx], o.l)
+	}
+	if !o.assigned[idx] {
+		o.entries[idx] = rng.Uint64() & (uint64(1)<<uint(o.l) - 1)
+		o.assigned[idx] = true
+	}
+	return o.entries[idx]
+}
+
+// Remap advances entry idx to a fresh mapping and returns the new leaf.
+func (o *OnChip) Remap(idx, taggedAddr uint64, rng *rand.Rand) uint64 {
+	if o.counterMode {
+		o.entries[idx]++
+		return o.prf.Leaf(taggedAddr, o.entries[idx], o.l)
+	}
+	leaf := rng.Uint64() & (uint64(1)<<uint(o.l) - 1)
+	o.entries[idx] = leaf
+	o.assigned[idx] = true
+	return leaf
+}
+
+// Counter returns the access counter for entry idx (counter mode only);
+// this is the PMMAC counter for the block the entry maps.
+func (o *OnChip) Counter(idx uint64) uint64 {
+	if !o.counterMode {
+		return 0
+	}
+	return o.entries[idx]
+}

@@ -1,0 +1,221 @@
+// Package posmap implements the Position Map machinery: the two PosMap
+// block formats (uncompressed leaf vectors, and the compressed
+// group-counter/individual-counter format of §5), and the on-chip PosMap
+// that roots the recursion (the analogue of the CR3 root page table).
+package posmap
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"freecursive/internal/crypt"
+)
+
+// --- Uncompressed format ---------------------------------------------------
+
+// Uncompressed is the original PosMap block format: X leaf labels stored
+// side by side. Leaves are serialized as 4-byte words, which caps L at 32 —
+// matching the paper's observation that X=16 holds for ORAM depths 17..32
+// with 64-byte blocks.
+type Uncompressed struct {
+	x int
+}
+
+// LeafSlotBytes is the serialized size of one uncompressed leaf.
+const LeafSlotBytes = 4
+
+// NewUncompressed returns a format holding x leaves (block of x*4 bytes).
+func NewUncompressed(x int) (*Uncompressed, error) {
+	if x < 1 {
+		return nil, fmt.Errorf("posmap: X=%d must be >= 1", x)
+	}
+	return &Uncompressed{x: x}, nil
+}
+
+// UncompressedXFor returns the largest X fitting in blockBytes.
+func UncompressedXFor(blockBytes int) int { return blockBytes / LeafSlotBytes }
+
+// X returns the leaves per block.
+func (u *Uncompressed) X() int { return u.x }
+
+// BlockBytes returns the serialized block size.
+func (u *Uncompressed) BlockBytes() int { return u.x * LeafSlotBytes }
+
+// Leaf returns leaf j from the block payload.
+func (u *Uncompressed) Leaf(p []byte, j int) uint64 {
+	o := j * LeafSlotBytes
+	return uint64(p[o])<<24 | uint64(p[o+1])<<16 | uint64(p[o+2])<<8 | uint64(p[o+3])
+}
+
+// SetLeaf stores leaf j into the block payload.
+func (u *Uncompressed) SetLeaf(p []byte, j int, leaf uint64) {
+	o := j * LeafSlotBytes
+	p[o] = byte(leaf >> 24)
+	p[o+1] = byte(leaf >> 16)
+	p[o+2] = byte(leaf >> 8)
+	p[o+3] = byte(leaf)
+}
+
+// InitRandom fills a fresh block with independent random leaves < 2^levels.
+// Used when a PosMap block materializes on first touch: its children have
+// never been accessed, so any independent random mapping is correct.
+func (u *Uncompressed) InitRandom(p []byte, levels int, rng *rand.Rand) {
+	mask := uint64(1)<<uint(levels) - 1
+	for j := 0; j < u.x; j++ {
+		u.SetLeaf(p, j, rng.Uint64()&mask)
+	}
+}
+
+// --- Compressed format (§5.2) ----------------------------------------------
+
+// Compressed is the α-bit group counter + X β-bit individual counter format.
+// The current leaf of child j is PRF_K(childAddr || GC||IC_j) mod 2^L, where
+// GC||IC_j is the composite counter (GC << β) | IC_j.
+type Compressed struct {
+	x     int
+	alpha int // group counter bits (8*GCBytes; fixed at 64 here)
+	beta  int // individual counter bits
+	prf   *crypt.PRF
+	l     int // tree leaf level: leaves are mod 2^l
+}
+
+// gcBytes is the serialized group counter width. α=64 matches §5.3.
+const gcBytes = 8
+
+// NewCompressed builds a compressed format with X individual counters of
+// beta bits each, generating leaves for a tree with leaf level l.
+func NewCompressed(x, beta int, prf *crypt.PRF, l int) (*Compressed, error) {
+	switch {
+	case x < 1:
+		return nil, fmt.Errorf("posmap: X=%d must be >= 1", x)
+	case beta < 1 || beta > 32:
+		return nil, fmt.Errorf("posmap: beta=%d outside [1,32]", beta)
+	case prf == nil:
+		return nil, fmt.Errorf("posmap: compressed format needs a PRF")
+	}
+	return &Compressed{x: x, alpha: 64, beta: beta, prf: prf, l: l}, nil
+}
+
+// CompressedXFor returns the largest power-of-two X such that
+// 64 + X*beta bits fit in blockBytes (X restricted to powers of two to keep
+// the address arithmetic of §3.2 simple, as the paper does).
+func CompressedXFor(blockBytes, beta int) int {
+	bits := blockBytes*8 - 64
+	x := 1
+	for x*2*beta <= bits {
+		x *= 2
+	}
+	if x*beta > bits {
+		return 0
+	}
+	return x
+}
+
+// X returns the children per block.
+func (c *Compressed) X() int { return c.x }
+
+// Beta returns the individual counter width in bits.
+func (c *Compressed) Beta() int { return c.beta }
+
+// BlockBytes returns the serialized block size: 8-byte GC plus X β-bit ICs,
+// rounded up to whole bytes.
+func (c *Compressed) BlockBytes() int {
+	return gcBytes + (c.x*c.beta+7)/8
+}
+
+// GC returns the group counter.
+func (c *Compressed) GC(p []byte) uint64 {
+	var v uint64
+	for i := 0; i < gcBytes; i++ {
+		v = v<<8 | uint64(p[i])
+	}
+	return v
+}
+
+// setGC stores the group counter.
+func (c *Compressed) setGC(p []byte, v uint64) {
+	for i := gcBytes - 1; i >= 0; i-- {
+		p[i] = byte(v)
+		v >>= 8
+	}
+}
+
+// IC returns individual counter j.
+func (c *Compressed) IC(p []byte, j int) uint64 {
+	return getBits(p[gcBytes:], j*c.beta, c.beta)
+}
+
+// setIC stores individual counter j.
+func (c *Compressed) setIC(p []byte, j int, v uint64) {
+	putBits(p[gcBytes:], j*c.beta, c.beta, v)
+}
+
+// Counter returns the composite counter (GC << β) | IC_j that seeds both
+// the PRF and the PMMAC MAC for child j.
+func (c *Compressed) Counter(p []byte, j int) uint64 {
+	return c.GC(p)<<uint(c.beta) | c.IC(p, j)
+}
+
+// Leaf returns the current leaf of child j, whose full (tagged) address is
+// childAddr: PRF_K(childAddr || GC||IC_j) mod 2^L.
+func (c *Compressed) Leaf(p []byte, childAddr uint64, j int) uint64 {
+	return c.prf.Leaf(childAddr, c.Counter(p, j), c.l)
+}
+
+// Increment advances child j's individual counter (the remap operation of
+// §5.2.2). It reports whether IC_j rolled over, in which case the caller
+// must perform a group remap: the counter has NOT been changed when
+// overflow is reported.
+func (c *Compressed) Increment(p []byte, j int) (overflow bool) {
+	ic := c.IC(p, j)
+	if ic+1 >= 1<<uint(c.beta) {
+		return true
+	}
+	c.setIC(p, j, ic+1)
+	return false
+}
+
+// BumpGroup increments GC and zeroes all individual counters; the caller
+// performs the associated backend accesses for every child (§5.2.2).
+func (c *Compressed) BumpGroup(p []byte) {
+	c.setGC(p, c.GC(p)+1)
+	for j := 0; j < c.x; j++ {
+		c.setIC(p, j, 0)
+	}
+}
+
+// InitZero initializes a fresh block: GC=0, all IC=0. Leaves are then the
+// deterministic PRF images of counter zero, which is correct for blocks
+// whose children have never been accessed.
+func (c *Compressed) InitZero(p []byte) {
+	for i := range p {
+		p[i] = 0
+	}
+}
+
+// --- bit packing helpers ----------------------------------------------------
+
+// getBits reads width bits starting at bit offset off (MSB-first within each
+// byte) from p.
+func getBits(p []byte, off, width int) uint64 {
+	var v uint64
+	for i := 0; i < width; i++ {
+		bit := off + i
+		b := p[bit>>3] >> uint(7-bit&7) & 1
+		v = v<<1 | uint64(b)
+	}
+	return v
+}
+
+// putBits writes the low `width` bits of v at bit offset off in p.
+func putBits(p []byte, off, width int, v uint64) {
+	for i := 0; i < width; i++ {
+		bit := off + i
+		mask := byte(1) << uint(7-bit&7)
+		if v>>uint(width-1-i)&1 == 1 {
+			p[bit>>3] |= mask
+		} else {
+			p[bit>>3] &^= mask
+		}
+	}
+}

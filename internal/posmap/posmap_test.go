@@ -1,0 +1,335 @@
+package posmap
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"freecursive/internal/crypt"
+)
+
+func testPRF(t testing.TB) *crypt.PRF {
+	t.Helper()
+	p, err := crypt.NewPRF([]byte("0123456789abcdef"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// --- Uncompressed -----------------------------------------------------------
+
+func TestUncompressedRoundTrip(t *testing.T) {
+	u, err := NewUncompressed(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.BlockBytes() != 64 {
+		t.Fatalf("block bytes %d", u.BlockBytes())
+	}
+	p := make([]byte, u.BlockBytes())
+	f := func(j uint8, leaf uint32) bool {
+		slot := int(j) % 16
+		u.SetLeaf(p, slot, uint64(leaf))
+		return u.Leaf(p, slot) == uint64(leaf)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUncompressedSlotsIndependent(t *testing.T) {
+	u, _ := NewUncompressed(8)
+	p := make([]byte, u.BlockBytes())
+	for j := 0; j < 8; j++ {
+		u.SetLeaf(p, j, uint64(j*1000+7))
+	}
+	for j := 0; j < 8; j++ {
+		if u.Leaf(p, j) != uint64(j*1000+7) {
+			t.Fatalf("slot %d clobbered", j)
+		}
+	}
+}
+
+func TestUncompressedInitRandomInRange(t *testing.T) {
+	u, _ := NewUncompressed(16)
+	p := make([]byte, u.BlockBytes())
+	rng := rand.New(rand.NewPCG(1, 1))
+	u.InitRandom(p, 12, rng)
+	for j := 0; j < 16; j++ {
+		if u.Leaf(p, j) >= 1<<12 {
+			t.Fatalf("leaf %d out of range", u.Leaf(p, j))
+		}
+	}
+}
+
+func TestUncompressedXFor(t *testing.T) {
+	if UncompressedXFor(64) != 16 || UncompressedXFor(32) != 8 {
+		t.Fatal("X-for-block-size wrong (paper: X=16 at 64B, X=8 at 32B)")
+	}
+}
+
+// --- Compressed (§5) ---------------------------------------------------------
+
+func TestCompressedSizing(t *testing.T) {
+	// The §5.3 flagship: 512-bit blocks, alpha=64, beta=14 -> X'=32.
+	if x := CompressedXFor(64, 14); x != 32 {
+		t.Fatalf("CompressedXFor(64,14)=%d want 32", x)
+	}
+	// 128-byte blocks -> X'=64 (PC_X64).
+	if x := CompressedXFor(128, 14); x != 64 {
+		t.Fatalf("CompressedXFor(128,14)=%d want 64", x)
+	}
+	c, err := NewCompressed(32, 14, testPRF(t), 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.BlockBytes() != 64 {
+		t.Fatalf("compressed block bytes %d want 64 (fits exactly)", c.BlockBytes())
+	}
+}
+
+// TestCompressedCounterRoundTrip (property): GC and every IC survive
+// arbitrary interleaved writes — the bit packing is exact.
+func TestCompressedCounterRoundTrip(t *testing.T) {
+	c, _ := NewCompressed(32, 14, testPRF(t), 24)
+	p := make([]byte, c.BlockBytes())
+	f := func(gc uint64, jRaw uint8, ic uint16) bool {
+		j := int(jRaw) % 32
+		icv := uint64(ic) % (1 << 14)
+		c.setGC(p, gc)
+		c.setIC(p, j, icv)
+		return c.GC(p) == gc && c.IC(p, j) == icv &&
+			c.Counter(p, j) == gc<<14|icv
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressedNeighborsUntouched(t *testing.T) {
+	c, _ := NewCompressed(32, 14, testPRF(t), 24)
+	p := make([]byte, c.BlockBytes())
+	for j := 0; j < 32; j++ {
+		c.setIC(p, j, uint64(j)*17%(1<<14))
+	}
+	c.setIC(p, 13, 0x3fff)
+	for j := 0; j < 32; j++ {
+		want := uint64(j) * 17 % (1 << 14)
+		if j == 13 {
+			want = 0x3fff
+		}
+		if c.IC(p, j) != want {
+			t.Fatalf("IC[%d]=%d want %d after writing neighbor", j, c.IC(p, j), want)
+		}
+	}
+}
+
+// TestCompressedIncrementOverflow: the §5.2.2 rollover signal.
+func TestCompressedIncrementOverflow(t *testing.T) {
+	c, _ := NewCompressed(4, 3, testPRF(t), 10) // beta=3: rolls at 7
+	p := make([]byte, c.BlockBytes())
+	for i := 0; i < 7; i++ {
+		if c.Increment(p, 2) {
+			t.Fatalf("premature overflow at %d", i)
+		}
+	}
+	if c.IC(p, 2) != 7 {
+		t.Fatalf("IC=%d want 7", c.IC(p, 2))
+	}
+	if !c.Increment(p, 2) {
+		t.Fatal("overflow not reported")
+	}
+	if c.IC(p, 2) != 7 {
+		t.Fatal("overflow must not modify the counter")
+	}
+	c.BumpGroup(p)
+	if c.GC(p) != 1 {
+		t.Fatalf("GC=%d after bump", c.GC(p))
+	}
+	for j := 0; j < 4; j++ {
+		if c.IC(p, j) != 0 {
+			t.Fatalf("IC[%d]=%d after bump", j, c.IC(p, j))
+		}
+	}
+}
+
+// TestCompressedCounterMonotonic: across increments and group remaps, the
+// composite counter strictly increases — Observation 3, the heart of both
+// leaf freshness and PMMAC's replay resistance.
+func TestCompressedCounterMonotonic(t *testing.T) {
+	c, _ := NewCompressed(4, 3, testPRF(t), 10)
+	p := make([]byte, c.BlockBytes())
+	prev := make([]uint64, 4)
+	for i := 0; i < 100; i++ {
+		j := i % 4
+		if c.Increment(p, j) {
+			c.BumpGroup(p)
+		}
+		for k := 0; k < 4; k++ {
+			now := c.Counter(p, k)
+			if now < prev[k] {
+				t.Fatalf("counter %d went backwards: %d -> %d", k, prev[k], now)
+			}
+			prev[k] = now
+		}
+	}
+}
+
+func TestCompressedLeafChangesWithCounter(t *testing.T) {
+	c, _ := NewCompressed(32, 14, testPRF(t), 24)
+	p := make([]byte, c.BlockBytes())
+	l1 := c.Leaf(p, 42, 5)
+	c.Increment(p, 5)
+	l2 := c.Leaf(p, 42, 5)
+	if l1 == l2 {
+		t.Fatal("leaf did not change after increment (PRF inputs must differ)")
+	}
+	if l1 >= 1<<24 || l2 >= 1<<24 {
+		t.Fatal("leaf out of range")
+	}
+}
+
+func TestCompressedValidation(t *testing.T) {
+	prf := testPRF(t)
+	if _, err := NewCompressed(0, 14, prf, 24); err == nil {
+		t.Error("X=0 accepted")
+	}
+	if _, err := NewCompressed(8, 0, prf, 24); err == nil {
+		t.Error("beta=0 accepted")
+	}
+	if _, err := NewCompressed(8, 33, prf, 24); err == nil {
+		t.Error("beta=33 accepted")
+	}
+	if _, err := NewCompressed(8, 14, nil, 24); err == nil {
+		t.Error("nil PRF accepted")
+	}
+}
+
+// --- Flat counters (PI_X8, §6.2.2) -------------------------------------------
+
+func TestFlatCounters(t *testing.T) {
+	if FlatXFor(64) != 8 {
+		t.Fatal("FlatXFor(64) != 8 (the paper's X = B/64-bits = 8)")
+	}
+	f, err := NewFlatCounters(8, testPRF(t), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := make([]byte, f.BlockBytes())
+	if f.ChildCounter(p, 3) != 0 {
+		t.Fatal("fresh counter nonzero")
+	}
+	l0 := f.ChildLeaf(p, 99, 3)
+	nl, group := f.Remap(p, 99, 3, nil)
+	if group {
+		t.Fatal("flat counters can never need a group remap")
+	}
+	if f.ChildCounter(p, 3) != 1 {
+		t.Fatal("counter did not increment")
+	}
+	if nl == l0 {
+		t.Fatal("leaf unchanged after remap")
+	}
+	if nl != f.ChildLeaf(p, 99, 3) {
+		t.Fatal("Remap result inconsistent with ChildLeaf")
+	}
+}
+
+// --- Format interface conformance --------------------------------------------
+
+func TestFormatsRemapInRange(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	prf := testPRF(t)
+	uf, _ := NewUncompressedFormat(16, 20)
+	fc, _ := NewFlatCounters(8, prf, 20)
+	cf, _ := NewCompressedFormat(32, 14, prf, 20)
+	for _, f := range []Format{uf, fc, cf} {
+		p := make([]byte, f.BlockBytes())
+		f.Init(p, rng)
+		for i := 0; i < 200; i++ {
+			j := i % f.X()
+			leaf := f.ChildLeaf(p, uint64(i), j)
+			if leaf >= 1<<20 {
+				t.Fatalf("%T: leaf %d out of range", f, leaf)
+			}
+			nl, group := f.Remap(p, uint64(i), j, rng)
+			if group {
+				continue
+			}
+			if nl >= 1<<20 {
+				t.Fatalf("%T: remapped leaf out of range", f)
+			}
+			if nl != f.ChildLeaf(p, uint64(i), j) {
+				t.Fatalf("%T: Remap and ChildLeaf disagree", f)
+			}
+		}
+	}
+}
+
+func TestHasCounters(t *testing.T) {
+	prf := testPRF(t)
+	uf, _ := NewUncompressedFormat(16, 20)
+	fc, _ := NewFlatCounters(8, prf, 20)
+	cf, _ := NewCompressedFormat(32, 14, prf, 20)
+	if uf.HasCounters() || !fc.HasCounters() || !cf.HasCounters() {
+		t.Fatal("HasCounters wrong")
+	}
+}
+
+// --- On-chip PosMap -----------------------------------------------------------
+
+func TestOnChipLeafMode(t *testing.T) {
+	o, err := NewOnChipLeaf(16, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(3, 3))
+	l1 := o.Leaf(5, 5, rng)
+	if l1 >= 1<<10 {
+		t.Fatal("leaf out of range")
+	}
+	if o.Leaf(5, 5, rng) != l1 {
+		t.Fatal("leaf unstable between remaps")
+	}
+	l2 := o.Remap(5, 5, rng)
+	if o.Leaf(5, 5, rng) != l2 {
+		t.Fatal("remap not persisted")
+	}
+	if o.SizeBits() != 16*10 {
+		t.Fatalf("size bits %d", o.SizeBits())
+	}
+	if o.Counter(5) != 0 {
+		t.Fatal("leaf mode must report zero counters")
+	}
+}
+
+func TestOnChipCounterMode(t *testing.T) {
+	o, err := NewOnChipCounter(16, testPRF(t), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Counter(7) != 0 {
+		t.Fatal("fresh counter nonzero")
+	}
+	l1 := o.Leaf(7, 1007, nil)
+	l2 := o.Remap(7, 1007, nil)
+	if o.Counter(7) != 1 {
+		t.Fatal("counter not advanced")
+	}
+	if l1 == l2 {
+		t.Fatal("leaf unchanged on remap (PRF counter must differ)")
+	}
+	if o.SizeBits() != 16*64 {
+		t.Fatalf("size bits %d (counter mode is 64b/entry)", o.SizeBits())
+	}
+}
+
+func TestOnChipValidation(t *testing.T) {
+	if _, err := NewOnChipLeaf(0, 10); err == nil {
+		t.Error("zero entries accepted")
+	}
+	if _, err := NewOnChipCounter(4, nil, 10); err == nil {
+		t.Error("nil PRF accepted")
+	}
+}

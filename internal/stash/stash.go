@@ -1,0 +1,135 @@
+// Package stash implements the Path ORAM stash: a small trusted memory that
+// temporarily holds data blocks between a path read and the eviction that
+// writes them back (§3.1). Capacity follows [26]: 200 blocks by default.
+package stash
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Block is a stash-resident ORAM block: its logical address, the leaf it is
+// currently mapped to, and its payload.
+type Block struct {
+	Addr uint64
+	Leaf uint64
+	Data []byte
+}
+
+// Stash holds blocks keyed by address. The zero value is not usable; call
+// New. Lookup is O(1); eviction scans all occupants, which is faithful to
+// hardware (the real stash is a small scanned memory).
+type Stash struct {
+	capacity  int
+	blocks    map[uint64]*Block
+	maxSeen   int
+	overflows int
+}
+
+// DefaultCapacity is the stash size used in the paper's evaluation.
+const DefaultCapacity = 200
+
+// New creates a stash with the given capacity. capacity <= 0 means
+// unbounded (occupancy is still tracked).
+func New(capacity int) *Stash {
+	return &Stash{capacity: capacity, blocks: make(map[uint64]*Block)}
+}
+
+// Len returns the current occupancy.
+func (s *Stash) Len() int { return len(s.blocks) }
+
+// Capacity returns the configured capacity (0 = unbounded).
+func (s *Stash) Capacity() int { return s.capacity }
+
+// MaxSeen returns the highest occupancy recorded by Note().
+func (s *Stash) MaxSeen() int { return s.maxSeen }
+
+// Overflows returns how many times Note() observed occupancy > capacity.
+func (s *Stash) Overflows() int { return s.overflows }
+
+// Put inserts or replaces a block. The stash owns the Block value.
+func (s *Stash) Put(b Block) {
+	copyOf := b
+	s.blocks[b.Addr] = &copyOf
+}
+
+// Get returns the block with the given address, or nil.
+func (s *Stash) Get(addr uint64) *Block { return s.blocks[addr] }
+
+// Remove deletes and returns the block with the given address, or nil.
+func (s *Stash) Remove(addr uint64) *Block {
+	b := s.blocks[addr]
+	if b != nil {
+		delete(s.blocks, addr)
+	}
+	return b
+}
+
+// Note records the post-operation occupancy for the high-water mark and the
+// overflow counter. Call it after each complete ORAM access, i.e. after
+// eviction, matching how stash occupancy is defined in [34].
+func (s *Stash) Note() {
+	if n := len(s.blocks); n > s.maxSeen {
+		s.maxSeen = n
+	}
+	if s.capacity > 0 && len(s.blocks) > s.capacity {
+		s.overflows++
+	}
+}
+
+// EvictForPath selects up to z blocks per level that may legally reside on
+// the path to pathLeaf in a tree with leaf level L, removes them from the
+// stash, and returns them grouped by level (index 0 = root). Selection is
+// greedy from the deepest level up, the standard Path ORAM eviction order,
+// which maximizes how far blocks sink and keeps stash occupancy low.
+//
+// canReside(blockLeaf, level) must report path-intersection legality; z is
+// the bucket capacity.
+func (s *Stash) EvictForPath(pathLeaf uint64, levels, z int,
+	canReside func(blockLeaf uint64, level int) bool) [][]Block {
+
+	out := make([][]Block, levels+1)
+
+	// Deterministic iteration: sort candidate addresses. The map iteration
+	// order would otherwise make simulations non-reproducible.
+	addrs := make([]uint64, 0, len(s.blocks))
+	for a := range s.blocks {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+
+	for lev := levels; lev >= 0; lev-- {
+		bucket := out[lev][:0]
+		for _, a := range addrs {
+			b, ok := s.blocks[a]
+			if !ok {
+				continue // already evicted to a deeper level
+			}
+			if canReside(b.Leaf, lev) {
+				bucket = append(bucket, *b)
+				delete(s.blocks, a)
+				if len(bucket) == z {
+					break
+				}
+			}
+		}
+		out[lev] = bucket
+	}
+	return out
+}
+
+// Addresses returns the sorted addresses currently in the stash (testing
+// and debugging aid).
+func (s *Stash) Addresses() []uint64 {
+	addrs := make([]uint64, 0, len(s.blocks))
+	for a := range s.blocks {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	return addrs
+}
+
+// String summarizes occupancy.
+func (s *Stash) String() string {
+	return fmt.Sprintf("stash{%d/%d max=%d}", len(s.blocks), s.capacity, s.maxSeen)
+}

@@ -1,0 +1,165 @@
+package stash
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"freecursive/internal/tree"
+)
+
+func TestPutGetRemove(t *testing.T) {
+	s := New(10)
+	s.Put(Block{Addr: 1, Leaf: 5, Data: []byte{0xaa}})
+	if b := s.Get(1); b == nil || b.Leaf != 5 || b.Data[0] != 0xaa {
+		t.Fatal("Get after Put failed")
+	}
+	if s.Get(2) != nil {
+		t.Fatal("phantom block")
+	}
+	s.Put(Block{Addr: 1, Leaf: 6}) // replace
+	if s.Get(1).Leaf != 6 || s.Len() != 1 {
+		t.Fatal("replace failed")
+	}
+	if b := s.Remove(1); b == nil || b.Leaf != 6 {
+		t.Fatal("Remove returned wrong block")
+	}
+	if s.Len() != 0 || s.Remove(1) != nil {
+		t.Fatal("Remove not idempotent")
+	}
+}
+
+func TestNoteTracksHighWaterAndOverflow(t *testing.T) {
+	s := New(2)
+	s.Put(Block{Addr: 1})
+	s.Put(Block{Addr: 2})
+	s.Note()
+	if s.MaxSeen() != 2 || s.Overflows() != 0 {
+		t.Fatalf("max=%d overflows=%d", s.MaxSeen(), s.Overflows())
+	}
+	s.Put(Block{Addr: 3})
+	s.Note()
+	if s.MaxSeen() != 3 || s.Overflows() != 1 {
+		t.Fatalf("max=%d overflows=%d", s.MaxSeen(), s.Overflows())
+	}
+}
+
+func TestAddressesSorted(t *testing.T) {
+	s := New(0)
+	for _, a := range []uint64{9, 3, 7, 1} {
+		s.Put(Block{Addr: a})
+	}
+	got := s.Addresses()
+	want := []uint64{1, 3, 7, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("addresses %v", got)
+		}
+	}
+}
+
+// evictAll runs EvictForPath with real tree geometry and returns the
+// per-level buckets.
+func evictAll(s *Stash, g tree.Geometry, pathLeaf uint64) [][]Block {
+	return s.EvictForPath(pathLeaf, g.L, g.Z, func(bl uint64, lev int) bool {
+		return g.CanReside(bl, pathLeaf, lev)
+	})
+}
+
+// TestEvictLegality (property): every evicted block lands in a bucket its
+// leaf path passes through; no bucket exceeds Z; every block left in the
+// stash genuinely had no remaining slot.
+func TestEvictLegality(t *testing.T) {
+	g, _ := tree.NewGeometry(6, 4, 64)
+	f := func(seed uint64, nRaw uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		n := int(nRaw%64) + 1
+		s := New(0)
+		for i := 0; i < n; i++ {
+			s.Put(Block{Addr: uint64(i), Leaf: rng.Uint64() % g.Leaves()})
+		}
+		pathLeaf := rng.Uint64() % g.Leaves()
+		placed := evictAll(s, g, pathLeaf)
+
+		total := 0
+		for lev, bucket := range placed {
+			if len(bucket) > g.Z {
+				return false
+			}
+			total += len(bucket)
+			for _, b := range bucket {
+				if !g.CanReside(b.Leaf, pathLeaf, lev) {
+					return false
+				}
+			}
+		}
+		if total+s.Len() != n {
+			return false // blocks lost or duplicated
+		}
+		// Completeness: a leftover block fits nowhere — every legal level
+		// for it must be full.
+		for _, a := range s.Addresses() {
+			b := s.Get(a)
+			for lev := 0; lev <= g.L; lev++ {
+				if g.CanReside(b.Leaf, pathLeaf, lev) && len(placed[lev]) < g.Z {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEvictGreedyDepth: blocks go as deep as legally possible — with a
+// single block, it must land at its deepest legal level.
+func TestEvictGreedyDepth(t *testing.T) {
+	g, _ := tree.NewGeometry(6, 4, 64)
+	for _, blockLeaf := range []uint64{0, 5, 31, 63} {
+		for _, pathLeaf := range []uint64{0, 32, 63} {
+			s := New(0)
+			s.Put(Block{Addr: 1, Leaf: blockLeaf})
+			placed := evictAll(s, g, pathLeaf)
+			want := g.DeepestLegalLevel(blockLeaf, pathLeaf)
+			if len(placed[want]) != 1 {
+				t.Fatalf("block leaf=%d path=%d not at deepest level %d", blockLeaf, pathLeaf, want)
+			}
+		}
+	}
+}
+
+// TestEvictDeterministic: same contents, same eviction (the simulator must
+// be reproducible).
+func TestEvictDeterministic(t *testing.T) {
+	g, _ := tree.NewGeometry(5, 2, 64)
+	build := func() *Stash {
+		s := New(0)
+		rng := rand.New(rand.NewPCG(7, 7))
+		for i := 0; i < 40; i++ {
+			s.Put(Block{Addr: uint64(i), Leaf: rng.Uint64() % g.Leaves()})
+		}
+		return s
+	}
+	a := evictAll(build(), g, 9)
+	b := evictAll(build(), g, 9)
+	for lev := range a {
+		if len(a[lev]) != len(b[lev]) {
+			t.Fatalf("level %d differs", lev)
+		}
+		for i := range a[lev] {
+			if a[lev][i].Addr != b[lev][i].Addr {
+				t.Fatalf("level %d slot %d differs", lev, i)
+			}
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	s := New(5)
+	s.Put(Block{Addr: 1})
+	if s.String() == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,97 @@
+// Package stats collects bandwidth and event counters for ORAM simulations.
+//
+// A single Counters value is threaded through a frontend and its backend so
+// that experiments can attribute every byte moved to either data or PosMap
+// traffic, exactly as the paper's Figures 3, 7 and 8 require.
+package stats
+
+import "fmt"
+
+// Counters accumulates simulation events. The zero value is ready to use.
+// Counters is not safe for concurrent use; each simulated ORAM owns one.
+type Counters struct {
+	// Frontend events.
+	Accesses   uint64 // ORAM accesses requested by the LLC (read or write)
+	PLBHits    uint64 // PLB lookups that hit (per level probed)
+	PLBMisses  uint64 // PLB lookups that missed
+	PLBRefills uint64 // PosMap blocks brought into the PLB
+	PLBEvicts  uint64 // PosMap blocks appended back to the stash
+	GroupRemap uint64 // compressed-PosMap group remap operations
+
+	// Backend events.
+	BackendAccesses uint64 // path read+write operations (read/write/readrmv)
+	Appends         uint64 // append operations (no tree traversal)
+
+	// Byte accounting. Bytes are "DRAM bytes": encrypted bucket size padded
+	// to the 64-byte DDR3 burst granularity, matching the paper's padding of
+	// buckets to 512-bit multiples.
+	DataBytes   uint64 // bytes moved for data-block tree paths
+	PosMapBytes uint64 // bytes moved for PosMap-block tree paths
+
+	// Integrity accounting.
+	HashedBytes uint64 // bytes run through the hash unit (PMMAC or Merkle)
+	MACChecks   uint64 // MAC verifications performed
+	Violations  uint64 // integrity violations detected
+
+	// Stash health.
+	StashMax      uint64 // maximum post-eviction stash occupancy observed
+	StashOverflow uint64 // times the stash exceeded its configured capacity
+}
+
+// TotalBytes returns all bytes moved between the ORAM controller and memory.
+func (c *Counters) TotalBytes() uint64 { return c.DataBytes + c.PosMapBytes }
+
+// PosMapFraction returns the fraction of traffic spent on PosMap blocks.
+func (c *Counters) PosMapFraction() float64 {
+	t := c.TotalBytes()
+	if t == 0 {
+		return 0
+	}
+	return float64(c.PosMapBytes) / float64(t)
+}
+
+// BytesPerAccess returns average bytes moved per frontend access.
+func (c *Counters) BytesPerAccess() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.TotalBytes()) / float64(c.Accesses)
+}
+
+// PLBHitRate returns the fraction of PLB probes that hit.
+func (c *Counters) PLBHitRate() float64 {
+	n := c.PLBHits + c.PLBMisses
+	if n == 0 {
+		return 0
+	}
+	return float64(c.PLBHits) / float64(n)
+}
+
+// Delta returns c - prev, field by field, for interval measurements.
+func (c Counters) Delta(prev Counters) Counters {
+	return Counters{
+		Accesses:        c.Accesses - prev.Accesses,
+		PLBHits:         c.PLBHits - prev.PLBHits,
+		PLBMisses:       c.PLBMisses - prev.PLBMisses,
+		PLBRefills:      c.PLBRefills - prev.PLBRefills,
+		PLBEvicts:       c.PLBEvicts - prev.PLBEvicts,
+		GroupRemap:      c.GroupRemap - prev.GroupRemap,
+		BackendAccesses: c.BackendAccesses - prev.BackendAccesses,
+		Appends:         c.Appends - prev.Appends,
+		DataBytes:       c.DataBytes - prev.DataBytes,
+		PosMapBytes:     c.PosMapBytes - prev.PosMapBytes,
+		HashedBytes:     c.HashedBytes - prev.HashedBytes,
+		MACChecks:       c.MACChecks - prev.MACChecks,
+		Violations:      c.Violations - prev.Violations,
+		StashMax:        c.StashMax, // high-water marks are not differenced
+		StashOverflow:   c.StashOverflow - prev.StashOverflow,
+	}
+}
+
+// String renders a compact one-line summary.
+func (c *Counters) String() string {
+	return fmt.Sprintf(
+		"accesses=%d backend=%d appends=%d bytes=%d (posmap %.1f%%) plbHit=%.1f%% stashMax=%d",
+		c.Accesses, c.BackendAccesses, c.Appends, c.TotalBytes(),
+		100*c.PosMapFraction(), 100*c.PLBHitRate(), c.StashMax)
+}

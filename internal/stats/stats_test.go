@@ -1,0 +1,44 @@
+package stats
+
+import "testing"
+
+func TestDerivedMetrics(t *testing.T) {
+	c := Counters{
+		Accesses: 10, DataBytes: 600, PosMapBytes: 400,
+		PLBHits: 30, PLBMisses: 10,
+	}
+	if c.TotalBytes() != 1000 {
+		t.Fatalf("total %d", c.TotalBytes())
+	}
+	if got := c.PosMapFraction(); got != 0.4 {
+		t.Fatalf("posmap fraction %v", got)
+	}
+	if got := c.BytesPerAccess(); got != 100 {
+		t.Fatalf("bytes/access %v", got)
+	}
+	if got := c.PLBHitRate(); got != 0.75 {
+		t.Fatalf("hit rate %v", got)
+	}
+}
+
+func TestZeroSafe(t *testing.T) {
+	var c Counters
+	if c.PosMapFraction() != 0 || c.BytesPerAccess() != 0 || c.PLBHitRate() != 0 {
+		t.Fatal("zero counters must not divide by zero")
+	}
+	if c.String() == "" {
+		t.Fatal("String on zero value")
+	}
+}
+
+func TestDelta(t *testing.T) {
+	a := Counters{Accesses: 5, DataBytes: 100, PLBHits: 2, StashMax: 7}
+	b := Counters{Accesses: 9, DataBytes: 150, PLBHits: 6, StashMax: 8}
+	d := b.Delta(a)
+	if d.Accesses != 4 || d.DataBytes != 50 || d.PLBHits != 4 {
+		t.Fatalf("delta %+v", d)
+	}
+	if d.StashMax != 8 {
+		t.Fatal("high-water marks must carry the current value, not a difference")
+	}
+}

@@ -1,0 +1,298 @@
+// Package trace generates synthetic memory-access traces standing in for
+// the SPEC06-int reference workloads of §7.1.1 (see DESIGN.md §4 for the
+// substitution argument). Each benchmark is modeled as a deterministic,
+// seeded mixture of access patterns — sequential streams, fixed strides,
+// hot-region accesses and pointer chasing — whose working-set sizes and
+// mixture weights are chosen to reproduce that benchmark's qualitative
+// locality: who is PLB-sensitive (bzip2, mcf), who streams (libquantum,
+// hmmer), who thrashes (mcf, omnetpp).
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Op is one memory operation: Gap non-memory instructions execute before
+// it, then a load/store of the 64-bit word at Addr.
+type Op struct {
+	Gap   uint32
+	Addr  uint64
+	Write bool
+}
+
+// Generator produces an infinite deterministic trace.
+type Generator interface {
+	Name() string
+	Next() Op
+}
+
+// Mix parameterizes a synthetic benchmark personality.
+type Mix struct {
+	Name       string
+	WorkingSet uint64 // total touched address space, bytes
+
+	// Pattern mixture (weights normalized internally):
+	PSeq    float64 // unit-stride streaming
+	PStride float64 // fixed-stride scan
+	PRegion float64 // uniform within a drifting hot region
+	PChase  float64 // pointer chasing over a chase set
+	PRand   float64 // uniform over the whole working set
+
+	StrideBytes  uint64  // stride for PStride (e.g. 256)
+	RegionBytes  uint64  // hot region size
+	RegionSwitch float64 // per-op probability the hot region moves
+	ChaseBytes   uint64  // pointer-chase footprint
+
+	// BurstLines makes chase/uniform targets spatially bursty: after
+	// picking a target, the generator walks that many consecutive 64-byte
+	// lines (on average, geometric) before drawing a new pattern. Real
+	// programs traverse multi-line objects and records, so consecutive LLC
+	// misses often share a PosMap block — the property that makes even an
+	// 8 KB PLB effective for most of SPEC (§7.1.3). Zero/one disables.
+	BurstLines int
+
+	MemFrac   float64 // fraction of instructions that access memory
+	WriteFrac float64 // fraction of memory ops that are stores
+}
+
+type generator struct {
+	mix Mix
+	rng *rand.Rand
+
+	seqCursor  uint64
+	strCursor  uint64
+	regionBase uint64
+	chaseCur   uint64
+
+	burstLeft int
+	burstAddr uint64
+
+	cum [5]float64 // cumulative normalized pattern weights
+}
+
+// New builds a deterministic generator for the mix with the given seed.
+func New(mix Mix, seed uint64) (Generator, error) {
+	if mix.WorkingSet < 4096 {
+		return nil, fmt.Errorf("trace: working set %d too small", mix.WorkingSet)
+	}
+	if mix.MemFrac <= 0 || mix.MemFrac > 1 {
+		return nil, fmt.Errorf("trace: MemFrac %v outside (0,1]", mix.MemFrac)
+	}
+	g := &generator{mix: mix, rng: rand.New(rand.NewPCG(seed, 0x7ace))}
+	w := [5]float64{mix.PSeq, mix.PStride, mix.PRegion, mix.PChase, mix.PRand}
+	var sum float64
+	for _, v := range w {
+		if v < 0 {
+			return nil, fmt.Errorf("trace: negative pattern weight")
+		}
+		sum += v
+	}
+	if sum == 0 {
+		return nil, fmt.Errorf("trace: all pattern weights zero")
+	}
+	acc := 0.0
+	for i, v := range w {
+		acc += v / sum
+		g.cum[i] = acc
+	}
+	if mix.StrideBytes == 0 {
+		g.mix.StrideBytes = 256
+	}
+	if mix.RegionBytes == 0 {
+		g.mix.RegionBytes = 1 << 20
+	}
+	if mix.ChaseBytes == 0 {
+		g.mix.ChaseBytes = mix.WorkingSet / 4
+	}
+	// Keep the pattern footprints disjoint: streams start in the upper half
+	// of the working set, the chase set sits in the second quarter, and the
+	// hot region starts at a random base. Without this, a slow stream can
+	// hide inside the hot region and never miss.
+	g.seqCursor = mix.WorkingSet / 2
+	g.strCursor = mix.WorkingSet/2 + mix.WorkingSet/4
+	g.regionBase = g.rng.Uint64() % (mix.WorkingSet / 8)
+	return g, nil
+}
+
+func (g *generator) Name() string { return g.mix.Name }
+
+// splitmix64 hashes the pointer-chase cursor into the next pointer,
+// producing a deterministic random-walk permutation-like chain.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ x>>30) * 0xbf58476d1ce4e5b9
+	x = (x ^ x>>27) * 0x94d049bb133111eb
+	return x ^ x>>31
+}
+
+func (g *generator) Next() Op {
+	m := &g.mix
+	// Geometric-ish gap with mean (1-MemFrac)/MemFrac.
+	mean := (1 - m.MemFrac) / m.MemFrac
+	gap := uint32(0)
+	if mean > 0 {
+		gap = uint32(math.Min(g.rng.ExpFloat64()*mean+0.5, 10_000))
+	}
+
+	var addr uint64
+	if g.burstLeft > 0 {
+		// Continue walking the current object, one line per op.
+		g.burstLeft--
+		g.burstAddr = (g.burstAddr + 64) % m.WorkingSet
+		addr = g.burstAddr
+		return Op{Gap: gap, Addr: addr &^ 7, Write: g.rng.Float64() < m.WriteFrac}
+	}
+
+	p := g.rng.Float64()
+	burst := false
+	switch {
+	case p < g.cum[0]: // sequential
+		g.seqCursor = (g.seqCursor + 8) % m.WorkingSet
+		addr = g.seqCursor
+	case p < g.cum[1]: // strided
+		g.strCursor = (g.strCursor + m.StrideBytes) % m.WorkingSet
+		addr = g.strCursor
+	case p < g.cum[2]: // hot region
+		if g.rng.Float64() < m.RegionSwitch {
+			g.regionBase = g.rng.Uint64() % m.WorkingSet
+		}
+		addr = (g.regionBase + g.rng.Uint64()%m.RegionBytes) % m.WorkingSet
+	case p < g.cum[3]: // pointer chase
+		g.chaseCur = splitmix64(g.chaseCur)
+		chaseStart := m.WorkingSet / 4
+		if chaseStart+m.ChaseBytes > m.WorkingSet {
+			chaseStart = m.WorkingSet - m.ChaseBytes
+		}
+		addr = chaseStart + g.chaseCur%m.ChaseBytes
+		burst = true
+	default: // uniform
+		addr = g.rng.Uint64() % m.WorkingSet
+		burst = true
+	}
+	if burst && m.BurstLines > 1 {
+		// Geometric burst with the configured mean; the first line is this
+		// op, the remainder continue on subsequent ops.
+		g.burstLeft = int(g.rng.ExpFloat64() * float64(m.BurstLines-1))
+		g.burstAddr = addr
+	}
+	return Op{
+		Gap:   gap,
+		Addr:  addr &^ 7,
+		Write: g.rng.Float64() < m.WriteFrac,
+	}
+}
+
+// SPEC06 returns the eleven benchmark personalities of Figure 5/6/8.
+//
+// Calibration: the dominant pattern in every mix is reuse inside a hot
+// region that fits the 1 MB L2, so LLC miss rates land in the 0.5-12 MPKI
+// band real SPEC06-int exhibits on a 1 MB LLC. Misses come from three
+// distinct sources with very different ORAM-level behavior:
+//
+//   - streaming (PSeq/PStride): every new line misses once, but 32
+//     consecutive blocks share a PosMap block — near-perfect PLB locality;
+//   - bounded chase sets a few MB wide (PChase): miss the LLC but *reuse*
+//     a few thousand PosMap blocks — exactly the footprint that separates
+//     an 8 KB from a 128 KB PLB (bzip2, mcf in Figure 5);
+//   - uniform noise over the whole working set (PRand): PLB-hostile
+//     (sjeng's transposition table, omnetpp's heap).
+func SPEC06() []Mix {
+	return []Mix{
+		{
+			// Pathfinding: open/closed lists in cache, map tiles beyond it.
+			Name: "astar", WorkingSet: 96 << 20,
+			PRegion: 0.99845, PChase: 0.00117, PRand: 0.00038,
+			RegionBytes: 384 << 10, RegionSwitch: 0, ChaseBytes: 4 << 20, BurstLines: 6,
+			MemFrac: 0.32, WriteFrac: 0.25,
+		},
+		{
+			// Block compression: sequential input scan plus match
+			// references into a multi-megabyte window — the window reuse is
+			// exactly what bigger PLBs capture (Fig 5).
+			Name: "bzip2", WorkingSet: 400 << 20,
+			PSeq: 0.016, PRegion: 0.9725, PChase: 0.0115,
+			RegionBytes: 448 << 10, RegionSwitch: 0, ChaseBytes: 4 << 20,
+			MemFrac: 0.3, WriteFrac: 0.3,
+		},
+		{
+			// Compiler: small structures with churn, moderate miss rate.
+			Name: "gcc", WorkingSet: 128 << 20,
+			PRegion: 0.99092, PChase: 0.001, PSeq: 0.008, PRand: 0.00008,
+			RegionBytes: 448 << 10, RegionSwitch: 0, ChaseBytes: 8 << 20, BurstLines: 6,
+			MemFrac: 0.3, WriteFrac: 0.3,
+		},
+		{
+			// Go playing: board state resident, sparse pattern-db probes.
+			Name: "gobmk", WorkingSet: 48 << 20,
+			PRegion: 0.9994, PRand: 0.0006,
+			RegionBytes: 256 << 10, RegionSwitch: 0, BurstLines: 6,
+			MemFrac: 0.28, WriteFrac: 0.25,
+		},
+		{
+			// Video encoding: streaming frames with 2-D block locality.
+			Name: "h264ref", WorkingSet: 64 << 20,
+			PSeq: 0.036, PStride: 0.0005, PRegion: 0.9635,
+			StrideBytes: 1920, RegionBytes: 384 << 10, RegionSwitch: 0,
+			MemFrac: 0.3, WriteFrac: 0.2,
+		},
+		{
+			// Profile HMM search: hot tables, excellent locality, low MPKI.
+			Name: "hmmer", WorkingSet: 24 << 20,
+			PSeq: 0.014, PRegion: 0.986,
+			RegionBytes: 256 << 10, RegionSwitch: 0,
+			MemFrac: 0.35, WriteFrac: 0.35,
+		},
+		{
+			// Quantum simulation: giant vectors swept with unit stride —
+			// the highest MPKI, but perfect spatial (and PLB) locality.
+			Name: "libquantum", WorkingSet: 512 << 20,
+			PSeq: 0.32, PRegion: 0.68,
+			RegionBytes: 224 << 10, RegionSwitch: 0,
+			MemFrac: 0.3, WriteFrac: 0.25,
+		},
+		{
+			// Network simplex: pointer chasing over arc/node arrays a few
+			// MB wide — high MPKI with reuse that a 128 KB PLB captures but
+			// an 8 KB PLB cannot (Fig 5), plus cold-graph noise.
+			Name: "mcf", WorkingSet: 1200 << 20,
+			PChase: 0.02, PRegion: 0.978, PRand: 0.002,
+			ChaseBytes: 3 << 20, RegionBytes: 576 << 10, RegionSwitch: 0,
+			MemFrac: 0.38, WriteFrac: 0.3,
+		},
+		{
+			// Discrete event simulation: scattered heap objects — misses
+			// split between a wide chase set and uniform noise.
+			Name: "omnetpp", WorkingSet: 256 << 20,
+			PChase: 0.00325, PRegion: 0.99525, PRand: 0.0015,
+			ChaseBytes: 16 << 20, RegionBytes: 512 << 10, RegionSwitch: 0, BurstLines: 4,
+			MemFrac: 0.33, WriteFrac: 0.35,
+		},
+		{
+			// Perl interpreter: hash/string churn over a moderate heap.
+			Name: "perlbench", WorkingSet: 96 << 20,
+			PRegion: 0.99917, PChase: 0.00066, PRand: 0.00017,
+			RegionBytes: 384 << 10, RegionSwitch: 0, ChaseBytes: 3 << 20, BurstLines: 6,
+			MemFrac: 0.3, WriteFrac: 0.35,
+		},
+		{
+			// Chess: in-cache search plus transposition-table probes that
+			// are uniform over a large table — PLB-hostile by design.
+			Name: "sjeng", WorkingSet: 64 << 20,
+			PRegion: 0.9984, PRand: 0.0016,
+			RegionBytes: 288 << 10, RegionSwitch: 0, BurstLines: 4,
+			MemFrac: 0.28, WriteFrac: 0.25,
+		},
+	}
+}
+
+// ByName returns the personality with the given name.
+func ByName(name string) (Mix, error) {
+	for _, m := range SPEC06() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Mix{}, fmt.Errorf("trace: unknown benchmark %q", name)
+}

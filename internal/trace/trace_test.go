@@ -1,0 +1,147 @@
+package trace
+
+import (
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	mix, _ := ByName("mcf")
+	g1, _ := New(mix, 42)
+	g2, _ := New(mix, 42)
+	for i := 0; i < 10000; i++ {
+		a, b := g1.Next(), g2.Next()
+		if a != b {
+			t.Fatalf("op %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	mix, _ := ByName("mcf")
+	g1, _ := New(mix, 1)
+	g2, _ := New(mix, 2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if g1.Next().Addr == g2.Next().Addr {
+			same++
+		}
+	}
+	if same > 900 {
+		t.Fatalf("seeds produce nearly identical traces (%d/1000)", same)
+	}
+}
+
+func TestAddressBounds(t *testing.T) {
+	for _, mix := range SPEC06() {
+		g, err := New(mix, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", mix.Name, err)
+		}
+		for i := 0; i < 20000; i++ {
+			op := g.Next()
+			if op.Addr >= mix.WorkingSet {
+				t.Fatalf("%s: address %#x outside working set %#x", mix.Name, op.Addr, mix.WorkingSet)
+			}
+			if op.Addr&7 != 0 {
+				t.Fatalf("%s: unaligned address %#x", mix.Name, op.Addr)
+			}
+		}
+	}
+}
+
+func TestWriteFraction(t *testing.T) {
+	mix, _ := ByName("bzip2") // WriteFrac 0.3
+	g, _ := New(mix, 3)
+	writes := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		if g.Next().Write {
+			writes++
+		}
+	}
+	frac := float64(writes) / n
+	if frac < 0.27 || frac > 0.33 {
+		t.Fatalf("write fraction %.3f, want ~0.30", frac)
+	}
+}
+
+func TestMemFracViaGaps(t *testing.T) {
+	mix, _ := ByName("hmmer") // MemFrac 0.35 -> mean gap ~1.857
+	g, _ := New(mix, 3)
+	var gaps uint64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		gaps += uint64(g.Next().Gap)
+	}
+	instrPerOp := 1 + float64(gaps)/n
+	want := 1 / 0.35
+	if instrPerOp < want*0.9 || instrPerOp > want*1.1 {
+		t.Fatalf("instructions/op %.2f, want ~%.2f", instrPerOp, want)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Mix{WorkingSet: 100, MemFrac: 0.3, PSeq: 1}, 1); err == nil {
+		t.Error("tiny working set accepted")
+	}
+	if _, err := New(Mix{WorkingSet: 1 << 20, MemFrac: 0, PSeq: 1}, 1); err == nil {
+		t.Error("zero MemFrac accepted")
+	}
+	if _, err := New(Mix{WorkingSet: 1 << 20, MemFrac: 0.3}, 1); err == nil {
+		t.Error("all-zero weights accepted")
+	}
+	if _, err := New(Mix{WorkingSet: 1 << 20, MemFrac: 0.3, PSeq: -1, PRand: 2}, 1); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("mcf"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("doom"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	if len(SPEC06()) != 11 {
+		t.Fatalf("expected the 11 SPEC06-int benchmarks, got %d", len(SPEC06()))
+	}
+}
+
+// TestBurstsShareLines: with BurstLines set, a burst walks consecutive
+// lines — the property that gives probe-0 PLB hits.
+func TestBurstsShareLines(t *testing.T) {
+	mix := Mix{
+		Name: "bursty", WorkingSet: 64 << 20,
+		PChase: 1, ChaseBytes: 32 << 20, BurstLines: 8,
+		MemFrac: 0.5,
+	}
+	g, _ := New(mix, 5)
+	consecutive := 0
+	var prev uint64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		op := g.Next()
+		if i > 0 && op.Addr == prev+64 {
+			consecutive++
+		}
+		prev = op.Addr
+	}
+	// Mean burst 8 lines -> ~7/8 of ops continue a burst.
+	if consecutive < n/2 {
+		t.Fatalf("only %d/%d ops continue bursts; bursts not working", consecutive, n)
+	}
+}
+
+// TestSequentialIsSequential: the PSeq pattern advances 8 bytes per op.
+func TestSequentialIsSequential(t *testing.T) {
+	mix := Mix{Name: "seq", WorkingSet: 1 << 20, PSeq: 1, MemFrac: 0.5}
+	g, _ := New(mix, 5)
+	prev := g.Next().Addr
+	for i := 0; i < 1000; i++ {
+		cur := g.Next().Addr
+		if cur != prev+8 && cur != 0 { // wrap allowed
+			t.Fatalf("sequential stream jumped from %#x to %#x", prev, cur)
+		}
+		prev = cur
+	}
+}

@@ -1,0 +1,199 @@
+package tree
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewGeometryValidation(t *testing.T) {
+	cases := []struct {
+		l, z, b int
+		ok      bool
+	}{
+		{24, 4, 64, true},
+		{0, 1, 1, true},
+		{-1, 4, 64, false},
+		{63, 4, 64, false},
+		{24, 0, 64, false},
+		{24, 4, 0, false},
+	}
+	for _, c := range cases {
+		_, err := NewGeometry(c.l, c.z, c.b)
+		if (err == nil) != c.ok {
+			t.Errorf("NewGeometry(%d,%d,%d): err=%v want ok=%v", c.l, c.z, c.b, err, c.ok)
+		}
+	}
+}
+
+func TestLevelsForCapacity(t *testing.T) {
+	cases := []struct {
+		n    uint64
+		z    int
+		want int
+	}{
+		{1 << 26, 4, 24}, // the paper's 4 GB flagship: 2^24 leaves, ~2N slots
+		{1 << 20, 4, 18},
+		{1 << 10, 4, 8},
+		{4, 4, 0},
+		{0, 4, 0},
+		{1 << 25, 3, 24}, // non-power-of-two Z rounds up
+	}
+	for _, c := range cases {
+		if got := LevelsForCapacity(c.n, c.z); got != c.want {
+			t.Errorf("LevelsForCapacity(%d,%d)=%d want %d", c.n, c.z, got, c.want)
+		}
+	}
+}
+
+func TestCountsAndSlots(t *testing.T) {
+	g, _ := NewGeometry(3, 4, 64)
+	if g.Leaves() != 8 || g.Buckets() != 15 || g.Slots() != 60 {
+		t.Fatalf("got leaves=%d buckets=%d slots=%d", g.Leaves(), g.Buckets(), g.Slots())
+	}
+	// ~50% utilization at L = log2(N/Z): slots ~ 2N.
+	g2, _ := NewGeometry(LevelsForCapacity(1<<20, 4), 4, 64)
+	if s := g2.Slots(); s < 1<<21-8 || s > 1<<21 {
+		t.Fatalf("slots=%d, want ~2N=%d", s, 1<<21)
+	}
+}
+
+func TestNodeIndexRootAndLeaf(t *testing.T) {
+	g, _ := NewGeometry(3, 4, 64)
+	for leaf := uint64(0); leaf < 8; leaf++ {
+		if g.NodeIndex(leaf, 0) != 0 {
+			t.Fatalf("root index wrong for leaf %d", leaf)
+		}
+		if got, want := g.NodeIndex(leaf, 3), 7+leaf; got != want {
+			t.Fatalf("leaf index %d want %d", got, want)
+		}
+	}
+}
+
+// TestPathIndicesHeapStructure: each node on a path must be the heap parent
+// of the next.
+func TestPathIndicesHeapStructure(t *testing.T) {
+	g, _ := NewGeometry(10, 4, 64)
+	for leaf := uint64(0); leaf < g.Leaves(); leaf += 37 {
+		p := g.PathIndices(leaf, nil)
+		if len(p) != 11 {
+			t.Fatalf("path length %d", len(p))
+		}
+		for i := 1; i < len(p); i++ {
+			if (p[i]-1)/2 != p[i-1] {
+				t.Fatalf("leaf %d: node %d not child of %d", leaf, p[i], p[i-1])
+			}
+		}
+	}
+}
+
+func TestPathIndicesReuseBuffer(t *testing.T) {
+	g, _ := NewGeometry(5, 4, 64)
+	buf := make([]uint64, 6)
+	out := g.PathIndices(3, buf)
+	if &out[0] != &buf[0] {
+		t.Fatal("buffer not reused")
+	}
+}
+
+// TestCanResideMatchesPaths: b may reside at (pathLeaf, level) iff the two
+// paths share the bucket — cross-checked against PathIndices.
+func TestCanResideMatchesPaths(t *testing.T) {
+	g, _ := NewGeometry(6, 4, 64)
+	f := func(a, b uint64) bool {
+		la := a % g.Leaves()
+		lb := b % g.Leaves()
+		pa := g.PathIndices(la, nil)
+		pb := g.PathIndices(lb, nil)
+		for lev := 0; lev <= g.L; lev++ {
+			if g.CanReside(la, lb, lev) != (pa[lev] == pb[lev]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeepestLegalLevel agrees with CanReside.
+func TestDeepestLegalLevel(t *testing.T) {
+	g, _ := NewGeometry(8, 4, 64)
+	f := func(a, b uint64) bool {
+		la := a % g.Leaves()
+		lb := b % g.Leaves()
+		d := g.DeepestLegalLevel(la, lb)
+		if !g.CanReside(la, lb, d) {
+			return false
+		}
+		if d < g.L && g.CanReside(la, lb, d+1) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidLeaf(t *testing.T) {
+	g, _ := NewGeometry(4, 4, 64)
+	if !g.ValidLeaf(15) || g.ValidLeaf(16) {
+		t.Fatal("ValidLeaf boundary wrong")
+	}
+}
+
+func TestSubtreeLayoutFitsRow(t *testing.T) {
+	g, _ := NewGeometry(24, 4, 64)
+	sl := NewSubtreeLayout(g, 320, 8192)
+	subBytes := (uint64(1)<<uint(sl.SubLevels) - 1) * 320
+	if subBytes > 8192 {
+		t.Fatalf("subtree %dB exceeds row", subBytes)
+	}
+	// and k+1 would not fit
+	if next := (uint64(1)<<uint(sl.SubLevels+1) - 1) * 320; next <= 8192 {
+		t.Fatalf("layout under-packs: %d levels would fit", sl.SubLevels+1)
+	}
+}
+
+// TestSubtreeLayoutInjective: distinct buckets map to distinct physical
+// addresses, and all addresses are bucket-aligned.
+func TestSubtreeLayoutInjective(t *testing.T) {
+	g, _ := NewGeometry(8, 4, 64)
+	sl := NewSubtreeLayout(g, 320, 8192)
+	seen := make(map[uint64]uint64) // phys -> heap index
+	for leaf := uint64(0); leaf < g.Leaves(); leaf++ {
+		for lev := 0; lev <= g.L; lev++ {
+			idx := g.NodeIndex(leaf, lev)
+			phys := sl.PhysAddr(leaf, lev)
+			if phys%320 != 0 {
+				t.Fatalf("unaligned address %d", phys)
+			}
+			if prev, ok := seen[phys]; ok && prev != idx {
+				t.Fatalf("collision: buckets %d and %d both at %d", prev, idx, phys)
+			}
+			seen[phys] = idx
+		}
+	}
+	if len(seen) != int(g.Buckets()) {
+		t.Fatalf("mapped %d buckets, want %d", len(seen), g.Buckets())
+	}
+}
+
+// TestSubtreeLayoutLocality: a path's buckets within one super-level share
+// one subtree (hence one DRAM row).
+func TestSubtreeLayoutLocality(t *testing.T) {
+	g, _ := NewGeometry(12, 4, 64)
+	sl := NewSubtreeLayout(g, 320, 8192) // 4 levels per subtree
+	for _, leaf := range []uint64{0, 1, 1000, g.Leaves() - 1} {
+		for lev := 1; lev <= g.L; lev++ {
+			if lev/sl.SubLevels == (lev-1)/sl.SubLevels {
+				a := sl.Coord(leaf, lev-1)
+				b := sl.Coord(leaf, lev)
+				if a.SubtreeID != b.SubtreeID {
+					t.Fatalf("leaf %d levels %d,%d in different subtrees", leaf, lev-1, lev)
+				}
+			}
+		}
+	}
+}

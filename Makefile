@@ -1,0 +1,26 @@
+# Targets mirror the CI jobs in .github/workflows/ci.yml so local runs and
+# CI stay in lockstep.
+
+.PHONY: all build test race bench lint fmt
+
+all: build lint test
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./internal/store/... ./cmd/oramstore/...
+
+bench:
+	go test -run=NONE -bench=. -benchtime=1x .
+
+lint:
+	go vet ./...
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "files need gofmt:"; echo "$$out"; exit 1; fi
+
+fmt:
+	gofmt -w .

@@ -5,8 +5,9 @@
 // regressions are visible in -bench output alone.
 //
 // Micro-benchmarks (BenchmarkAccess*) measure the simulator itself: the
-// cost of one ORAM access through each frontend.
-package freecursive
+// cost of one ORAM access through each frontend, and the parallel
+// throughput of the sharded store (BenchmarkStoreParallel*).
+package freecursive_test
 
 import (
 	"fmt"
@@ -15,7 +16,9 @@ import (
 	"sync"
 	"testing"
 
+	"freecursive"
 	"freecursive/internal/exp"
+	"freecursive/internal/store"
 )
 
 // printOnce avoids spamming the table when the harness re-runs a benchmark
@@ -199,8 +202,8 @@ func BenchmarkTheory54(b *testing.B) {
 
 // --- simulator micro-benchmarks ---------------------------------------------
 
-func benchAccess(b *testing.B, scheme Scheme, lightweight bool) {
-	o, err := New(Config{
+func benchAccess(b *testing.B, scheme freecursive.Scheme, lightweight bool) {
+	o, err := freecursive.New(freecursive.Config{
 		Scheme: scheme, Blocks: 1 << 16, Lightweight: lightweight, Seed: 2,
 	})
 	if err != nil {
@@ -221,7 +224,51 @@ func benchAccess(b *testing.B, scheme Scheme, lightweight bool) {
 	}
 }
 
-func BenchmarkAccessRecursiveFunctional(b *testing.B) { benchAccess(b, Recursive, false) }
-func BenchmarkAccessPCFunctional(b *testing.B)        { benchAccess(b, PC, false) }
-func BenchmarkAccessPICFunctional(b *testing.B)       { benchAccess(b, PIC, false) }
-func BenchmarkAccessPICLightweight(b *testing.B)      { benchAccess(b, PIC, true) }
+func BenchmarkAccessRecursiveFunctional(b *testing.B) { benchAccess(b, freecursive.Recursive, false) }
+func BenchmarkAccessPCFunctional(b *testing.B)        { benchAccess(b, freecursive.PC, false) }
+func BenchmarkAccessPICFunctional(b *testing.B)       { benchAccess(b, freecursive.PIC, false) }
+func BenchmarkAccessPICLightweight(b *testing.B)      { benchAccess(b, freecursive.PIC, true) }
+
+// --- sharded-store throughput -----------------------------------------------
+
+// benchStoreParallel measures aggregate Get/Put throughput through
+// internal/store with GOMAXPROCS goroutines. Because each shard serializes
+// behind its own mutex, throughput should rise with the shard count; the
+// 1-shard run is the fully-serialized baseline.
+func benchStoreParallel(b *testing.B, shards int, lightweight bool) {
+	s, err := store.New(store.Config{
+		Shards: shards,
+		Blocks: 1 << 16,
+		ORAM: freecursive.Config{
+			Scheme:      freecursive.PIC,
+			Lightweight: lightweight,
+			Seed:        2,
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, s.BlockBytes())
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewPCG(rand.Uint64(), 11))
+		for pb.Next() {
+			addr := rng.Uint64() % s.Blocks()
+			if rng.Uint64()&1 == 0 {
+				if _, err := s.Put(addr, buf); err != nil {
+					b.Fatal(err)
+				}
+			} else if _, err := s.Get(addr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkStoreParallelLightweight1(b *testing.B)  { benchStoreParallel(b, 1, true) }
+func BenchmarkStoreParallelLightweight4(b *testing.B)  { benchStoreParallel(b, 4, true) }
+func BenchmarkStoreParallelLightweight16(b *testing.B) { benchStoreParallel(b, 16, true) }
+
+func BenchmarkStoreParallelFunctional1(b *testing.B)  { benchStoreParallel(b, 1, false) }
+func BenchmarkStoreParallelFunctional4(b *testing.B)  { benchStoreParallel(b, 4, false) }
+func BenchmarkStoreParallelFunctional16(b *testing.B) { benchStoreParallel(b, 16, false) }

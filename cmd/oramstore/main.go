@@ -1,0 +1,276 @@
+// Command oramstore serves a sharded oblivious block store over HTTP, and
+// doubles as a load generator for driving one.
+//
+// Serve mode (the default) exposes:
+//
+//	GET  /block/{addr}  — read a block (application/octet-stream)
+//	PUT  /block/{addr}  — write a block (body is zero-padded/truncated)
+//	GET  /stats         — aggregate + per-shard counters as JSON
+//	GET  /healthz       — liveness probe
+//
+// Load mode hammers a running server with concurrent random reads and
+// writes and reports throughput and latency percentiles.
+//
+// Examples:
+//
+//	oramstore -addr :8080 -shards 16 -blocks 20 -lightweight
+//	oramstore load -url http://localhost:8080 -workers 32 -duration 10s
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"freecursive"
+	"freecursive/internal/store"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("oramstore: ")
+	if len(os.Args) > 1 && os.Args[1] == "load" {
+		runLoad(os.Args[2:])
+		return
+	}
+	runServe(os.Args[1:])
+}
+
+// --- serve mode -------------------------------------------------------------
+
+var schemes = map[string]freecursive.Scheme{
+	"R": freecursive.Recursive, "P": freecursive.PLB, "PC": freecursive.PC,
+	"PI": freecursive.PI, "PIC": freecursive.PIC,
+}
+
+func runServe(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	shards := fs.Int("shards", 8, "ORAM shard count (rounded up to a power of two)")
+	logBlocks := fs.Int("blocks", 16, "log2 of total capacity in blocks")
+	blockB := fs.Int("block", 64, "block size in bytes")
+	scheme := fs.String("scheme", "PIC", "R | P | PC | PI | PIC")
+	lightweight := fs.Bool("lightweight", false, "bandwidth-accounting backend (no real data)")
+	seed := fs.Uint64("seed", 1, "deterministic seed")
+	fs.Parse(args)
+
+	sc, ok := schemes[*scheme]
+	if !ok {
+		log.Fatalf("unknown scheme %q", *scheme)
+	}
+	st, err := store.New(store.Config{
+		Shards: *shards,
+		Blocks: 1 << uint(*logBlocks),
+		ORAM: freecursive.Config{
+			Scheme:      sc,
+			BlockBytes:  *blockB,
+			Lightweight: *lightweight,
+			Seed:        *seed,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving %d blocks x %d B across %d shards (%s) on %s",
+		st.Blocks(), st.BlockBytes(), st.Shards(), *scheme, *addr)
+	log.Fatal(http.ListenAndServe(*addr, newHandler(st)))
+}
+
+// newHandler builds the HTTP mux over a store; split out so tests can drive
+// it through httptest without a listener.
+func newHandler(st *store.Store) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		// One snapshot for both views, so aggregate == sum(per_shard)
+		// within a single response even under live traffic.
+		perShard := st.ShardStats()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Shards    int                 `json:"shards"`
+			Blocks    uint64              `json:"blocks"`
+			BlockSize int                 `json:"block_bytes"`
+			Aggregate freecursive.Stats   `json:"aggregate"`
+			PerShard  []freecursive.Stats `json:"per_shard"`
+		}{st.Shards(), st.Blocks(), st.BlockBytes(), store.Aggregate(perShard), perShard})
+	})
+	mux.HandleFunc("GET /block/{addr}", func(w http.ResponseWriter, r *http.Request) {
+		addr, ok := parseAddr(w, r)
+		if !ok {
+			return
+		}
+		b, err := st.Get(addr)
+		if err != nil {
+			http.Error(w, err.Error(), storeStatus(err))
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(b)
+	})
+	mux.HandleFunc("PUT /block/{addr}", func(w http.ResponseWriter, r *http.Request) {
+		addr, ok := parseAddr(w, r)
+		if !ok {
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, int64(st.BlockBytes())+1))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if len(body) > st.BlockBytes() {
+			http.Error(w, fmt.Sprintf("body exceeds block size %d", st.BlockBytes()),
+				http.StatusRequestEntityTooLarge)
+			return
+		}
+		if _, err := st.Put(addr, body); err != nil {
+			http.Error(w, err.Error(), storeStatus(err))
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	return mux
+}
+
+// storeStatus separates caller mistakes (bad address: 400) from shard-side
+// failures (integrity violations, internal errors: 500), so monitoring can
+// tell a misbehaving client from a poisoned shard.
+func storeStatus(err error) int {
+	if errors.Is(err, store.ErrOutOfRange) {
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+func parseAddr(w http.ResponseWriter, r *http.Request) (uint64, bool) {
+	addr, err := strconv.ParseUint(r.PathValue("addr"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad address: "+err.Error(), http.StatusBadRequest)
+		return 0, false
+	}
+	return addr, true
+}
+
+// --- load mode --------------------------------------------------------------
+
+func runLoad(args []string) {
+	fs := flag.NewFlagSet("load", flag.ExitOnError)
+	url := fs.String("url", "http://localhost:8080", "target server")
+	workers := fs.Int("workers", 16, "concurrent workers")
+	duration := fs.Duration("duration", 5*time.Second, "run length")
+	logBlocks := fs.Int("blocks", 16, "log2 of address range to hit")
+	blockB := fs.Int("block", 64, "write payload size in bytes")
+	writeFrac := fs.Float64("writes", 0.5, "fraction of requests that are writes")
+	fs.Parse(args)
+
+	// One quick health check before unleashing the workers.
+	resp, err := http.Get(*url + "/healthz")
+	if err != nil {
+		log.Fatalf("target not reachable: %v", err)
+	}
+	resp.Body.Close()
+
+	var (
+		ops      atomic.Uint64
+		failures atomic.Uint64
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		lats     []time.Duration
+	)
+	payload := make([]byte, *blockB)
+	deadline := time.Now().Add(*duration)
+	// Per-worker latency reservoirs keep memory constant on long runs:
+	// past reservoirCap samples, each new sample replaces a random slot
+	// with probability cap/seen, giving a uniform sample for percentiles.
+	const reservoirCap = 1 << 15
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 10 * time.Second}
+			state := uint64(w)*2654435761 + 12345
+			local := make([]time.Duration, 0, 4096)
+			seen := uint64(0)
+			for time.Now().Before(deadline) {
+				state = state*6364136223846793005 + 1442695040888963407
+				addr := (state >> 11) & (1<<uint(*logBlocks) - 1)
+				start := time.Now()
+				var err error
+				if float64(state%1000)/1000 < *writeFrac {
+					err = doPut(client, *url, addr, payload)
+				} else {
+					err = doGet(client, *url, addr)
+				}
+				elapsed := time.Since(start)
+				seen++
+				if len(local) < reservoirCap {
+					local = append(local, elapsed)
+				} else if j := (state >> 17) % seen; j < reservoirCap {
+					local[j] = elapsed
+				}
+				ops.Add(1)
+				if err != nil {
+					failures.Add(1)
+				}
+			}
+			mu.Lock()
+			lats = append(lats, local...)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+
+	n := ops.Load()
+	fmt.Printf("ops: %d (%.0f/s), failures: %d\n",
+		n, float64(n)/duration.Seconds(), failures.Load())
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		for _, p := range []float64{0.50, 0.90, 0.99} {
+			i := int(p * float64(len(lats)-1))
+			fmt.Printf("p%02.0f: %v\n", p*100, lats[i].Round(time.Microsecond))
+		}
+	}
+}
+
+func doGet(c *http.Client, base string, addr uint64) error {
+	resp, err := c.Get(fmt.Sprintf("%s/block/%d", base, addr))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+func doPut(c *http.Client, base string, addr uint64, body []byte) error {
+	req, err := http.NewRequest(http.MethodPut,
+		fmt.Sprintf("%s/block/%d", base, addr), bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("PUT status %d", resp.StatusCode)
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"freecursive"
+	"freecursive/internal/store"
+)
+
+func testServer(t *testing.T) (*httptest.Server, *store.Store) {
+	t.Helper()
+	st, err := store.New(store.Config{
+		Shards: 4,
+		Blocks: 1 << 10,
+		ORAM:   freecursive.Config{Scheme: freecursive.PLB, BlockBytes: 16, Seed: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newHandler(st))
+	t.Cleanup(srv.Close)
+	return srv, st
+}
+
+func TestBlockRoundTrip(t *testing.T) {
+	srv, st := testServer(t)
+	want := bytes.Repeat([]byte{0xA5}, st.BlockBytes())
+	req, _ := http.NewRequest(http.MethodPut, srv.URL+"/block/42", bytes.NewReader(want))
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("PUT status = %d, want %d", resp.StatusCode, http.StatusNoContent)
+	}
+	resp, err = srv.Client().Get(srv.URL + "/block/42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET status = %d, want 200", resp.StatusCode)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("GET /block/42 = %x, want %x", got, want)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	srv, st := testServer(t)
+	for _, path := range []string{"/block/notanumber", "/block/-1", "/block/999999999"} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET %s status = %d, want 400", path, resp.StatusCode)
+		}
+	}
+	// Oversized PUT body.
+	big := make([]byte, st.BlockBytes()+1)
+	req, _ := http.NewRequest(http.MethodPut, srv.URL+"/block/0", bytes.NewReader(big))
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized PUT status = %d, want 413", resp.StatusCode)
+	}
+}
+
+func TestHealthAndStats(t *testing.T) {
+	srv, _ := testServer(t)
+	resp, err := srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz status = %d", resp.StatusCode)
+	}
+	// Touch a block so stats are non-zero, then decode them.
+	if _, err := srv.Client().Get(srv.URL + "/block/7"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = srv.Client().Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Shards    int                 `json:"shards"`
+		Aggregate freecursive.Stats   `json:"aggregate"`
+		PerShard  []freecursive.Stats `json:"per_shard"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Shards != 4 || len(body.PerShard) != 4 {
+		t.Fatalf("stats shards = %d/%d, want 4/4", body.Shards, len(body.PerShard))
+	}
+	if body.Aggregate.Accesses == 0 {
+		t.Fatal("aggregate accesses = 0 after a read")
+	}
+}

@@ -1,0 +1,65 @@
+// Example sharded: many goroutines sharing one oblivious store.
+//
+// A single freecursive.ORAM is one controller and must be serialized; the
+// sharded store in internal/store runs several controllers side by side and
+// locks per shard, so concurrent clients make progress in parallel. This
+// program spawns a handful of writers and readers against one store and
+// then prints the aggregate counters.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"sync"
+
+	"freecursive"
+	"freecursive/internal/store"
+)
+
+func main() {
+	s, err := store.New(store.Config{
+		Shards: 8,
+		Blocks: 1 << 14,
+		ORAM:   freecursive.Config{Scheme: freecursive.PIC, Seed: 1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("store: %d blocks x %d B across %d shards\n",
+		s.Blocks(), s.BlockBytes(), s.Shards())
+
+	const workers = 4
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each worker writes its own stripe, then reads it back.
+			buf := make([]byte, s.BlockBytes())
+			for i := 0; i < 200; i++ {
+				addr := uint64(i*workers + w)
+				binary.LittleEndian.PutUint64(buf, addr)
+				if _, err := s.Put(addr, buf); err != nil {
+					log.Fatal(err)
+				}
+			}
+			for i := 0; i < 200; i++ {
+				addr := uint64(i*workers + w)
+				got, err := s.Get(addr)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if binary.LittleEndian.Uint64(got) != addr {
+					log.Fatalf("worker %d: Get(%d) returned wrong block", w, addr)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := s.Stats()
+	fmt.Printf("accesses: %d, bytes moved: %d, PLB hit rate: %.1f%%, MAC checks: %d\n",
+		st.Accesses, st.BytesMoved, 100*st.PLBHitRate, st.MACChecks)
+	fmt.Println("all workers verified their writes — no serialization needed by callers")
+}

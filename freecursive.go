@@ -9,6 +9,17 @@
 // adversary's view — which tree paths were touched, what bytes moved — is
 // available through Stats and the lower-level knobs in Config.
 //
+// # Concurrency
+//
+// An ORAM models a single hardware controller and is NOT safe for
+// concurrent use: every access mutates the stash, PLB, and position map,
+// so Read, Write, and Stats must be externally serialized. Callers that
+// need parallelism should run several instances side by side — the
+// controller's trusted state is tiny by design, which is what makes that
+// cheap — and partition addresses across them. Package
+// freecursive/internal/store does exactly that behind a thread-safe
+// Get/Put API.
+//
 //	o, err := freecursive.New(freecursive.Config{
 //		Scheme:    freecursive.PIC,    // PLB + compression + integrity
 //		Blocks:    1 << 20,            // 64 MiB of protected memory
@@ -100,6 +111,9 @@ type Stats struct {
 }
 
 // ORAM is an oblivious memory of Blocks fixed-size blocks.
+//
+// It is not safe for concurrent use: callers must serialize all method
+// calls, including Stats (see the package comment's Concurrency section).
 type ORAM struct {
 	sys *core.System
 	cfg Config

@@ -1,0 +1,3 @@
+module freecursive
+
+go 1.24

@@ -1,0 +1,307 @@
+// Package store layers a thread-safe, sharded key-value store on top of
+// freecursive.ORAM.
+//
+// A Store owns S independent ORAM shards. Store addresses are partitioned
+// across shards by a bijective multiplicative hash, so consecutive addresses
+// land on different shards and every shard sees a balanced slice of any
+// workload. Each shard is guarded by its own mutex: accesses to different
+// shards proceed in parallel, while accesses to the same shard serialize —
+// exactly the contract a single freecursive.ORAM requires (see the package
+// comment on freecursive.ORAM).
+//
+// This is the serving arrangement Freecursive ORAM (§2, §4) makes cheap: the
+// controller's trusted state per instance — PLB, stash, on-chip PosMap — is
+// tiny, so running many instances side by side costs little beyond the
+// untrusted trees themselves.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+
+	"freecursive"
+)
+
+// Config parameterizes a Store.
+type Config struct {
+	// Shards is the number of independent ORAM shards. It is rounded up to
+	// a power of two; default 8.
+	Shards int
+	// Blocks is the total capacity across all shards. It is rounded up so
+	// each shard holds a power-of-two number of blocks; default 1<<20.
+	Blocks uint64
+	// ORAM configures each shard. Its Blocks field is ignored (derived from
+	// Blocks/Shards above) and its Seed is offset per shard so shards draw
+	// independent randomness.
+	ORAM freecursive.Config
+}
+
+// shard pairs one ORAM instance with the mutex that serializes access to it.
+type shard struct {
+	mu   sync.Mutex
+	oram *freecursive.ORAM
+}
+
+// Store is a concurrency-safe oblivious block store. All methods may be
+// called from any number of goroutines.
+type Store struct {
+	shards     []*shard
+	blocks     uint64 // total capacity, shards * perShard
+	perShard   uint64 // power of two
+	shardShift uint   // log2(perShard)
+	blockBytes int
+}
+
+// fibMix is 2^64/phi rounded to odd; multiplication by it is a bijection
+// mod any power of two, so truncating the product to log2(blocks) bits
+// permutes the address space rather than merely hashing it. The top bits of
+// the permuted address pick the shard (Fibonacci hashing), the low bits the
+// slot within it — distinct store addresses can never collide on a slot.
+const fibMix = 0x9E3779B97F4A7C15
+
+// New builds a Store.
+func New(cfg Config) (*Store, error) {
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("store: negative shard count %d", cfg.Shards)
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 8
+	}
+	if cfg.Blocks == 0 {
+		cfg.Blocks = 1 << 20
+	}
+	nShards := nextPow2(uint64(cfg.Shards))
+	perShard := nextPow2((cfg.Blocks + nShards - 1) / nShards)
+	if perShard < 2 {
+		perShard = 2
+	}
+	s := &Store{
+		shards:     make([]*shard, nShards),
+		blocks:     nShards * perShard,
+		perShard:   perShard,
+		shardShift: uint(bits.TrailingZeros64(perShard)),
+	}
+	for i := range s.shards {
+		ocfg := cfg.ORAM
+		ocfg.Blocks = perShard
+		if ocfg.Seed == 0 {
+			ocfg.Seed = 1
+		}
+		ocfg.Seed += uint64(i) * 0x9E37
+		o, err := freecursive.New(ocfg)
+		if err != nil {
+			return nil, fmt.Errorf("store: shard %d: %w", i, err)
+		}
+		s.shards[i] = &shard{oram: o}
+	}
+	s.blockBytes = s.shards[0].oram.BlockBytes()
+	return s, nil
+}
+
+func nextPow2(v uint64) uint64 {
+	if v <= 1 {
+		return 1
+	}
+	return 1 << bits.Len64(v-1)
+}
+
+// Blocks returns the total capacity in blocks (after rounding).
+func (s *Store) Blocks() uint64 { return s.blocks }
+
+// BlockBytes returns the block size.
+func (s *Store) BlockBytes() int { return s.blockBytes }
+
+// Shards returns the shard count (after rounding).
+func (s *Store) Shards() int { return len(s.shards) }
+
+// locate maps a store address to (shard index, address within that shard).
+// The map is a bijection on [0, s.blocks).
+func (s *Store) locate(addr uint64) (uint64, uint64) {
+	m := (addr * fibMix) & (s.blocks - 1)
+	return m >> s.shardShift, m & (s.perShard - 1)
+}
+
+// ErrOutOfRange is returned (wrapped) for addresses at or beyond Blocks().
+// Callers can use it to tell caller mistakes from shard failures such as
+// freecursive.ErrIntegrity.
+var ErrOutOfRange = errors.New("address out of range")
+
+func (s *Store) check(addr uint64) error {
+	if addr >= s.blocks {
+		return fmt.Errorf("store: %w: %d not in [0, %d)", ErrOutOfRange, addr, s.blocks)
+	}
+	return nil
+}
+
+// Get returns the contents of the block at addr. Never-written blocks read
+// as zeros.
+func (s *Store) Get(addr uint64) ([]byte, error) {
+	if err := s.check(addr); err != nil {
+		return nil, err
+	}
+	si, inner := s.locate(addr)
+	sh := s.shards[si]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.oram.Read(inner)
+}
+
+// Put replaces the block at addr (shorter data is zero-padded) and returns
+// its previous contents.
+func (s *Store) Put(addr uint64, data []byte) ([]byte, error) {
+	if err := s.check(addr); err != nil {
+		return nil, err
+	}
+	si, inner := s.locate(addr)
+	sh := s.shards[si]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.oram.Write(inner, data)
+}
+
+// op is one request of a batch, carrying its position in the caller's slice
+// so results land back in order after the shard-wise regrouping.
+type op struct {
+	idx   int
+	inner uint64
+	data  []byte // nil for gets
+}
+
+// BatchGet reads many blocks. Requests are grouped by shard and each shard
+// is drained under a single lock acquisition, with distinct shards running
+// in parallel. Results are returned in request order. If any read fails,
+// the first error is returned and the results slice is nil.
+func (s *Store) BatchGet(addrs []uint64) ([][]byte, error) {
+	groups, err := s.group(addrs, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, len(addrs))
+	err = s.drain(groups, func(o *freecursive.ORAM, req op) error {
+		b, err := o.Read(req.inner)
+		if err != nil {
+			return err
+		}
+		out[req.idx] = b
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// BatchPut writes many blocks, with the same shard-wise batching as
+// BatchGet. addrs and vals must have equal length. When addrs repeats an
+// address, the writes land in request order (later entries win).
+func (s *Store) BatchPut(addrs []uint64, vals [][]byte) error {
+	if len(addrs) != len(vals) {
+		return fmt.Errorf("store: BatchPut got %d addrs but %d values", len(addrs), len(vals))
+	}
+	groups, err := s.group(addrs, vals)
+	if err != nil {
+		return err
+	}
+	return s.drain(groups, func(o *freecursive.ORAM, req op) error {
+		_, err := o.Write(req.inner, req.data)
+		return err
+	})
+}
+
+// group validates addrs and buckets the requests by shard. vals is nil for
+// get batches. Within a shard, requests keep their relative order.
+func (s *Store) group(addrs []uint64, vals [][]byte) (map[uint64][]op, error) {
+	groups := make(map[uint64][]op)
+	for i, addr := range addrs {
+		if err := s.check(addr); err != nil {
+			return nil, err
+		}
+		si, inner := s.locate(addr)
+		o := op{idx: i, inner: inner}
+		if vals != nil {
+			o.data = vals[i]
+		}
+		groups[si] = append(groups[si], o)
+	}
+	return groups, nil
+}
+
+// drain runs one goroutine per involved shard, each taking that shard's
+// lock once and applying f to its requests in order. It returns the first
+// error encountered (by shard index, then request order).
+func (s *Store) drain(groups map[uint64][]op, f func(*freecursive.ORAM, op) error) error {
+	order := make([]uint64, 0, len(groups))
+	for si := range groups {
+		order = append(order, si)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	errs := make([]error, len(order))
+	var wg sync.WaitGroup
+	for i, si := range order {
+		wg.Add(1)
+		go func(i int, sh *shard, reqs []op) {
+			defer wg.Done()
+			sh.mu.Lock()
+			defer sh.mu.Unlock()
+			for _, req := range reqs {
+				if err := f(sh.oram, req); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i, s.shards[si], groups[si])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats returns counters aggregated across all shards, equivalent to
+// Aggregate(s.ShardStats()). Callers that also want the per-shard view
+// should take one ShardStats snapshot and run Aggregate over it, so both
+// views describe the same instant.
+func (s *Store) Stats() freecursive.Stats {
+	return Aggregate(s.ShardStats())
+}
+
+// Aggregate folds per-shard snapshots into one: counter fields are sums,
+// StashMax is the max, PLBHitRate is the access-weighted mean.
+func Aggregate(shards []freecursive.Stats) freecursive.Stats {
+	var agg freecursive.Stats
+	var weighted float64
+	for _, st := range shards {
+		agg.Accesses += st.Accesses
+		agg.BackendAccesses += st.BackendAccesses
+		agg.BytesMoved += st.BytesMoved
+		agg.PosMapBytes += st.PosMapBytes
+		agg.GroupRemaps += st.GroupRemaps
+		agg.MACChecks += st.MACChecks
+		agg.Violations += st.Violations
+		if st.StashMax > agg.StashMax {
+			agg.StashMax = st.StashMax
+		}
+		weighted += st.PLBHitRate * float64(st.Accesses)
+	}
+	if agg.Accesses > 0 {
+		agg.PLBHitRate = weighted / float64(agg.Accesses)
+	}
+	return agg
+}
+
+// ShardStats returns a per-shard snapshot, indexed by shard.
+func (s *Store) ShardStats() []freecursive.Stats {
+	out := make([]freecursive.Stats, len(s.shards))
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		out[i] = sh.oram.Stats()
+		sh.mu.Unlock()
+	}
+	return out
+}

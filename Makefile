@@ -1,7 +1,7 @@
 # Targets mirror the CI jobs in .github/workflows/ci.yml so local runs and
 # CI stay in lockstep.
 
-.PHONY: all build test race bench lint fmt
+.PHONY: all build test race bench bench-all bins lint fmt
 
 all: build lint test
 
@@ -16,6 +16,18 @@ race:
 
 bench:
 	go test -run=NONE -bench=. -benchtime=1x .
+
+# Every benchmark in every package, one iteration each (the CI smoke pass).
+bench-all:
+	go test -run=NONE -bench=. -benchtime=1x ./...
+
+# Link every cmd/ and examples/ binary (the CI bins job).
+bins:
+	@mkdir -p bin
+	@for d in ./cmd/* ./examples/*; do \
+		echo "building $$d"; \
+		go build -o "bin/$$(basename $$d)" "$$d" || exit 1; \
+	done
 
 lint:
 	go vet ./...

@@ -15,6 +15,7 @@ import (
 	"strconv"
 	"sync"
 	"testing"
+	"time"
 
 	"freecursive"
 	"freecursive/internal/exp"
@@ -228,6 +229,60 @@ func BenchmarkAccessRecursiveFunctional(b *testing.B) { benchAccess(b, freecursi
 func BenchmarkAccessPCFunctional(b *testing.B)        { benchAccess(b, freecursive.PC, false) }
 func BenchmarkAccessPICFunctional(b *testing.B)       { benchAccess(b, freecursive.PIC, false) }
 func BenchmarkAccessPICLightweight(b *testing.B)      { benchAccess(b, freecursive.PIC, true) }
+
+// --- untrusted-memory backend comparison -------------------------------------
+
+// benchMemBackend measures full PIC accesses with the untrusted bucket
+// store on different media, so the cost of durability is measured rather
+// than guessed: the in-process map is the floor, the page file pays
+// pread/pwrite per bucket, and the latency wrapper models remote storage
+// (one path access touches ~2(L+1) buckets, so per-bucket wire delay
+// multiplies accordingly).
+func benchMemBackend(b *testing.B, mutate func(*freecursive.Config)) {
+	cfg := freecursive.Config{Scheme: freecursive.PIC, Blocks: 1 << 12, Seed: 2}
+	mutate(&cfg)
+	o, err := freecursive.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer o.Close()
+	rng := rand.New(rand.NewPCG(9, 9))
+	buf := make([]byte, o.BlockBytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := rng.Uint64() % o.Blocks()
+		if i%2 == 0 {
+			if _, err := o.Write(addr, buf); err != nil {
+				b.Fatal(err)
+			}
+		} else if _, err := o.Read(addr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMemBackendMap(b *testing.B) {
+	benchMemBackend(b, func(*freecursive.Config) {})
+}
+
+func BenchmarkMemBackendFile(b *testing.B) {
+	benchMemBackend(b, func(cfg *freecursive.Config) { cfg.DataDir = b.TempDir() })
+}
+
+func BenchmarkMemBackendFileLatency(b *testing.B) {
+	benchMemBackend(b, func(cfg *freecursive.Config) {
+		cfg.DataDir = b.TempDir()
+		cfg.ReadLatency = 10 * time.Microsecond
+		cfg.WriteLatency = 10 * time.Microsecond
+	})
+}
+
+func BenchmarkMemBackendMapLatency(b *testing.B) {
+	benchMemBackend(b, func(cfg *freecursive.Config) {
+		cfg.ReadLatency = 10 * time.Microsecond
+		cfg.WriteLatency = 10 * time.Microsecond
+	})
+}
 
 // --- sharded-store throughput -----------------------------------------------
 

@@ -8,17 +8,26 @@
 //	GET  /stats         — aggregate + per-shard counters as JSON
 //	GET  /healthz       — liveness probe
 //
+// With -data-dir the store is durable: sealed buckets live in per-shard
+// page files, and on SIGINT/SIGTERM the server drains connections,
+// snapshots the trusted controller state (position map, stash, PMMAC
+// counters) and exits; the next start resumes serving the same blocks.
+// After a crash (no clean snapshot), PMMAC-enabled schemes refuse blocks
+// whose on-disk state diverged instead of serving them.
+//
 // Load mode hammers a running server with concurrent random reads and
 // writes and reports throughput and latency percentiles.
 //
 // Examples:
 //
 //	oramstore -addr :8080 -shards 16 -blocks 20 -lightweight
+//	oramstore -addr :8080 -shards 4 -blocks 18 -data-dir /var/lib/oramstore
 //	oramstore load -url http://localhost:8080 -workers 32 -duration 10s
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -27,10 +36,12 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"freecursive"
@@ -63,28 +74,72 @@ func runServe(args []string) {
 	scheme := fs.String("scheme", "PIC", "R | P | PC | PI | PIC")
 	lightweight := fs.Bool("lightweight", false, "bandwidth-accounting backend (no real data)")
 	seed := fs.Uint64("seed", 1, "deterministic seed")
+	dataDir := fs.String("data-dir", "", "durable mode: per-shard bucket files + trusted-state snapshots under this directory")
+	readLat := fs.Duration("read-latency", 0, "injected delay per untrusted-memory bucket read")
+	writeLat := fs.Duration("write-latency", 0, "injected delay per untrusted-memory bucket write")
 	fs.Parse(args)
 
 	sc, ok := schemes[*scheme]
 	if !ok {
 		log.Fatalf("unknown scheme %q", *scheme)
 	}
+	if *dataDir != "" && *lightweight {
+		log.Fatal("-data-dir needs real buckets to persist; drop -lightweight")
+	}
 	st, err := store.New(store.Config{
-		Shards: *shards,
-		Blocks: 1 << uint(*logBlocks),
+		Shards:  *shards,
+		Blocks:  1 << uint(*logBlocks),
+		DataDir: *dataDir,
 		ORAM: freecursive.Config{
-			Scheme:      sc,
-			BlockBytes:  *blockB,
-			Lightweight: *lightweight,
-			Seed:        *seed,
+			Scheme:       sc,
+			BlockBytes:   *blockB,
+			Lightweight:  *lightweight,
+			Seed:         *seed,
+			ReadLatency:  *readLat,
+			WriteLatency: *writeLat,
 		},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("serving %d blocks x %d B across %d shards (%s) on %s",
-		st.Blocks(), st.BlockBytes(), st.Shards(), *scheme, *addr)
-	log.Fatal(http.ListenAndServe(*addr, newHandler(st)))
+	mode := "in-memory"
+	if *dataDir != "" {
+		mode = "durable in " + *dataDir
+	}
+	log.Printf("serving %d blocks x %d B across %d shards (%s, %s) on %s",
+		st.Blocks(), st.BlockBytes(), st.Shards(), *scheme, mode, *addr)
+
+	srv := &http.Server{Addr: *addr, Handler: newHandler(st)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Print("shutting down")
+	sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		log.Printf("drain: %v", err)
+	}
+	if err := shutdownStore(st, *dataDir != ""); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// shutdownStore performs the clean-stop sequence: snapshot trusted state
+// (durable stores only), then release the bucket files.
+func shutdownStore(st *store.Store, durable bool) error {
+	if durable {
+		if err := st.Snapshot(); err != nil {
+			return err
+		}
+	}
+	return st.Close()
 }
 
 // newHandler builds the HTTP mux over a store; split out so tests can drive

@@ -1,0 +1,326 @@
+package freecursive
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"freecursive/internal/backend"
+)
+
+// payload derives a distinct, non-zero block body for an address.
+func payload(addr uint64) []byte {
+	b := make([]byte, 64)
+	for i := range b {
+		b[i] = byte(addr)*3 + byte(i) + 1
+	}
+	return b
+}
+
+func writeAll(t *testing.T, o *ORAM, addrs uint64) {
+	t.Helper()
+	for a := uint64(0); a < addrs; a++ {
+		if _, err := o.Write(a, payload(a)); err != nil {
+			t.Fatalf("write %d: %v", a, err)
+		}
+	}
+}
+
+// TestDurableSnapshotResume is the clean-shutdown round trip: write, take a
+// trusted-state snapshot, close, resume in a "new process", and read
+// everything back — then keep using the resumed instance.
+func TestDurableSnapshotResume(t *testing.T) {
+	for _, s := range []Scheme{PLB, PC, PI, PIC, Recursive} {
+		t.Run(s.String(), func(t *testing.T) {
+			cfg := Config{Scheme: s, Blocks: 1 << 10, Seed: 11, DataDir: t.TempDir()}
+			o, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const addrs = 96
+			writeAll(t, o, addrs)
+			statsBefore := o.Stats()
+
+			var snap bytes.Buffer
+			if err := o.Snapshot(&snap); err != nil {
+				t.Fatalf("snapshot: %v", err)
+			}
+			if err := o.Close(); err != nil {
+				t.Fatalf("close: %v", err)
+			}
+
+			o, err = Resume(cfg, bytes.NewReader(snap.Bytes()))
+			if err != nil {
+				t.Fatalf("resume: %v", err)
+			}
+			defer o.Close()
+			if got := o.Stats(); got != statsBefore {
+				t.Fatalf("stats not restored: %+v != %+v", got, statsBefore)
+			}
+			for a := uint64(0); a < addrs; a++ {
+				got, err := o.Read(a)
+				if err != nil {
+					t.Fatalf("read %d after resume: %v", a, err)
+				}
+				if !bytes.Equal(got, payload(a)) {
+					t.Fatalf("block %d = %x after resume, want %x", a, got[:8], payload(a)[:8])
+				}
+			}
+			// The resumed controller keeps working: fresh writes and
+			// overwrites verify end to end.
+			for a := uint64(0); a < addrs; a++ {
+				if _, err := o.Write(a+512, payload(a+512)); err != nil {
+					t.Fatalf("write after resume: %v", err)
+				}
+			}
+			for a := uint64(0); a < addrs; a++ {
+				got, err := o.Read(a + 512)
+				if err != nil {
+					t.Fatalf("read new block after resume: %v", err)
+				}
+				if !bytes.Equal(got, payload(a+512)) {
+					t.Fatalf("new block %d mismatch after resume", a+512)
+				}
+			}
+		})
+	}
+}
+
+// TestDurableSnapshotSurvivesRelocation: DataDir describes where untrusted
+// memory lives, not what the trusted state looks like — a snapshot resumes
+// against the same bucket files moved to a new path.
+func TestDurableSnapshotSurvivesRelocation(t *testing.T) {
+	dirA := filepath.Join(t.TempDir(), "a")
+	cfg := Config{Scheme: PIC, Blocks: 1 << 10, Seed: 12, DataDir: dirA}
+	o, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, o, 32)
+	var snap bytes.Buffer
+	if err := o.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	o.Close()
+
+	dirB := filepath.Join(t.TempDir(), "b")
+	if err := os.Rename(dirA, dirB); err != nil {
+		t.Fatal(err)
+	}
+	cfg.DataDir = dirB
+	o, err = Resume(cfg, &snap)
+	if err != nil {
+		t.Fatalf("resume after relocation: %v", err)
+	}
+	defer o.Close()
+	got, err := o.Read(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload(5)) {
+		t.Fatal("block lost across relocation")
+	}
+}
+
+// TestCrashedStoreNeverServesStaleBlocks: dropping the file backend with no
+// clean snapshot models a crash. A fresh controller over the orphaned
+// bucket files must never serve the stale plaintexts — every read either
+// trips PMMAC or yields zeros (the fresh controller's logical state).
+func TestCrashedStoreNeverServesStaleBlocks(t *testing.T) {
+	cfg := Config{Scheme: PIC, Blocks: 1 << 10, Seed: 13, DataDir: t.TempDir()}
+	o, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const addrs = 64
+	writeAll(t, o, addrs)
+	if err := o.Close(); err != nil { // crash: no Snapshot call
+		t.Fatal(err)
+	}
+
+	o, err = New(cfg) // fresh trusted state over the old bucket files
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	zeros := make([]byte, 64)
+	sawViolation := false
+	for a := uint64(0); a < addrs; a++ {
+		got, err := o.Read(a)
+		if err != nil {
+			if !errors.Is(err, ErrIntegrity) {
+				t.Fatalf("read %d: %v (want ErrIntegrity)", a, err)
+			}
+			sawViolation = true
+			break // the controller is latched dead from here on
+		}
+		if bytes.Equal(got, payload(a)) {
+			t.Fatalf("stale block %d served after crash", a)
+		}
+		if !bytes.Equal(got, zeros) {
+			t.Fatalf("block %d = %x after crash: neither rejected nor zero", a, got[:8])
+		}
+	}
+	if !sawViolation && o.Stats().Violations == 0 {
+		t.Log("no violation tripped (all stale paths missed); acceptable but unusual")
+	}
+}
+
+// TestTamperedBucketFileDetected: modify the on-disk sealed buckets between
+// a clean shutdown and a resume — PMMAC must reject the tampered blocks
+// rather than serve them.
+func TestTamperedBucketFileDetected(t *testing.T) {
+	cfg := Config{Scheme: PIC, Blocks: 1 << 10, Seed: 14, DataDir: t.TempDir()}
+	o, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const addrs = 64
+	writeAll(t, o, addrs)
+	var snap bytes.Buffer
+	if err := o.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The adversary edits the page file at rest: flip a bit every 7 bytes
+	// past the 64-byte header, corrupting every materialized slot (and a
+	// few slot length fields — torn-looking buckets must be caught too).
+	path := filepath.Join(cfg.DataDir, "tree-0.oram")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 64; i < len(raw); i += 7 {
+		raw[i] ^= 0x40
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	o, err = Resume(cfg, &snap)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	defer o.Close()
+	for a := uint64(0); a < addrs; a++ {
+		got, err := o.Read(a)
+		if err != nil {
+			if !errors.Is(err, ErrIntegrity) {
+				t.Fatalf("read %d: %v (want ErrIntegrity)", a, err)
+			}
+			if o.Stats().Violations == 0 {
+				t.Fatal("violation not counted")
+			}
+			return // detected: test passed
+		}
+		// A read that slipped through before touching a tampered path must
+		// still be correct — never silently wrong.
+		if !bytes.Equal(got, payload(a)) && !bytes.Equal(got, make([]byte, 64)) {
+			t.Fatalf("block %d silently served tampered data", a)
+		}
+	}
+	t.Fatal("no tampered read was detected")
+}
+
+// TestCrashRestartFreshSeedStream: a fresh controller over old durable
+// buckets must not restart the global encryption-seed register where a
+// previous run started it — that would replay the AES-CTR pad stream under
+// the same key (§6.4, self-inflicted). The register is randomized per
+// durable instance, so two "crash restarts" draw distinct seed windows.
+func TestCrashRestartFreshSeedStream(t *testing.T) {
+	cfg := Config{Scheme: PIC, Blocks: 1 << 10, Seed: 18, DataDir: t.TempDir()}
+	seedOf := func(o *ORAM) uint64 {
+		return o.System().Backends[0].(*backend.PathORAM).Cipher().GlobalSeed()
+	}
+	o1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := seedOf(o1)
+	o1.Close()
+	o2, err := New(cfg) // crash restart: same config, no snapshot
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o2.Close()
+	s2 := seedOf(o2)
+	if s1 == s2 {
+		t.Fatalf("seed register repeated across restarts: %d", s1)
+	}
+	if s1 == 1 || s2 == 1 {
+		t.Fatal("durable instance started its seed register at the deterministic value 1")
+	}
+}
+
+// TestSnapshotRefusesMismatchedConfig: resuming into a differently shaped
+// ORAM must fail loudly, not corrupt state.
+func TestSnapshotRefusesMismatchedConfig(t *testing.T) {
+	cfg := Config{Scheme: PIC, Blocks: 1 << 10, Seed: 15, DataDir: t.TempDir()}
+	o, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, o, 8)
+	var snap bytes.Buffer
+	if err := o.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	o.Close()
+
+	bad := cfg
+	bad.Blocks = 1 << 11
+	if _, err := Resume(bad, bytes.NewReader(snap.Bytes())); err == nil {
+		t.Fatal("resume with mismatched capacity should fail")
+	}
+	bad = cfg
+	bad.Scheme = PC
+	if _, err := Resume(bad, bytes.NewReader(snap.Bytes())); err == nil {
+		t.Fatal("resume with mismatched scheme should fail")
+	}
+}
+
+// TestSnapshotRejectsLightweight: the accounting backend has no real tree
+// to persist against.
+func TestSnapshotRejectsLightweight(t *testing.T) {
+	o, err := New(Config{Scheme: PIC, Blocks: 1 << 10, Seed: 16, Lightweight: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	if err := o.Snapshot(&bytes.Buffer{}); err == nil {
+		t.Fatal("snapshot of a Lightweight ORAM should fail")
+	}
+	if _, err := New(Config{Scheme: PIC, Lightweight: true, DataDir: t.TempDir()}); err == nil {
+		t.Fatal("DataDir with Lightweight should fail")
+	}
+}
+
+// TestLatencyBackendFunctional: a latency-injected ORAM still round-trips;
+// the wrapper only costs time.
+func TestLatencyBackendFunctional(t *testing.T) {
+	o, err := New(Config{
+		Scheme: PIC, Blocks: 1 << 8, Seed: 17,
+		ReadLatency:  20 * time.Microsecond,
+		WriteLatency: 20 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	if _, err := o.Write(3, []byte("delayed")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := o.Read(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got[:7]) != "delayed" {
+		t.Fatalf("read %q", got[:7])
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"freecursive"
 	"freecursive/internal/backend"
 	"freecursive/internal/crypt"
+	"freecursive/internal/mem"
 )
 
 func main() {
@@ -40,11 +41,7 @@ func newORAM(unsafeSeeds bool) *freecursive.ORAM {
 	return o
 }
 
-func store(o *freecursive.ORAM) interface {
-	Peek(uint64) []byte
-	Poke(uint64, []byte)
-	Len() int
-} {
+func store(o *freecursive.ORAM) mem.Backend {
 	be := o.System().Backends[0].(*backend.PathORAM)
 	return be.Store()
 }

@@ -9,6 +9,11 @@
 // adversary's view — which tree paths were touched, what bytes moved — is
 // available through Stats and the lower-level knobs in Config.
 //
+// An ORAM can be durable: with Config.DataDir the sealed bucket trees live
+// in page files, and Snapshot/Resume carry the controller's (tiny) trusted
+// state across processes. See the Snapshot and Resume documentation for
+// the crash and tampering semantics.
+//
 // # Concurrency
 //
 // An ORAM models a single hardware controller and is NOT safe for
@@ -31,7 +36,10 @@
 package freecursive
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
+	"time"
 
 	"freecursive/internal/core"
 	"freecursive/internal/crypt"
@@ -89,6 +97,17 @@ type Config struct {
 	// no encryption — orders of magnitude faster, same statistics. Use it
 	// for performance studies; leave it false to store real data.
 	Lightweight bool
+	// DataDir, if non-empty, stores the sealed bucket trees in page files
+	// under this directory (created if needed) instead of an in-process
+	// map: blocks survive Close and process restarts. Pair with Snapshot
+	// and Resume to also carry the trusted controller state across runs.
+	// Incompatible with Lightweight.
+	DataDir string
+	// ReadLatency and WriteLatency inject a fixed delay into every
+	// untrusted-memory bucket operation, simulating remote or disk-class
+	// storage. Incompatible with Lightweight.
+	ReadLatency  time.Duration
+	WriteLatency time.Duration
 	// UnsafeBucketSeeds selects the per-bucket encryption seed scheme of
 	// [26] instead of the global-seed scheme. It exists to demonstrate the
 	// §6.4 one-time-pad replay attack; do not use it otherwise.
@@ -140,6 +159,9 @@ func New(cfg Config) (*ORAM, error) {
 		Functional:        !cfg.Lightweight,
 		EncScheme:         enc,
 		Seed:              cfg.Seed,
+		DataDir:           cfg.DataDir,
+		ReadDelay:         cfg.ReadLatency,
+		WriteDelay:        cfg.WriteLatency,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("freecursive: %w", err)
@@ -183,6 +205,60 @@ func (o *ORAM) Stats() Stats {
 		Violations:      c.Violations,
 		StashMax:        c.StashMax,
 	}
+}
+
+// Close releases the untrusted storage behind the ORAM (bucket page files
+// when DataDir is set; a no-op for in-memory trees). Close does NOT write a
+// trusted-state snapshot — call Snapshot first for a clean shutdown; a
+// Close without one models a crash, after which PMMAC-enabled schemes
+// refuse stale blocks instead of serving them.
+func (o *ORAM) Close() error { return o.sys.Close() }
+
+// Snapshot serializes the controller's trusted state — position map, stash,
+// PLB, PMMAC counters, RNG and encryption-seed registers — to w (JSON).
+// Together with the DataDir bucket files this is everything needed to
+// Resume the ORAM in a later process. It fails on Lightweight instances and
+// on controllers that have latched an integrity violation.
+//
+// The snapshot IS trusted state: it is the durable stand-in for what the
+// paper keeps inside the processor, and it contains the stash and PLB
+// plaintexts and the key-deriving seed. Store it where the adversary of §2
+// cannot read or roll it back (reading it reveals everything; rolling back
+// snapshot AND bucket files together rewinds the entire freshness root,
+// which no ORAM can detect). PMMAC protects against everything short of
+// that: tampered buckets, deleted buckets, and any mismatch between the
+// snapshot and the bucket files.
+func (o *ORAM) Snapshot(w io.Writer) error {
+	snap, err := o.sys.Snapshot()
+	if err != nil {
+		return fmt.Errorf("freecursive: %w", err)
+	}
+	if err := json.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("freecursive: encoding snapshot: %w", err)
+	}
+	return nil
+}
+
+// Resume rebuilds an ORAM from cfg and restores the trusted state written
+// by Snapshot. cfg must describe the same ORAM the snapshot was taken from
+// (same scheme, capacity, seed, …); DataDir and the latency knobs may
+// differ — they describe where untrusted memory lives, not what the state
+// looks like. If the bucket files diverged from the snapshot (tampering, a
+// crash after the snapshot), integrity-enabled schemes detect it on access.
+func Resume(cfg Config, r io.Reader) (*ORAM, error) {
+	var snap core.Snapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("freecursive: decoding snapshot: %w", err)
+	}
+	o, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := o.sys.Restore(&snap); err != nil {
+		o.Close()
+		return nil, fmt.Errorf("freecursive: %w", err)
+	}
+	return o, nil
 }
 
 // ErrIntegrity is returned (wrapped) once PMMAC detects tampering.

@@ -1,9 +1,9 @@
 // Package adversary packages the active-adversary strategies of the threat
-// model (§2) as reusable operations against a mem.Store: bit flips, replay
-// of recorded ciphertexts, deletion, and encryption-seed rewinding (the
-// §6.4 attack). Tests and examples compose these to validate that PMMAC
-// catches what it must and that the encryption schemes resist what they
-// claim to.
+// model (§2) as reusable operations against any mem.Backend: bit flips,
+// replay of recorded ciphertexts, deletion, and encryption-seed rewinding
+// (the §6.4 attack). Tests and examples compose these to validate that
+// PMMAC catches what it must and that the encryption schemes resist what
+// they claim to — whether the sealed buckets live in a map or on disk.
 package adversary
 
 import (
@@ -25,7 +25,7 @@ type BitFlipper struct {
 
 // FlipAll corrupts every materialized bucket in [0, nBuckets) and returns
 // how many were touched.
-func (f BitFlipper) FlipAll(st *mem.Store, nBuckets uint64) int {
+func (f BitFlipper) FlipAll(st mem.Backend, nBuckets uint64) int {
 	mask := f.Mask
 	if mask == 0 {
 		mask = 0x01
@@ -49,7 +49,7 @@ func (f BitFlipper) FlipAll(st *mem.Store, nBuckets uint64) int {
 
 // FlipOne corrupts a single random materialized bucket; returns the index
 // and whether one was found.
-func (f BitFlipper) FlipOne(st *mem.Store, nBuckets uint64, rng *rand.Rand) (uint64, bool) {
+func (f BitFlipper) FlipOne(st mem.Backend, nBuckets uint64, rng *rand.Rand) (uint64, bool) {
 	var candidates []uint64
 	for idx := uint64(0); idx < nBuckets; idx++ {
 		if st.Peek(idx) != nil {
@@ -80,7 +80,7 @@ type Recorder struct {
 }
 
 // Record captures the current contents of every materialized bucket.
-func (r *Recorder) Record(st *mem.Store, nBuckets uint64) int {
+func (r *Recorder) Record(st mem.Backend, nBuckets uint64) int {
 	r.snapshot = make(map[uint64][]byte)
 	for idx := uint64(0); idx < nBuckets; idx++ {
 		if raw := st.Peek(idx); raw != nil {
@@ -92,7 +92,7 @@ func (r *Recorder) Record(st *mem.Store, nBuckets uint64) int {
 
 // Replay rolls every recorded bucket back to its snapshot. Each individual
 // (MAC, data) pair is genuine — only counters can catch this.
-func (r *Recorder) Replay(st *mem.Store) int {
+func (r *Recorder) Replay(st mem.Backend) int {
 	for idx, raw := range r.snapshot {
 		st.Poke(idx, bytes.Clone(raw))
 	}
@@ -103,7 +103,7 @@ func (r *Recorder) Replay(st *mem.Store) int {
 type Deleter struct{}
 
 // DeleteAll removes every materialized bucket.
-func (Deleter) DeleteAll(st *mem.Store, nBuckets uint64) int {
+func (Deleter) DeleteAll(st mem.Backend, nBuckets uint64) int {
 	n := 0
 	for idx := uint64(0); idx < nBuckets; idx++ {
 		if st.Peek(idx) != nil {
@@ -122,7 +122,7 @@ func (Deleter) DeleteAll(st *mem.Store, nBuckets uint64) int {
 type SeedRewinder struct{}
 
 // RewindAll decrements every materialized bucket's stored seed.
-func (SeedRewinder) RewindAll(st *mem.Store, nBuckets uint64) int {
+func (SeedRewinder) RewindAll(st mem.Backend, nBuckets uint64) int {
 	n := 0
 	for idx := uint64(0); idx < nBuckets; idx++ {
 		raw := st.Peek(idx)
@@ -156,9 +156,9 @@ type PadReuseDetector struct {
 }
 
 // Install hooks the detector into a store's write path.
-func (d *PadReuseDetector) Install(st *mem.Store) {
+func (d *PadReuseDetector) Install(st mem.Backend) {
 	d.seen = make(map[[2]uint64][]byte)
-	st.OnWrite = func(idx uint64, data []byte) []byte {
+	st.SetOnWrite(func(idx uint64, data []byte) []byte {
 		if len(data) >= crypt.SeedBytes {
 			seed := uint64(0)
 			for i := 0; i < crypt.SeedBytes; i++ {
@@ -171,5 +171,5 @@ func (d *PadReuseDetector) Install(st *mem.Store) {
 			d.seen[key] = bytes.Clone(data)
 		}
 		return data
-	}
+	})
 }

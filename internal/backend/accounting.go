@@ -47,6 +47,9 @@ func (a *Accounting) Geometry() tree.Geometry { return a.geom }
 // Counters returns the shared counter set.
 func (a *Accounting) Counters() *stats.Counters { return a.ctr }
 
+// Close implements Backend (nothing to release).
+func (a *Accounting) Close() error { return nil }
+
 // Access implements Backend.
 func (a *Accounting) Access(req Request) (Result, error) {
 	switch req.Op {

@@ -5,8 +5,14 @@
 // Two implementations are provided:
 //
 //   - PathORAM: fully functional. Blocks hold real payloads, buckets are
-//     sealed with probabilistic encryption, and an active adversary can
-//     tamper with stored bytes through mem.Store hooks.
+//     sealed with probabilistic encryption and stored in any mem.Backend
+//     (in-process map, durable page file, or a latency-injected wrapper),
+//     and an active adversary can tamper with stored bytes through the
+//     backend's hooks. Tampered, torn, or undecryptable buckets never
+//     error at this layer: their blocks simply vanish (or decode to
+//     garbage), which PMMAC-enabled frontends detect via counters while
+//     non-integrity schemes — by design, per §6 — silently lose the data.
+//     Errors are reserved for real I/O faults from the mem.Backend.
 //   - Accounting: bandwidth-accounting only. Payloads are kept in a flat
 //     map (so frontends above it still behave exactly as they would over a
 //     real tree) but no tree is materialized; bytes moved are computed
@@ -85,6 +91,9 @@ type Backend interface {
 	Access(req Request) (Result, error)
 	Geometry() tree.Geometry
 	Counters() *stats.Counters
+	// Close releases the untrusted storage behind the tree (a no-op for
+	// purely in-memory backends).
+	Close() error
 }
 
 // WireBucketBytes returns the size of one bucket on the DRAM bus: Z slots of

@@ -196,11 +196,11 @@ func TestAppendRoundTrip(t *testing.T) {
 func TestAppendDoesNotTouchTree(t *testing.T) {
 	g := newGeom(t, 6, 4, 16)
 	p := newORAM(t, g, false)
-	before := p.Store().Reads() + p.Store().Writes()
+	before := p.Store().Stats().Reads + p.Store().Stats().Writes
 	if _, err := p.Access(Request{Op: OpAppend, Addr: 3, Leaf: 9, Data: []byte("x")}); err != nil {
 		t.Fatal(err)
 	}
-	if p.Store().Reads()+p.Store().Writes() != before {
+	if p.Store().Stats().Reads+p.Store().Stats().Writes != before {
 		t.Fatal("append generated tree traffic")
 	}
 	if p.Counters().Appends != 1 {

@@ -12,12 +12,13 @@ import (
 )
 
 // PathORAM is the functional Path ORAM backend. It stores sealed buckets in
-// a sparse mem.Store, decrypts/encrypts with a crypt.BucketCipher, and
-// maintains the Path ORAM invariant: every block is on the path of its
-// mapped leaf or in the stash.
+// any mem.Backend (in-process map, durable page file, latency-injected
+// remote — the controller cannot tell), decrypts/encrypts with a
+// crypt.BucketCipher, and maintains the Path ORAM invariant: every block is
+// on the path of its mapped leaf or in the stash.
 type PathORAM struct {
 	geom  tree.Geometry
-	store *mem.Store
+	store mem.Backend
 	ciph  *crypt.BucketCipher // nil: plaintext buckets (fast functional mode)
 	stash *stash.Stash
 	ctr   *stats.Counters
@@ -31,7 +32,7 @@ type PathORAM struct {
 // Config parameterizes a functional backend.
 type Config struct {
 	Geometry      tree.Geometry
-	Store         *mem.Store          // nil: fresh store
+	Store         mem.Backend         // nil: fresh in-process map store
 	Cipher        *crypt.BucketCipher // nil: plaintext
 	StashCapacity int                 // 0: stash.DefaultCapacity
 	Counters      *stats.Counters     // nil: fresh counters
@@ -73,7 +74,14 @@ func (p *PathORAM) Counters() *stats.Counters { return p.ctr }
 func (p *PathORAM) Stash() *stash.Stash { return p.stash }
 
 // Store exposes untrusted memory for adversarial tests.
-func (p *PathORAM) Store() *mem.Store { return p.store }
+func (p *PathORAM) Store() mem.Backend { return p.store }
+
+// Cipher exposes the bucket cipher (nil in plaintext mode) so a durable
+// controller can persist and restore the global seed register.
+func (p *PathORAM) Cipher() *crypt.BucketCipher { return p.ciph }
+
+// Close releases the untrusted store's resources.
+func (p *PathORAM) Close() error { return p.store.Close() }
 
 // --- bucket serialization ------------------------------------------------
 //
@@ -92,6 +100,13 @@ const (
 
 func (p *PathORAM) slotBytes() int { return slotHeader + p.geom.BlockBytes }
 func (p *PathORAM) bodyBytes() int { return p.geom.Z * p.slotBytes() }
+
+// SealedBucketBytes returns the largest sealed bucket PathORAM ever hands
+// to untrusted memory for geometry g: the Z-slot plaintext body plus the
+// encryption seed prefix. File-backed mem stores size their slots with it.
+func SealedBucketBytes(g tree.Geometry) int {
+	return crypt.SeedBytes + g.Z*(slotHeader+g.BlockBytes)
+}
 
 func (p *PathORAM) encodeBucket(blocks []stash.Block) []byte {
 	body := make([]byte, p.bodyBytes())
@@ -175,7 +190,10 @@ func (p *PathORAM) access(req Request) (Result, error) {
 
 	var incoming []stash.Block
 	for i, idx := range p.pathIdx {
-		sealed := p.store.Read(idx)
+		sealed, err := p.store.Read(idx)
+		if err != nil {
+			return Result{}, fmt.Errorf("backend: bucket %d: %w", idx, err)
+		}
 		p.pathSeeds[i] = 0
 		if sealed == nil {
 			continue // never-written bucket: all dummies
@@ -186,7 +204,11 @@ func (p *PathORAM) access(req Request) (Result, error) {
 			var err error
 			body, seed, err = p.ciph.Open(idx, sealed)
 			if err != nil {
-				return Result{}, fmt.Errorf("backend: bucket %d: %w", idx, err)
+				// Structurally undecryptable (torn or truncated by the
+				// adversary): the bucket contributes nothing, like any
+				// other garbage decode. Integrity layers above notice the
+				// missing blocks; errors are reserved for real I/O faults.
+				continue
 			}
 			p.pathSeeds[i] = seed
 		}
@@ -236,7 +258,9 @@ func (p *PathORAM) access(req Request) (Result, error) {
 	}
 
 	// Step 5: evict as much as possible back to the same path.
-	p.writePath(req.Leaf)
+	if err := p.writePath(req.Leaf); err != nil {
+		return Result{}, err
+	}
 
 	p.ctr.BackendAccesses++
 	bytes := PathWireBytes(p.geom)
@@ -250,7 +274,7 @@ func (p *PathORAM) access(req Request) (Result, error) {
 	return res, nil
 }
 
-func (p *PathORAM) writePath(leaf uint64) {
+func (p *PathORAM) writePath(leaf uint64) error {
 	perLevel := p.stash.EvictForPath(leaf, p.geom.L, p.geom.Z,
 		func(blockLeaf uint64, level int) bool {
 			return p.geom.CanReside(blockLeaf, leaf, level)
@@ -258,12 +282,14 @@ func (p *PathORAM) writePath(leaf uint64) {
 	for lev, blocks := range perLevel {
 		idx := p.pathIdx[lev]
 		body := p.encodeBucket(blocks)
-		if p.ciph == nil {
-			p.store.Write(idx, body)
-			continue
+		if p.ciph != nil {
+			body = p.ciph.Seal(idx, p.pathSeeds[lev], body)
 		}
-		p.store.Write(idx, p.ciph.Seal(idx, p.pathSeeds[lev], body))
+		if err := p.store.Write(idx, body); err != nil {
+			return fmt.Errorf("backend: bucket %d: %w", idx, err)
+		}
 	}
+	return nil
 }
 
 func (p *PathORAM) syncStashStats() {

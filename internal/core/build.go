@@ -1,13 +1,18 @@
 package core
 
 import (
+	cryptorand "crypto/rand"
 	"encoding/binary"
 	"fmt"
 	"math/bits"
 	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"time"
 
 	"freecursive/internal/backend"
 	"freecursive/internal/crypt"
+	"freecursive/internal/mem"
 	"freecursive/internal/posmap"
 	"freecursive/internal/stats"
 	"freecursive/internal/tree"
@@ -38,6 +43,16 @@ type Params struct {
 	Functional bool
 	EncScheme  crypt.SeedScheme // bucket encryption (functional mode)
 	Seed       uint64           // deterministic seed for keys and RNG
+
+	// DataDir, if non-empty, backs every tree with a file-based bucket
+	// store (tree-<i>.oram under the directory, created if needed) so
+	// sealed buckets survive process restarts. Requires Functional.
+	DataDir string
+	// ReadDelay and WriteDelay, if positive, wrap each tree's bucket store
+	// in a latency injector (mem.WithLatency), simulating remote or
+	// disk-class untrusted memory. Requires Functional.
+	ReadDelay  time.Duration
+	WriteDelay time.Duration
 }
 
 func (p *Params) setDefaults() {
@@ -127,6 +142,52 @@ type System struct {
 	Backends []backend.Backend
 	// OnChipBits is the on-chip PosMap size.
 	OnChipBits uint64
+	// PCG is the seeded randomness source driving leaf remapping; exposed
+	// so Snapshot can persist and Restore can resume the stream.
+	PCG *rand.PCG
+}
+
+// Close releases the untrusted storage behind every tree (bucket page
+// files, in particular). The system must not be used afterwards.
+func (s *System) Close() error {
+	var first error
+	for _, be := range s.Backends {
+		if err := be.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// newMemFactory returns the constructor for per-tree untrusted memory:
+// tree i gets DataDir/tree-<i>.oram when durable, an in-process map
+// otherwise, either one behind a latency injector when delays are set.
+func newMemFactory(p Params) (func(g tree.Geometry) (mem.Backend, error), error) {
+	if !p.Functional && (p.DataDir != "" || p.ReadDelay > 0 || p.WriteDelay > 0) {
+		return nil, fmt.Errorf("core: durable or latency-injected untrusted memory requires the functional backend")
+	}
+	if p.DataDir != "" {
+		if err := os.MkdirAll(p.DataDir, 0o755); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	treeIdx := 0
+	return func(g tree.Geometry) (mem.Backend, error) {
+		var m mem.Backend = mem.NewStore()
+		if p.DataDir != "" {
+			fs, err := mem.OpenFile(mem.FileConfig{
+				Path:      filepath.Join(p.DataDir, fmt.Sprintf("tree-%d.oram", treeIdx)),
+				Geometry:  g,
+				SlotBytes: backend.SealedBucketBytes(g),
+			})
+			if err != nil {
+				return nil, err
+			}
+			m = fs
+		}
+		treeIdx++
+		return mem.WithLatency(m, p.ReadDelay, p.WriteDelay), nil
+	}, nil
 }
 
 // Build constructs a complete ORAM system for the given parameters.
@@ -138,7 +199,8 @@ func Build(p Params) (*System, error) {
 	}
 	logX := uint(bits.TrailingZeros(uint(x)))
 	ctr := &stats.Counters{}
-	rng := rand.New(rand.NewPCG(p.Seed, 0x0ca7))
+	src := rand.NewPCG(p.Seed, 0x0ca7)
+	rng := rand.New(src)
 
 	dataLevels := p.Levels
 	if dataLevels == 0 {
@@ -146,6 +208,10 @@ func Build(p Params) (*System, error) {
 	}
 
 	prf, err := crypt.NewPRF(deriveKey(p.Seed, 'P'))
+	if err != nil {
+		return nil, err
+	}
+	newMem, err := newMemFactory(p)
 	if err != nil {
 		return nil, err
 	}
@@ -158,18 +224,44 @@ func Build(p Params) (*System, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Durable trees can hold ciphertexts from earlier runs under the
+		// same derived key. Restarting the global seed register at 1 (e.g.
+		// after a crash that lost the snapshot) would then replay the
+		// AES-CTR seed stream — the §6.4 one-time-pad reuse, self-inflicted.
+		// Start the register at a random 47-bit value instead: a resumed
+		// snapshot overwrites it, and a fresh-over-old-buckets start can
+		// no longer collide with a previous run's seed window.
+		if p.DataDir != "" && p.EncScheme == crypt.SeedGlobal {
+			var b [8]byte
+			if _, err := cryptorand.Read(b[:]); err != nil {
+				return nil, fmt.Errorf("core: seeding cipher register: %w", err)
+			}
+			ciph.SetGlobalSeed(binary.BigEndian.Uint64(b[:]) & (1<<47 - 1))
+		}
+		m, err := newMem(g)
+		if err != nil {
+			return nil, err
+		}
 		return backend.NewPathORAM(backend.Config{
 			Geometry:      g,
+			Store:         m,
 			Cipher:        ciph,
 			StashCapacity: p.StashCap,
 			Counters:      ctr,
 		})
 	}
 
+	var sys *System
 	if p.Scheme == SchemeRecursive {
-		return buildRecursive(p, x, logX, dataLevels, ctr, rng, newBackend)
+		sys, err = buildRecursive(p, x, logX, dataLevels, ctr, rng, newBackend)
+	} else {
+		sys, err = buildPLB(p, x, logX, dataLevels, ctr, rng, prf, newBackend)
 	}
-	return buildPLB(p, x, logX, dataLevels, ctr, rng, prf, newBackend)
+	if err != nil {
+		return nil, err
+	}
+	sys.PCG = src
+	return sys, nil
 }
 
 func buildRecursive(p Params, x int, logX uint, dataLevels int,

@@ -11,6 +11,12 @@
 //     integrity verification (§6). Covers schemes P_X16, PC_X32, PI_X8,
 //     PIC_X32 and the 128-byte-block PC_X64.
 //   - Both compose with any backend.Backend (functional or accounting).
+//
+// A built System can persist its trusted state (on-chip PosMap, stash,
+// PLB, RNG, seed register, counters) with Snapshot and resume it in a
+// later process with Restore; together with a durable mem.Backend holding
+// the sealed trees this makes the controller restartable, with PMMAC
+// arbitrating any divergence between the two halves.
 package core
 
 import (

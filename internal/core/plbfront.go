@@ -181,6 +181,17 @@ func (fe *PLBFrontend) OnChipBits() uint64 { return fe.onchip.SizeBits() }
 // PLB exposes the cache for inspection in tests.
 func (fe *PLBFrontend) PLB() *plb.PLB { return fe.plb }
 
+// OnChip exposes the on-chip PosMap for state snapshots.
+func (fe *PLBFrontend) OnChip() *posmap.OnChip { return fe.onchip }
+
+// Violation returns the latched integrity error, or nil while healthy.
+func (fe *PLBFrontend) Violation() error {
+	if fe.violated {
+		return fe.violation
+	}
+	return nil
+}
+
 // Counters implements Frontend.
 func (fe *PLBFrontend) Counters() *stats.Counters { return fe.ctr }
 

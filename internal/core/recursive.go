@@ -106,6 +106,9 @@ func (r *RecursiveFrontend) OnChipEntries() uint64 { return r.onchip.Entries() }
 // OnChipBits returns the on-chip PosMap size in bits.
 func (r *RecursiveFrontend) OnChipBits() uint64 { return r.onchip.SizeBits() }
 
+// OnChip exposes the on-chip PosMap for state snapshots.
+func (r *RecursiveFrontend) OnChip() *posmap.OnChip { return r.onchip }
+
 // Counters implements Frontend.
 func (r *RecursiveFrontend) Counters() *stats.Counters { return r.ctr }
 

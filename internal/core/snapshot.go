@@ -1,0 +1,199 @@
+package core
+
+import (
+	"fmt"
+
+	"freecursive/internal/backend"
+	"freecursive/internal/plb"
+	"freecursive/internal/stash"
+	"freecursive/internal/stats"
+)
+
+// Snapshot is the complete serializable trusted state of a System: the
+// pieces the paper keeps inside the processor's trust boundary (on-chip
+// PosMap / PMMAC counter root, stash, PLB, RNG, the encryption seed
+// register) plus the statistics counters. Everything else — the sealed
+// bucket trees — lives in untrusted memory and is persisted separately by
+// a durable mem.Backend.
+//
+// A snapshot is only meaningful together with the bucket files it was
+// taken against. Restoring a stale snapshot over newer buckets (or fresh
+// state over old buckets) desynchronizes the PMMAC counters from the MACs
+// on disk; integrity-enabled schemes then detect the mismatch on access,
+// which is exactly the §6.1 freshness guarantee doing its job.
+type Snapshot struct {
+	// Version guards the encoding.
+	Version int `json:"version"`
+	// Params echoes the build parameters (location-independent fields) so
+	// a restore into a differently-shaped system fails loudly.
+	Params Params `json:"params"`
+	// RNG is the marshaled PCG state driving leaf remapping.
+	RNG []byte `json:"rng"`
+	// OnChip is the root of the recursion: leaf labels or PMMAC counters.
+	OnChip OnChipState `json:"on_chip"`
+	// Backends holds per-tree controller state, index-aligned with
+	// System.Backends.
+	Backends []BackendState `json:"backends"`
+	// PLB holds the PosMap Lookaside Buffer residents (PLB schemes only).
+	PLB []PLBEntryState `json:"plb,omitempty"`
+	// Counters is the statistics snapshot.
+	Counters stats.Counters `json:"counters"`
+}
+
+// OnChipState serializes posmap.OnChip.
+type OnChipState struct {
+	Entries  []uint64 `json:"entries"`
+	Assigned []bool   `json:"assigned,omitempty"` // leaf mode only
+}
+
+// BackendState serializes one PathORAM backend's trusted residue.
+type BackendState struct {
+	// GlobalSeed is the bucket cipher's monotonic seed register (§6.4).
+	GlobalSeed uint64 `json:"global_seed"`
+	// Stash holds the blocks caught between path read and eviction.
+	Stash []StashBlockState `json:"stash,omitempty"`
+}
+
+// StashBlockState serializes one stash.Block.
+type StashBlockState struct {
+	Addr uint64 `json:"addr"`
+	Leaf uint64 `json:"leaf"`
+	Data []byte `json:"data"`
+}
+
+// PLBEntryState serializes one plb.Entry.
+type PLBEntryState struct {
+	Tag     uint64 `json:"tag"`
+	Leaf    uint64 `json:"leaf"`
+	Counter uint64 `json:"counter"`
+	Block   []byte `json:"block"`
+}
+
+const snapshotVersion = 1
+
+// comparableParams strips the fields that describe where untrusted memory
+// lives rather than what the trusted state looks like, so a snapshot can be
+// restored into the same logical ORAM at a different path or latency.
+func comparableParams(p Params) Params {
+	p.DataDir = ""
+	p.ReadDelay = 0
+	p.WriteDelay = 0
+	return p
+}
+
+// Snapshot captures the system's trusted state. It requires functional
+// backends (the accounting backend has no real tree to persist against)
+// and refuses to snapshot a controller that has latched an integrity
+// violation — a poisoned controller must not be resurrected.
+func (s *System) Snapshot() (*Snapshot, error) {
+	snap := &Snapshot{
+		Version:  snapshotVersion,
+		Params:   comparableParams(s.Params),
+		Counters: *s.Counters,
+	}
+
+	rngState, err := s.PCG.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("core: marshaling RNG: %w", err)
+	}
+	snap.RNG = rngState
+
+	for i, be := range s.Backends {
+		p, ok := be.(*backend.PathORAM)
+		if !ok {
+			return nil, fmt.Errorf("core: backend %d is %T; snapshots require the functional backend", i, be)
+		}
+		bs := BackendState{}
+		if c := p.Cipher(); c != nil {
+			bs.GlobalSeed = c.GlobalSeed()
+		}
+		for _, b := range p.Stash().Blocks() {
+			bs.Stash = append(bs.Stash, StashBlockState{Addr: b.Addr, Leaf: b.Leaf, Data: b.Data})
+		}
+		snap.Backends = append(snap.Backends, bs)
+	}
+
+	switch fe := s.Frontend.(type) {
+	case *PLBFrontend:
+		if err := fe.Violation(); err != nil {
+			return nil, fmt.Errorf("core: refusing to snapshot a violated controller: %w", err)
+		}
+		snap.OnChip.Entries, snap.OnChip.Assigned = fe.OnChip().Snapshot()
+		if fe.PLB() != nil {
+			for _, e := range fe.PLB().Entries() {
+				snap.PLB = append(snap.PLB, PLBEntryState{
+					Tag: e.Tag, Leaf: e.Leaf, Counter: e.Counter, Block: e.Block,
+				})
+			}
+		}
+	case *RecursiveFrontend:
+		snap.OnChip.Entries, snap.OnChip.Assigned = fe.OnChip().Snapshot()
+	default:
+		return nil, fmt.Errorf("core: cannot snapshot frontend %T", s.Frontend)
+	}
+	return snap, nil
+}
+
+// Restore injects a snapshot into a freshly built System with the same
+// parameters. The bucket stores must hold the trees the snapshot was taken
+// against; PMMAC arbitrates any divergence on later accesses.
+func (s *System) Restore(snap *Snapshot) error {
+	if snap.Version != snapshotVersion {
+		return fmt.Errorf("core: snapshot version %d, want %d", snap.Version, snapshotVersion)
+	}
+	if got, want := comparableParams(s.Params), comparableParams(snap.Params); got != want {
+		return fmt.Errorf("core: snapshot parameters %+v do not match system %+v", want, got)
+	}
+	if len(snap.Backends) != len(s.Backends) {
+		return fmt.Errorf("core: snapshot has %d backends, system has %d", len(snap.Backends), len(s.Backends))
+	}
+	if err := s.PCG.UnmarshalBinary(snap.RNG); err != nil {
+		return fmt.Errorf("core: restoring RNG: %w", err)
+	}
+
+	for i, bs := range snap.Backends {
+		p, ok := s.Backends[i].(*backend.PathORAM)
+		if !ok {
+			return fmt.Errorf("core: backend %d is %T; snapshots require the functional backend", i, s.Backends[i])
+		}
+		if c := p.Cipher(); c != nil {
+			c.SetGlobalSeed(bs.GlobalSeed)
+		}
+		for _, b := range bs.Stash {
+			p.Stash().Put(stash.Block{Addr: b.Addr, Leaf: b.Leaf, Data: b.Data})
+		}
+	}
+
+	switch fe := s.Frontend.(type) {
+	case *PLBFrontend:
+		if err := fe.OnChip().Restore(snap.OnChip.Entries, snap.OnChip.Assigned); err != nil {
+			return err
+		}
+		for _, e := range snap.PLB {
+			if fe.PLB() == nil {
+				return fmt.Errorf("core: snapshot carries PLB entries but the system has no PLB")
+			}
+			if _, _, evicted := fe.PLB().Insert(plb.Entry{
+				Tag: e.Tag, Leaf: e.Leaf, Counter: e.Counter, Block: e.Block,
+			}); evicted {
+				// Same capacity + same tags as the source PLB: an eviction
+				// here means the snapshot and system disagree after all.
+				return fmt.Errorf("core: PLB overflow restoring entry %#x", e.Tag)
+			}
+		}
+	case *RecursiveFrontend:
+		if len(snap.PLB) > 0 {
+			return fmt.Errorf("core: snapshot carries PLB entries for a recursive frontend")
+		}
+		if err := fe.OnChip().Restore(snap.OnChip.Entries, snap.OnChip.Assigned); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("core: cannot restore into frontend %T", s.Frontend)
+	}
+
+	// Counters last: the restore steps above must not leak into the
+	// resumed statistics.
+	*s.Counters = snap.Counters
+	return nil
+}

@@ -168,6 +168,12 @@ func (bc *BucketCipher) Scheme() SeedScheme { return bc.scheme }
 // GlobalSeed returns the controller's current global seed register value.
 func (bc *BucketCipher) GlobalSeed() uint64 { return bc.globalSeed }
 
+// SetGlobalSeed restores the global seed register when a persisted
+// controller resumes. Rewinding the register below a value it has already
+// consumed re-creates the one-time-pad reuse of §6.4 against the
+// controller itself — only ever restore a value captured from GlobalSeed.
+func (bc *BucketCipher) SetGlobalSeed(v uint64) { bc.globalSeed = v }
+
 func (bc *BucketCipher) pad(bucketID, seed uint64, body []byte, out []byte) {
 	// IV layout: bucketID (48 bits) || seed (48 bits) || chunk counter (32
 	// bits, advanced by CTR mode across the body). For the global-seed

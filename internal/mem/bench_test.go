@@ -1,0 +1,70 @@
+package mem
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// Raw backend cost per bucket operation, isolated from the ORAM controller:
+// the map backend is the floor, the file backend adds one pread/pwrite, the
+// latency wrapper adds the configured wire delay on top of the map.
+
+const benchSlot = 4096
+
+func benchWrite(b *testing.B, s Backend) {
+	b.Helper()
+	data := make([]byte, benchSlot)
+	buckets := testGeom(b).Buckets()
+	b.SetBytes(benchSlot)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Write(uint64(i)%buckets, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchRead(b *testing.B, s Backend) {
+	b.Helper()
+	data := make([]byte, benchSlot)
+	buckets := testGeom(b).Buckets()
+	for idx := uint64(0); idx < buckets; idx++ {
+		if err := s.Write(idx, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(benchSlot)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Read(uint64(i) % buckets); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchFile(b *testing.B) *FileStore {
+	b.Helper()
+	fs, err := OpenFile(FileConfig{
+		Path:      filepath.Join(b.TempDir(), "buckets"),
+		Geometry:  testGeom(b),
+		SlotBytes: benchSlot,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { fs.Close() })
+	return fs
+}
+
+func BenchmarkWriteMap(b *testing.B)  { benchWrite(b, NewStore()) }
+func BenchmarkWriteFile(b *testing.B) { benchWrite(b, benchFile(b)) }
+func BenchmarkWriteLatency(b *testing.B) {
+	benchWrite(b, WithLatency(NewStore(), 0, 10*time.Microsecond))
+}
+
+func BenchmarkReadMap(b *testing.B)  { benchRead(b, NewStore()) }
+func BenchmarkReadFile(b *testing.B) { benchRead(b, benchFile(b)) }
+func BenchmarkReadLatency(b *testing.B) {
+	benchRead(b, WithLatency(NewStore(), 10*time.Microsecond, 0))
+}

@@ -1,0 +1,366 @@
+package mem
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"freecursive/internal/tree"
+)
+
+// FileStore is a file-backed Backend: a fixed-slot bucket page file that
+// persists sealed buckets across process restarts.
+//
+// On-disk format (all integers big-endian):
+//
+//	header (64 bytes):
+//	  [0:8]   magic "FORAMBK1"
+//	  [8:12]  format version (1)
+//	  [12:16] tree leaf level L
+//	  [16:20] bucket slots Z
+//	  [20:24] block payload bytes
+//	  [24:28] slot capacity in bytes (max sealed bucket size)
+//	  [28:36] bucket count (2^(L+1)-1)
+//	  [36:64] reserved (zero)
+//	slot i at 64 + i*(4+slotBytes):
+//	  [0:4]   sealed length (0 = never written)
+//	  [4:...] sealed bucket, zero-padded to slotBytes
+//
+// The header records the tree geometry so a reopen with mismatched
+// parameters fails loudly instead of serving misaligned slots. The file is
+// preallocated sparse to its full size, so unwritten slots read as zeros
+// (length 0 = absent) without consuming disk.
+//
+// Torn or tampered slots are never turned into errors: a garbage length is
+// clamped, a truncated slot reads as absent, and the bytes are handed to
+// the layers above unjudged — decryption and PMMAC are the arbiters of
+// bucket validity, exactly as for any other untrusted memory.
+type FileStore struct {
+	hooks
+	f         *os.File
+	geom      tree.Geometry
+	slotBytes int
+	buckets   uint64
+	present   []uint64 // bitmap of materialized slots
+	resident  uint64   // population count of present
+	reads     uint64
+	writes    uint64
+	closed    bool
+}
+
+// FileConfig parameterizes OpenFile.
+type FileConfig struct {
+	// Path is the bucket page file; created (with its size preallocated
+	// sparse) if absent, validated against Geometry and SlotBytes if not.
+	Path string
+	// Geometry is the tree the file stores; Geometry.Buckets() slots are
+	// allocated.
+	Geometry tree.Geometry
+	// SlotBytes is the slot capacity: the largest sealed bucket the
+	// controller will ever write (see backend.SealedBucketBytes).
+	SlotBytes int
+}
+
+const (
+	fileMagic     = "FORAMBK1"
+	fileVersion   = 1
+	fileHeaderLen = 64
+	slotLenBytes  = 4
+)
+
+// OpenFile creates or reopens a bucket page file.
+func OpenFile(cfg FileConfig) (*FileStore, error) {
+	if cfg.Geometry.Z < 1 || cfg.Geometry.BlockBytes < 1 {
+		return nil, fmt.Errorf("mem: invalid geometry %+v", cfg.Geometry)
+	}
+	if cfg.SlotBytes < 1 {
+		return nil, fmt.Errorf("mem: slot size %d must be >= 1", cfg.SlotBytes)
+	}
+	f, err := os.OpenFile(cfg.Path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("mem: %w", err)
+	}
+	s := &FileStore{
+		f:         f,
+		geom:      cfg.Geometry,
+		slotBytes: cfg.SlotBytes,
+		buckets:   cfg.Geometry.Buckets(),
+	}
+	s.present = make([]uint64, (s.buckets+63)/64)
+
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("mem: %w", err)
+	}
+	if info.Size() == 0 {
+		if err := s.init(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return s, nil
+	}
+	if err := s.reopen(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *FileStore) size() int64 {
+	return fileHeaderLen + int64(s.buckets)*int64(slotLenBytes+s.slotBytes)
+}
+
+func (s *FileStore) init() error {
+	hdr := make([]byte, fileHeaderLen)
+	copy(hdr, fileMagic)
+	binary.BigEndian.PutUint32(hdr[8:12], fileVersion)
+	binary.BigEndian.PutUint32(hdr[12:16], uint32(s.geom.L))
+	binary.BigEndian.PutUint32(hdr[16:20], uint32(s.geom.Z))
+	binary.BigEndian.PutUint32(hdr[20:24], uint32(s.geom.BlockBytes))
+	binary.BigEndian.PutUint32(hdr[24:28], uint32(s.slotBytes))
+	binary.BigEndian.PutUint64(hdr[28:36], s.buckets)
+	if _, err := s.f.WriteAt(hdr, 0); err != nil {
+		return fmt.Errorf("mem: writing header: %w", err)
+	}
+	if err := s.f.Truncate(s.size()); err != nil {
+		return fmt.Errorf("mem: preallocating %d bytes: %w", s.size(), err)
+	}
+	return nil
+}
+
+// reopen validates the header against the configured geometry and rebuilds
+// the materialized-slot bitmap with one sequential scan.
+func (s *FileStore) reopen() error {
+	hdr := make([]byte, fileHeaderLen)
+	if _, err := io.ReadFull(io.NewSectionReader(s.f, 0, fileHeaderLen), hdr); err != nil {
+		return fmt.Errorf("mem: reading header: %w", err)
+	}
+	if string(hdr[:8]) != fileMagic {
+		return fmt.Errorf("mem: %s is not a bucket page file", s.f.Name())
+	}
+	if v := binary.BigEndian.Uint32(hdr[8:12]); v != fileVersion {
+		return fmt.Errorf("mem: bucket file version %d, want %d", v, fileVersion)
+	}
+	gotL := int(binary.BigEndian.Uint32(hdr[12:16]))
+	gotZ := int(binary.BigEndian.Uint32(hdr[16:20]))
+	gotB := int(binary.BigEndian.Uint32(hdr[20:24]))
+	gotSlot := int(binary.BigEndian.Uint32(hdr[24:28]))
+	gotBuckets := binary.BigEndian.Uint64(hdr[28:36])
+	if gotL != s.geom.L || gotZ != s.geom.Z || gotB != s.geom.BlockBytes ||
+		gotSlot != s.slotBytes || gotBuckets != s.buckets {
+		return fmt.Errorf("mem: bucket file geometry L=%d Z=%d B=%d slot=%d buckets=%d "+
+			"does not match configured L=%d Z=%d B=%d slot=%d buckets=%d",
+			gotL, gotZ, gotB, gotSlot, gotBuckets,
+			s.geom.L, s.geom.Z, s.geom.BlockBytes, s.slotBytes, s.buckets)
+	}
+	// A file truncated below its full size (a torn run) is re-extended: the
+	// missing region reads as zero lengths, i.e. absent buckets, which the
+	// integrity layer treats like any other deletion.
+	if info, err := s.f.Stat(); err == nil && info.Size() < s.size() {
+		if err := s.f.Truncate(s.size()); err != nil {
+			return fmt.Errorf("mem: re-extending torn file: %w", err)
+		}
+	}
+	s.scanPresent()
+	return nil
+}
+
+// seekData/seekHole are SEEK_DATA/SEEK_HOLE: supported by Linux and most
+// modern unices; filesystems without sparse-seek support simply return an
+// error and we fall back to a full scan.
+const (
+	seekData = 3
+	seekHole = 4
+)
+
+// scanPresent rebuilds the materialized-slot bitmap. The page file is
+// preallocated sparse, so scan cost should track bytes actually written,
+// not tree capacity: SEEK_DATA/SEEK_HOLE walks only the materialized
+// extents of a multi-gigabyte mostly-empty file. A full sequential scan is
+// the fallback when the filesystem cannot enumerate holes.
+func (s *FileStore) scanPresent() {
+	end := s.size()
+	cur := int64(fileHeaderLen)
+	usedSparse := false
+	for cur < end {
+		dataOff, err := s.f.Seek(cur, seekData)
+		if err != nil {
+			// ENXIO: cur sits in the trailing hole — done. Any other error
+			// on the first probe means sparse seek is unsupported here.
+			if !usedSparse {
+				s.scanSlots(fileHeaderLen, end)
+			}
+			return
+		}
+		usedSparse = true
+		if dataOff >= end {
+			return
+		}
+		holeOff, err := s.f.Seek(dataOff, seekHole)
+		if err != nil || holeOff <= dataOff {
+			holeOff = end
+		}
+		s.scanSlots(dataOff, holeOff)
+		cur = holeOff
+	}
+}
+
+// scanSlots reads the length prefix of every slot overlapping file offsets
+// [lo, hi) and marks the non-empty ones.
+func (s *FileStore) scanSlots(lo, hi int64) {
+	stride := int64(slotLenBytes + s.slotBytes)
+	first := (lo - fileHeaderLen) / stride
+	if first > 0 {
+		first-- // catch a slot straddling the region start
+	}
+	br := bufio.NewReaderSize(io.NewSectionReader(s.f, s.slotOff(uint64(first)), s.size()), 1<<20)
+	var lenBuf [slotLenBytes]byte
+	for idx := uint64(first); idx < s.buckets && s.slotOff(idx) < hi; idx++ {
+		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+			return // torn tail: remaining slots are absent
+		}
+		if binary.BigEndian.Uint32(lenBuf[:]) != 0 {
+			s.mark(idx, true)
+		}
+		if _, err := br.Discard(s.slotBytes); err != nil {
+			return
+		}
+	}
+}
+
+func (s *FileStore) mark(idx uint64, on bool) {
+	w, bit := idx/64, uint64(1)<<(idx%64)
+	if on {
+		if s.present[w]&bit == 0 {
+			s.present[w] |= bit
+			s.resident++
+		}
+	} else if s.present[w]&bit != 0 {
+		s.present[w] &^= bit
+		s.resident--
+	}
+}
+
+func (s *FileStore) slotOff(idx uint64) int64 {
+	return fileHeaderLen + int64(idx)*int64(slotLenBytes+s.slotBytes)
+}
+
+// load reads one slot, clamping torn or tampered lengths. nil means absent.
+func (s *FileStore) load(idx uint64) ([]byte, error) {
+	if idx >= s.buckets {
+		return nil, fmt.Errorf("mem: bucket %d out of range [0,%d)", idx, s.buckets)
+	}
+	buf := make([]byte, slotLenBytes+s.slotBytes)
+	n, err := s.f.ReadAt(buf, s.slotOff(idx))
+	if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+		// A real I/O fault (not a torn tail) must surface as an error, per
+		// the Backend contract — never as a garbage bucket that would latch
+		// a permanent PMMAC violation upstream.
+		return nil, fmt.Errorf("mem: bucket %d: %w", idx, err)
+	}
+	if n < slotLenBytes {
+		return nil, nil // torn file: slot absent
+	}
+	length := int(binary.BigEndian.Uint32(buf[:slotLenBytes]))
+	if avail := n - slotLenBytes; length > avail {
+		length = avail // tampered length or torn slot: serve what exists
+	}
+	if length == 0 {
+		return nil, nil
+	}
+	data := make([]byte, length)
+	copy(data, buf[slotLenBytes:slotLenBytes+length])
+	return data, nil
+}
+
+// store writes one slot; nil data clears it.
+func (s *FileStore) store(idx uint64, data []byte) error {
+	if idx >= s.buckets {
+		return fmt.Errorf("mem: bucket %d out of range [0,%d)", idx, s.buckets)
+	}
+	if len(data) > s.slotBytes {
+		return fmt.Errorf("mem: sealed bucket %d is %dB, slot holds %dB", idx, len(data), s.slotBytes)
+	}
+	buf := make([]byte, slotLenBytes+len(data))
+	binary.BigEndian.PutUint32(buf[:slotLenBytes], uint32(len(data)))
+	copy(buf[slotLenBytes:], data)
+	if _, err := s.f.WriteAt(buf, s.slotOff(idx)); err != nil {
+		return fmt.Errorf("mem: bucket %d: %w", idx, err)
+	}
+	s.mark(idx, data != nil && len(data) > 0)
+	return nil
+}
+
+// Read implements Backend. The returned slice is a fresh copy.
+func (s *FileStore) Read(idx uint64) ([]byte, error) {
+	s.reads++
+	data, err := s.load(idx)
+	if err != nil {
+		return nil, err
+	}
+	if s.onRead != nil {
+		data = s.onRead(idx, data)
+	}
+	return data, nil
+}
+
+// Write implements Backend.
+func (s *FileStore) Write(idx uint64, data []byte) error {
+	s.writes++
+	if s.onWrite != nil {
+		data = s.onWrite(idx, data)
+	}
+	return s.store(idx, data)
+}
+
+// Peek implements Backend: a mutable copy of the slot, hook- and
+// counter-free. I/O faults surface as nil (absent), matching what the
+// controller would be served.
+func (s *FileStore) Peek(idx uint64) []byte {
+	data, err := s.load(idx)
+	if err != nil {
+		return nil
+	}
+	return data
+}
+
+// Poke implements Backend; nil deletes the bucket. I/O faults are dropped
+// (Poke is a test/adversary aid with no error path).
+func (s *FileStore) Poke(idx uint64, data []byte) { _ = s.store(idx, data) }
+
+// Stats implements Backend. Bytes reports the preallocated file size.
+func (s *FileStore) Stats() Stats {
+	return Stats{
+		Reads:   s.reads,
+		Writes:  s.writes,
+		Buckets: s.resident,
+		Bytes:   uint64(s.size()),
+	}
+}
+
+// Geometry returns the tree geometry recorded in the file header.
+func (s *FileStore) Geometry() tree.Geometry { return s.geom }
+
+// Path returns the backing file's path.
+func (s *FileStore) Path() string { return s.f.Name() }
+
+// Sync flushes written buckets to stable storage.
+func (s *FileStore) Sync() error { return s.f.Sync() }
+
+// Close syncs and closes the backing file.
+func (s *FileStore) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.f.Sync(); err != nil {
+		s.f.Close()
+		return fmt.Errorf("mem: %w", err)
+	}
+	return s.f.Close()
+}
+
+var _ Backend = (*FileStore)(nil)

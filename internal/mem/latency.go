@@ -1,0 +1,45 @@
+package mem
+
+import "time"
+
+// Latency wraps a Backend and injects a fixed delay into every Read and
+// Write, simulating remote or disk-class untrusted memory (the trusted
+// processor / untrusted storage split of The Pyramid Scheme). Peek and Poke
+// stay instant — the adversary inspects memory at rest, not over the wire —
+// and hooks are delegated so tamper ordering is unchanged.
+type Latency struct {
+	Backend
+	readDelay  time.Duration
+	writeDelay time.Duration
+}
+
+// WithLatency wraps inner so every Read sleeps readDelay and every Write
+// sleeps writeDelay before the operation reaches inner. Zero delays are
+// returned unwrapped.
+func WithLatency(inner Backend, readDelay, writeDelay time.Duration) Backend {
+	if readDelay <= 0 && writeDelay <= 0 {
+		return inner
+	}
+	return &Latency{Backend: inner, readDelay: readDelay, writeDelay: writeDelay}
+}
+
+// Read implements Backend, paying the configured read delay first.
+func (l *Latency) Read(idx uint64) ([]byte, error) {
+	if l.readDelay > 0 {
+		time.Sleep(l.readDelay)
+	}
+	return l.Backend.Read(idx)
+}
+
+// Write implements Backend, paying the configured write delay first.
+func (l *Latency) Write(idx uint64, data []byte) error {
+	if l.writeDelay > 0 {
+		time.Sleep(l.writeDelay)
+	}
+	return l.Backend.Write(idx, data)
+}
+
+// Inner returns the wrapped backend.
+func (l *Latency) Inner() Backend { return l.Backend }
+
+var _ Backend = (*Latency)(nil)

@@ -1,11 +1,34 @@
 // Package mem models the untrusted external memory holding sealed ORAM
-// buckets. Storage is sparse (a map keyed by heap bucket index) so that
-// trees for multi-gigabyte capacities can be simulated: only touched buckets
-// materialize.
+// buckets (§3.1: everything outside the controller's trust boundary).
 //
-// The store exposes tamper hooks so tests and examples can play the active
-// adversary of §2: every read and write can be intercepted and the bytes
-// modified, replayed, or recorded.
+// Storage is pluggable through the Backend interface. Three implementations
+// are provided:
+//
+//   - Store: a sparse in-process map. Trees for multi-gigabyte capacities
+//     can be simulated because only touched buckets materialize.
+//   - FileStore: a fixed-slot bucket page file. Sealed buckets survive
+//     process restarts, so a durable controller can resume serving them
+//     (see OpenFile for the on-disk format).
+//   - Latency (via WithLatency): a wrapper injecting per-operation delay
+//     into any Backend, simulating remote or disk-class untrusted memory.
+//
+// # Ownership
+//
+// Write transfers ownership of data to the backend: the caller must not
+// reuse the slice afterwards. Read returns a slice the caller must treat as
+// read-only — Store hands out its live internal slice, other backends a
+// fresh copy, and callers may rely on neither. Peek returns a mutable
+// scratch copy (or, for Store, the live slice) intended to be modified and
+// written back with Poke.
+//
+// # Tamper hooks
+//
+// Every backend exposes the active adversary of §2 through two hooks. The
+// ordering contract is fixed: OnRead runs after the bucket is loaded from
+// storage and before it is returned, so its result is what the controller
+// sees; OnWrite runs before the bucket is stored, so its result is what
+// lands in memory. Peek and Poke bypass both hooks and the operation
+// counters — they are the adversary's direct line to memory at rest.
 package mem
 
 // TamperFunc inspects or alters a sealed bucket in flight. idx is the heap
@@ -14,54 +37,117 @@ package mem
 // unchanged to observe passively.
 type TamperFunc func(idx uint64, data []byte) []byte
 
-// Store is sparse untrusted bucket storage.
-type Store struct {
-	buckets map[uint64][]byte
-
-	// OnRead, if set, sees every bucket leaving memory toward the ORAM
-	// controller. OnWrite sees every bucket arriving from the controller.
-	OnRead  TamperFunc
-	OnWrite TamperFunc
-
-	reads, writes uint64
+// Stats is a snapshot of a backend's operation counters and footprint.
+type Stats struct {
+	Reads   uint64 // Read operations served (hook-visible)
+	Writes  uint64 // Write operations served (hook-visible)
+	Buckets uint64 // materialized (ever-written, non-deleted) buckets
+	Bytes   uint64 // resident payload bytes (map) or on-disk file size (file)
 }
 
-// NewStore returns an empty store.
+// Backend is pluggable untrusted bucket storage: the interface between the
+// ORAM controller (via backend.PathORAM) and wherever sealed buckets
+// actually live. Implementations are not safe for concurrent use — each
+// serves exactly one single-threaded controller, matching the freecursive
+// concurrency contract.
+//
+// See the package comment for the slice-ownership and tamper-hook-ordering
+// contract every implementation must honor.
+type Backend interface {
+	// Read returns the sealed bucket at idx, or nil if it has never been
+	// written. Errors are I/O faults only — tampered or torn contents are
+	// returned as-is for the layers above (decryption, PMMAC) to judge.
+	Read(idx uint64) ([]byte, error)
+	// Write stores the sealed bucket at idx, taking ownership of data.
+	Write(idx uint64, data []byte) error
+	// SetOnRead and SetOnWrite install the adversary hooks (nil to clear).
+	SetOnRead(f TamperFunc)
+	SetOnWrite(f TamperFunc)
+	// Peek returns the stored bucket without counting a read or invoking
+	// hooks (adversary/testing aid: direct inspection of memory at rest).
+	Peek(idx uint64) []byte
+	// Poke overwrites the stored bucket without counting a write or
+	// invoking hooks; nil deletes the bucket (direct tampering at rest).
+	Poke(idx uint64, data []byte)
+	// Stats returns operation counts and footprint.
+	Stats() Stats
+	// Close releases any resources (files, handles). The backend must not
+	// be used afterwards. Close on an already-closed backend is a no-op.
+	Close() error
+}
+
+// hooks holds the tamper-hook pair shared by every implementation.
+type hooks struct {
+	onRead, onWrite TamperFunc
+}
+
+func (h *hooks) SetOnRead(f TamperFunc)  { h.onRead = f }
+func (h *hooks) SetOnWrite(f TamperFunc) { h.onWrite = f }
+
+// Store is sparse in-process untrusted bucket storage: the default Backend.
+type Store struct {
+	hooks
+	buckets map[uint64][]byte
+	bytes   uint64
+	reads   uint64
+	writes  uint64
+}
+
+// NewStore returns an empty map-backed store.
 func NewStore() *Store {
 	return &Store{buckets: make(map[uint64][]byte)}
 }
 
-// Read returns the sealed bucket at idx, or nil if it has never been
-// written. The returned slice must not be modified by the caller.
-func (s *Store) Read(idx uint64) []byte {
+// Read implements Backend. The returned slice is the store's live copy and
+// must not be modified by the caller.
+func (s *Store) Read(idx uint64) ([]byte, error) {
 	s.reads++
 	data := s.buckets[idx]
-	if s.OnRead != nil {
-		data = s.OnRead(idx, data)
+	if s.onRead != nil {
+		data = s.onRead(idx, data)
 	}
-	return data
+	return data, nil
 }
 
-// Write stores the sealed bucket at idx. The store takes ownership of data.
-func (s *Store) Write(idx uint64, data []byte) {
+// Write implements Backend. The store takes ownership of data.
+func (s *Store) Write(idx uint64, data []byte) error {
 	s.writes++
-	if s.OnWrite != nil {
-		data = s.OnWrite(idx, data)
+	if s.onWrite != nil {
+		data = s.onWrite(idx, data)
 	}
+	s.put(idx, data)
+	return nil
+}
+
+func (s *Store) put(idx uint64, data []byte) {
+	if old, ok := s.buckets[idx]; ok {
+		s.bytes -= uint64(len(old))
+	}
+	if data == nil {
+		delete(s.buckets, idx)
+		return
+	}
+	s.bytes += uint64(len(data))
 	s.buckets[idx] = data
 }
 
-// Peek returns the stored bucket without counting a read or invoking hooks
-// (adversary/testing aid: direct inspection of memory).
+// Peek implements Backend: the returned slice is the live stored bucket.
 func (s *Store) Peek(idx uint64) []byte { return s.buckets[idx] }
 
-// Poke overwrites the stored bucket without counting a write or invoking
-// hooks (adversary/testing aid: direct tampering of memory at rest).
-func (s *Store) Poke(idx uint64, data []byte) { s.buckets[idx] = data }
+// Poke implements Backend.
+func (s *Store) Poke(idx uint64, data []byte) { s.put(idx, data) }
 
-// Len returns the number of materialized buckets.
-func (s *Store) Len() int { return len(s.buckets) }
+// Stats implements Backend.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Reads:   s.reads,
+		Writes:  s.writes,
+		Buckets: uint64(len(s.buckets)),
+		Bytes:   s.bytes,
+	}
+}
 
-// Reads and Writes return operation counts.
-func (s *Store) Reads() uint64  { return s.reads }
-func (s *Store) Writes() uint64 { return s.writes }
+// Close implements Backend (no resources to release).
+func (s *Store) Close() error { return nil }
+
+var _ Backend = (*Store)(nil)

@@ -2,70 +2,290 @@ package mem
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"testing"
+	"time"
+
+	"freecursive/internal/tree"
 )
 
+func testGeom(t testing.TB) tree.Geometry {
+	t.Helper()
+	g, err := tree.NewGeometry(4, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// eachBackend runs f against every Backend implementation so the shared
+// contract (hook ordering, counters, Peek/Poke bypass) is enforced
+// uniformly.
+func eachBackend(t *testing.T, f func(t *testing.T, b Backend)) {
+	t.Run("map", func(t *testing.T) { f(t, NewStore()) })
+	t.Run("file", func(t *testing.T) {
+		fs, err := OpenFile(FileConfig{
+			Path:      filepath.Join(t.TempDir(), "buckets"),
+			Geometry:  testGeom(t),
+			SlotBytes: 64,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { fs.Close() })
+		f(t, fs)
+	})
+	t.Run("latency", func(t *testing.T) {
+		f(t, WithLatency(NewStore(), time.Microsecond, time.Microsecond))
+	})
+}
+
+func mustRead(t *testing.T, b Backend, idx uint64) []byte {
+	t.Helper()
+	data, err := b.Read(idx)
+	if err != nil {
+		t.Fatalf("Read(%d): %v", idx, err)
+	}
+	return data
+}
+
 func TestReadWritePeekPoke(t *testing.T) {
-	s := NewStore()
-	if s.Read(5) != nil {
-		t.Fatal("read of never-written bucket should be nil")
-	}
-	s.Write(5, []byte{1, 2, 3})
-	if !bytes.Equal(s.Read(5), []byte{1, 2, 3}) {
-		t.Fatal("read back mismatch")
-	}
-	if s.Reads() != 2 || s.Writes() != 1 {
-		t.Fatalf("reads=%d writes=%d", s.Reads(), s.Writes())
-	}
-	// Peek/Poke bypass counters (the adversary's direct line to DRAM).
-	s.Poke(9, []byte{7})
-	if !bytes.Equal(s.Peek(9), []byte{7}) {
-		t.Fatal("poke/peek mismatch")
-	}
-	if s.Reads() != 2 || s.Writes() != 1 {
-		t.Fatal("peek/poke must not count")
-	}
-	if s.Len() != 2 {
-		t.Fatalf("len=%d", s.Len())
-	}
+	eachBackend(t, func(t *testing.T, s Backend) {
+		if mustRead(t, s, 5) != nil {
+			t.Fatal("read of never-written bucket should be nil")
+		}
+		if err := s.Write(5, []byte{1, 2, 3}); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(mustRead(t, s, 5), []byte{1, 2, 3}) {
+			t.Fatal("read back mismatch")
+		}
+		if st := s.Stats(); st.Reads != 2 || st.Writes != 1 {
+			t.Fatalf("reads=%d writes=%d", st.Reads, st.Writes)
+		}
+		// Peek/Poke bypass counters (the adversary's direct line to DRAM).
+		s.Poke(9, []byte{7})
+		if !bytes.Equal(s.Peek(9), []byte{7}) {
+			t.Fatal("poke/peek mismatch")
+		}
+		if st := s.Stats(); st.Reads != 2 || st.Writes != 1 {
+			t.Fatal("peek/poke must not count")
+		}
+		if st := s.Stats(); st.Buckets != 2 {
+			t.Fatalf("buckets=%d, want 2", st.Buckets)
+		}
+		// Poke(nil) deletes.
+		s.Poke(9, nil)
+		if s.Peek(9) != nil {
+			t.Fatal("poke(nil) should delete")
+		}
+		if st := s.Stats(); st.Buckets != 1 {
+			t.Fatalf("buckets=%d after delete, want 1", st.Buckets)
+		}
+	})
 }
 
 func TestTamperHooks(t *testing.T) {
-	s := NewStore()
-	var sawWrite, sawRead uint64
-	s.OnWrite = func(idx uint64, data []byte) []byte {
-		sawWrite = idx
-		return append([]byte{0xff}, data...) // adversary prepends a byte
-	}
-	s.OnRead = func(idx uint64, data []byte) []byte {
-		sawRead = idx
-		return data[1:] // and strips it again
-	}
-	s.Write(3, []byte{1, 2})
-	got := s.Read(3)
-	if sawWrite != 3 || sawRead != 3 {
-		t.Fatal("hooks not invoked")
-	}
-	if !bytes.Equal(got, []byte{1, 2}) {
-		t.Fatalf("hook plumbing broken: %v", got)
-	}
-	// At rest, the stored bytes are the tampered ones.
-	if !bytes.Equal(s.Peek(3), []byte{0xff, 1, 2}) {
-		t.Fatal("stored bytes should reflect OnWrite result")
-	}
+	eachBackend(t, func(t *testing.T, s Backend) {
+		var sawWrite, sawRead uint64
+		s.SetOnWrite(func(idx uint64, data []byte) []byte {
+			sawWrite = idx
+			return append([]byte{0xff}, data...) // adversary prepends a byte
+		})
+		s.SetOnRead(func(idx uint64, data []byte) []byte {
+			sawRead = idx
+			return data[1:] // and strips it again
+		})
+		if err := s.Write(3, []byte{1, 2}); err != nil {
+			t.Fatal(err)
+		}
+		got := mustRead(t, s, 3)
+		if sawWrite != 3 || sawRead != 3 {
+			t.Fatal("hooks not invoked")
+		}
+		if !bytes.Equal(got, []byte{1, 2}) {
+			t.Fatalf("hook plumbing broken: %v", got)
+		}
+		// At rest, the stored bytes are the tampered ones.
+		if !bytes.Equal(s.Peek(3), []byte{0xff, 1, 2}) {
+			t.Fatal("stored bytes should reflect OnWrite result")
+		}
+	})
 }
 
 func TestReadHookSeesNil(t *testing.T) {
-	s := NewStore()
-	called := false
-	s.OnRead = func(idx uint64, data []byte) []byte {
-		called = true
-		if data != nil {
-			t.Error("expected nil for never-written bucket")
+	eachBackend(t, func(t *testing.T, s Backend) {
+		called := false
+		s.SetOnRead(func(idx uint64, data []byte) []byte {
+			called = true
+			if data != nil {
+				t.Error("expected nil for never-written bucket")
+			}
+			return data
+		})
+		if mustRead(t, s, 1) != nil || !called {
+			t.Fatal("hook not called for missing bucket")
 		}
-		return data
+	})
+}
+
+func TestFileReopen(t *testing.T) {
+	cfg := FileConfig{
+		Path:      filepath.Join(t.TempDir(), "buckets"),
+		Geometry:  testGeom(t),
+		SlotBytes: 64,
 	}
-	if s.Read(1) != nil || !called {
-		t.Fatal("hook not called for missing bucket")
+	fs, err := OpenFile(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[uint64][]byte{0: {1}, 7: {2, 2}, 30: bytes.Repeat([]byte{9}, 64)}
+	for idx, data := range want {
+		if err := fs.Write(idx, bytes.Clone(data)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fs, err = OpenFile(cfg)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer fs.Close()
+	if got := fs.Stats().Buckets; got != 3 {
+		t.Fatalf("reopen sees %d buckets, want 3", got)
+	}
+	for idx, data := range want {
+		if got := mustRead(t, fs, idx); !bytes.Equal(got, data) {
+			t.Fatalf("bucket %d = %x after reopen, want %x", idx, got, data)
+		}
+	}
+	if mustRead(t, fs, 3) != nil {
+		t.Fatal("never-written bucket materialized across reopen")
+	}
+}
+
+func TestFileReopenGeometryMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "buckets")
+	fs, err := OpenFile(FileConfig{Path: path, Geometry: testGeom(t), SlotBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.Close()
+
+	bad, _ := tree.NewGeometry(5, 2, 16)
+	if _, err := OpenFile(FileConfig{Path: path, Geometry: bad, SlotBytes: 64}); err == nil {
+		t.Fatal("reopen with mismatched geometry should fail")
+	}
+	if _, err := OpenFile(FileConfig{Path: path, Geometry: testGeom(t), SlotBytes: 32}); err == nil {
+		t.Fatal("reopen with mismatched slot size should fail")
+	}
+}
+
+func TestFileTornTail(t *testing.T) {
+	cfg := FileConfig{
+		Path:      filepath.Join(t.TempDir(), "buckets"),
+		Geometry:  testGeom(t),
+		SlotBytes: 64,
+	}
+	fs, err := OpenFile(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := fs.Geometry().Buckets() - 1
+	if err := fs.Write(0, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Write(last, []byte{2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the file: chop off the last slot mid-write.
+	info, err := os.Stat(cfg.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(cfg.Path, info.Size()-10); err != nil {
+		t.Fatal(err)
+	}
+
+	fs, err = OpenFile(cfg)
+	if err != nil {
+		t.Fatalf("reopening torn file: %v", err)
+	}
+	defer fs.Close()
+	if !bytes.Equal(mustRead(t, fs, 0), []byte{1}) {
+		t.Fatal("intact bucket lost after torn reopen")
+	}
+	// The torn slot reads as truncated or absent bytes — never an error.
+	// (PMMAC above this layer is what must reject it.)
+	if _, err := fs.Read(last); err != nil {
+		t.Fatalf("torn slot should not error at the mem layer: %v", err)
+	}
+}
+
+func TestFileRejectsOversizedBucket(t *testing.T) {
+	fs, err := OpenFile(FileConfig{
+		Path:      filepath.Join(t.TempDir(), "buckets"),
+		Geometry:  testGeom(t),
+		SlotBytes: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	if err := fs.Write(0, make([]byte, 9)); err == nil {
+		t.Fatal("oversized bucket should be rejected")
+	}
+}
+
+func TestFileRangeCheck(t *testing.T) {
+	fs, err := OpenFile(FileConfig{
+		Path:      filepath.Join(t.TempDir(), "buckets"),
+		Geometry:  testGeom(t),
+		SlotBytes: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	out := fs.Geometry().Buckets()
+	if _, err := fs.Read(out); err == nil {
+		t.Fatal("out-of-range read should fail")
+	}
+	if err := fs.Write(out, []byte{1}); err == nil {
+		t.Fatal("out-of-range write should fail")
+	}
+}
+
+func TestLatencyDelays(t *testing.T) {
+	const delay = 2 * time.Millisecond
+	l := WithLatency(NewStore(), delay, delay)
+	start := time.Now()
+	if err := l.Write(1, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Read(1); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 2*delay {
+		t.Fatalf("two ops took %v, want >= %v", elapsed, 2*delay)
+	}
+	// Peek bypasses the delay along with hooks and counters.
+	start = time.Now()
+	for i := 0; i < 100; i++ {
+		l.Peek(1)
+	}
+	if elapsed := time.Since(start); elapsed > delay*50 {
+		t.Fatalf("100 peeks took %v; Peek must not pay the wire delay", elapsed)
+	}
+	if _, ok := WithLatency(NewStore(), 0, 0).(*Store); !ok {
+		t.Fatal("zero delays should return the inner backend unwrapped")
 	}
 }

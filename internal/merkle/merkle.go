@@ -87,7 +87,7 @@ func (t *Tree) node(idx uint64, level int) digest {
 // VerifyPath authenticates the path to leaf against the on-chip root: it
 // recomputes every bucket digest bottom-up, fetching the off-path sibling
 // digests, exactly as [25] must on every ORAM access.
-func (t *Tree) VerifyPath(st *mem.Store, leaf uint64) error {
+func (t *Tree) VerifyPath(st mem.Backend, leaf uint64) error {
 	if !t.geom.ValidLeaf(leaf) {
 		return fmt.Errorf("merkle: leaf %d out of range", leaf)
 	}
@@ -130,7 +130,7 @@ func (t *Tree) VerifyPath(st *mem.Store, leaf uint64) error {
 // UpdatePath recomputes the digests of the path to leaf after the ORAM
 // rewrote its buckets, updating the on-chip root. This is the inherently
 // sequential chain of §6.3: each level's digest depends on the level below.
-func (t *Tree) UpdatePath(st *mem.Store, leaf uint64) {
+func (t *Tree) UpdatePath(st mem.Backend, leaf uint64) {
 	var below digest
 	for level := t.geom.L; level >= 0; level-- {
 		idx := t.geom.NodeIndex(leaf, level)

@@ -138,6 +138,21 @@ func (p *PLB) Insert(e Entry) (inserted *Entry, victim Entry, evicted bool) {
 	return &set[slot], victim, evicted
 }
 
+// Entries returns a copy of every valid entry without touching LRU state,
+// counters, or residency — the read-only snapshot a durable controller
+// persists at shutdown. The Block slices are shared with the cache.
+func (p *PLB) Entries() []Entry {
+	var out []Entry
+	for i := range p.data {
+		if p.data[i].valid {
+			e := p.data[i]
+			e.valid = false // callers treat it as a plain value
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
 // Flush invalidates every entry, returning all resident blocks (used when a
 // simulation needs to drain the PLB back into the ORAM).
 func (p *PLB) Flush() []Entry {

@@ -107,3 +107,38 @@ func (o *OnChip) Counter(idx uint64) uint64 {
 	}
 	return o.entries[idx]
 }
+
+// Snapshot returns copies of the entry table and, in leaf mode, the
+// assignment bits (nil in counter mode). Together with the PRF key this is
+// the complete on-chip PosMap state a durable controller must persist.
+func (o *OnChip) Snapshot() (entries []uint64, assigned []bool) {
+	entries = make([]uint64, len(o.entries))
+	copy(entries, o.entries)
+	if !o.counterMode {
+		assigned = make([]bool, len(o.assigned))
+		copy(assigned, o.assigned)
+	}
+	return entries, assigned
+}
+
+// Restore replaces the on-chip state with a Snapshot taken from an
+// identically configured PosMap.
+func (o *OnChip) Restore(entries []uint64, assigned []bool) error {
+	if len(entries) != len(o.entries) {
+		return fmt.Errorf("posmap: restoring %d entries into a %d-entry on-chip PosMap",
+			len(entries), len(o.entries))
+	}
+	if o.counterMode {
+		if assigned != nil {
+			return fmt.Errorf("posmap: counter-mode PosMap has no assignment bits")
+		}
+	} else if len(assigned) != len(o.assigned) {
+		return fmt.Errorf("posmap: restoring %d assignment bits into a %d-entry on-chip PosMap",
+			len(assigned), len(o.assigned))
+	}
+	copy(o.entries, entries)
+	if !o.counterMode {
+		copy(o.assigned, assigned)
+	}
+	return nil
+}

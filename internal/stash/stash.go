@@ -118,6 +118,18 @@ func (s *Stash) EvictForPath(pathLeaf uint64, levels, z int,
 	return out
 }
 
+// Blocks returns a copy of every resident block, sorted by address. The
+// Data slices are shared with the stash, so serialize (or discard the
+// stash) before mutating it again — this is the snapshot a durable
+// controller persists at shutdown.
+func (s *Stash) Blocks() []Block {
+	out := make([]Block, 0, len(s.blocks))
+	for _, a := range s.Addresses() {
+		out = append(out, *s.blocks[a])
+	}
+	return out
+}
+
 // Addresses returns the sorted addresses currently in the stash (testing
 // and debugging aid).
 func (s *Stash) Addresses() []uint64 {

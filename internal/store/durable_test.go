@@ -1,0 +1,80 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"freecursive"
+)
+
+func durableCfg(dir string) Config {
+	cfg := lightCfg(2, 1<<9)
+	cfg.DataDir = dir
+	cfg.ORAM.Scheme = freecursive.PIC
+	return cfg
+}
+
+// TestDurableStoreRoundTrip: snapshot + reopen through the sharded layer,
+// including the batch paths on the resumed store.
+func TestDurableStoreRoundTrip(t *testing.T) {
+	cfg := durableCfg(t.TempDir())
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb := s.BlockBytes()
+	addrs := make([]uint64, 32)
+	vals := make([][]byte, 32)
+	for i := range addrs {
+		addrs[i] = uint64(i * 13)
+		vals[i] = val(addrs[i], bb)
+	}
+	if err := s.BatchPut(addrs, vals); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Snapshot(); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err = New(cfg)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s.Close()
+	got, err := s.BatchGet(addrs)
+	if err != nil {
+		t.Fatalf("batch get after reopen: %v", err)
+	}
+	for i := range addrs {
+		if !bytes.Equal(got[i], vals[i]) {
+			t.Fatalf("block %d = %x after reopen, want %x", addrs[i], got[i], vals[i])
+		}
+	}
+	// Every shard directory holds a snapshot and at least one tree file.
+	for i := 0; i < s.Shards(); i++ {
+		dir := shardDir(cfg.DataDir, i)
+		if _, err := os.Stat(filepath.Join(dir, stateFile)); err != nil {
+			t.Fatalf("shard %d snapshot missing: %v", i, err)
+		}
+		trees, _ := filepath.Glob(filepath.Join(dir, "tree-*.oram"))
+		if len(trees) == 0 {
+			t.Fatalf("shard %d has no bucket files", i)
+		}
+	}
+}
+
+func TestSnapshotRequiresDataDir(t *testing.T) {
+	s, err := New(lightCfg(1, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Snapshot(); err == nil {
+		t.Fatal("Snapshot without DataDir should fail")
+	}
+}

@@ -13,12 +13,21 @@
 // controller's trusted state per instance — PLB, stash, on-chip PosMap — is
 // tiny, so running many instances side by side costs little beyond the
 // untrusted trees themselves.
+//
+// With Config.DataDir set, the store is durable: each shard keeps its
+// sealed bucket trees and trusted-state snapshot under its own
+// subdirectory, Snapshot persists the controllers' trusted state, and New
+// transparently resumes shards whose snapshot exists. The tiny trusted
+// state is again what makes this cheap — a snapshot is kilobytes while the
+// trees are gigabytes, and the trees never have to move.
 package store
 
 import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 
@@ -37,7 +46,21 @@ type Config struct {
 	// Blocks/Shards above) and its Seed is offset per shard so shards draw
 	// independent randomness.
 	ORAM freecursive.Config
+	// DataDir, if non-empty, makes the store durable: shard i keeps its
+	// bucket page files and trusted-state snapshot under
+	// DataDir/shard-<i>/. New resumes any shard whose snapshot file
+	// exists; Snapshot writes the snapshots. Overrides ORAM.DataDir.
+	//
+	// Trust note: the state.json snapshots are TRUSTED state (see
+	// freecursive.ORAM.Snapshot) colocated with the untrusted bucket
+	// files for deployment convenience. A production deployment must
+	// place DataDir on storage the adversary cannot read or roll back
+	// wholesale; the bucket files alone may be exposed.
+	DataDir string
 }
+
+// stateFile is the per-shard trusted-state snapshot written by Snapshot.
+const stateFile = "state.json"
 
 // shard pairs one ORAM instance with the mutex that serializes access to it.
 type shard struct {
@@ -53,6 +76,7 @@ type Store struct {
 	perShard   uint64 // power of two
 	shardShift uint   // log2(perShard)
 	blockBytes int
+	dataDir    string // "" for a purely in-memory store
 }
 
 // fibMix is 2^64/phi rounded to odd; multiplication by it is a bijection
@@ -83,6 +107,7 @@ func New(cfg Config) (*Store, error) {
 		blocks:     nShards * perShard,
 		perShard:   perShard,
 		shardShift: uint(bits.TrailingZeros64(perShard)),
+		dataDir:    cfg.DataDir,
 	}
 	for i := range s.shards {
 		ocfg := cfg.ORAM
@@ -91,14 +116,40 @@ func New(cfg Config) (*Store, error) {
 			ocfg.Seed = 1
 		}
 		ocfg.Seed += uint64(i) * 0x9E37
-		o, err := freecursive.New(ocfg)
+		o, err := openShard(i, ocfg, cfg.DataDir)
 		if err != nil {
+			s.Close()
 			return nil, fmt.Errorf("store: shard %d: %w", i, err)
 		}
 		s.shards[i] = &shard{oram: o}
 	}
 	s.blockBytes = s.shards[0].oram.BlockBytes()
 	return s, nil
+}
+
+// openShard builds shard i's ORAM: fresh for in-memory stores and for
+// durable shards without a snapshot, resumed when a snapshot exists. A
+// durable shard resumed against bucket files that diverged from its
+// snapshot (a crash, tampering) comes up — PMMAC then rejects the affected
+// blocks on access instead of serving them.
+func openShard(i int, ocfg freecursive.Config, dataDir string) (*freecursive.ORAM, error) {
+	if dataDir == "" {
+		return freecursive.New(ocfg)
+	}
+	ocfg.DataDir = shardDir(dataDir, i)
+	f, err := os.Open(filepath.Join(ocfg.DataDir, stateFile))
+	if os.IsNotExist(err) {
+		return freecursive.New(ocfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return freecursive.Resume(ocfg, f)
+}
+
+func shardDir(dataDir string, i int) string {
+	return filepath.Join(dataDir, fmt.Sprintf("shard-%04d", i))
 }
 
 func nextPow2(v uint64) uint64 {
@@ -304,4 +355,62 @@ func (s *Store) ShardStats() []freecursive.Stats {
 		sh.mu.Unlock()
 	}
 	return out
+}
+
+// Snapshot persists every shard's trusted controller state under DataDir
+// (each shard under its own lock, so in-flight traffic serializes against
+// the snapshot but is otherwise unaffected). Snapshots are written to a
+// temporary file and renamed, so a crash mid-snapshot leaves the previous
+// one intact. It fails if the store was built without DataDir.
+func (s *Store) Snapshot() error {
+	if s.dataDir == "" {
+		return fmt.Errorf("store: Snapshot requires a DataDir")
+	}
+	for i, sh := range s.shards {
+		if err := s.snapshotShard(i, sh); err != nil {
+			return fmt.Errorf("store: shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func (s *Store) snapshotShard(i int, sh *shard) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	dir := shardDir(s.dataDir, i)
+	tmp, err := os.CreateTemp(dir, stateFile+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := sh.oram.Snapshot(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(dir, stateFile))
+}
+
+// Close releases every shard's untrusted storage. It does not snapshot —
+// call Snapshot first for a clean durable shutdown.
+func (s *Store) Close() error {
+	var first error
+	for _, sh := range s.shards {
+		if sh == nil {
+			continue // New failed partway; close what was opened
+		}
+		sh.mu.Lock()
+		err := sh.oram.Close()
+		sh.mu.Unlock()
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }

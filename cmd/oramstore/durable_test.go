@@ -112,7 +112,7 @@ func TestServerRestartServesOldBlocks(t *testing.T) {
 
 // TestServerDetectsTamperBetweenRuns: an adversary who edits the bucket
 // files while the server is down is caught by PMMAC on the next run — the
-// store returns 500s, never the tampered bytes.
+// affected shards quarantine and answer 503, never the tampered bytes.
 func TestServerDetectsTamperBetweenRuns(t *testing.T) {
 	dir := t.TempDir()
 	cfg := durableConfig(dir)
@@ -161,8 +161,8 @@ func TestServerDetectsTamperBetweenRuns(t *testing.T) {
 	for a := uint64(0); a < addrs; a++ {
 		status, body := getBlock(t, srv, a)
 		switch status {
-		case http.StatusInternalServerError:
-			detected++ // PMMAC violation surfaced as a shard-side 500
+		case http.StatusServiceUnavailable:
+			detected++ // PMMAC violation latched the shard quarantined: 503
 		case http.StatusOK:
 			if bytes.Equal(body, blockBody(a)) {
 				continue // path not yet poisoned; correct data is fine

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestWriteFractionConverges is the regression test for the LCG coin bug:
+// over 10k ops the realized write fraction must sit within 2% (absolute)
+// of the requested one, for every worker stream. The old
+// (state%1000)/1000 coin cycled deterministically and failed this badly
+// for some fractions.
+func TestWriteFractionConverges(t *testing.T) {
+	const ops = 10_000
+	for _, frac := range []float64{0.05, 0.25, 0.5, 0.75, 0.9} {
+		for w := 0; w < 4; w++ {
+			rng := workerRNG(1, w)
+			writes := 0
+			for i := 0; i < ops; i++ {
+				if pickWrite(rng, frac) {
+					writes++
+				}
+			}
+			got := float64(writes) / ops
+			if math.Abs(got-frac) > 0.02 {
+				t.Errorf("worker %d, -writes %.2f: realized %.4f (off by %.4f)",
+					w, frac, got, math.Abs(got-frac))
+			}
+		}
+	}
+}
+
+// TestWorkerStreamsIndependent: distinct workers must not replay each
+// other's decisions (the old scheme seeded every worker from the same LCG
+// family with correlated low bits).
+func TestWorkerStreamsIndependent(t *testing.T) {
+	a, b := workerRNG(1, 0), workerRNG(1, 1)
+	same := 0
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("worker streams collide on %d/%d draws", same, n)
+	}
+}
+
+// TestReservoirUniform: Algorithm R must keep a uniform sample — feeding a
+// monotone stream, the retained sample's mean must sit near the stream's
+// midpoint, and early items must not be over-retained (the old code reused
+// the address draw, biasing retention).
+func TestReservoirUniform(t *testing.T) {
+	rng := workerRNG(7, 0)
+	r := newReservoir(rng)
+	const n = 4 * reservoirCap
+	for i := 0; i < n; i++ {
+		r.observe(time.Duration(i))
+	}
+	if len(r.samples) != reservoirCap {
+		t.Fatalf("reservoir holds %d, want %d", len(r.samples), reservoirCap)
+	}
+	var sum float64
+	for _, d := range r.samples {
+		sum += float64(d)
+	}
+	mean := sum / float64(len(r.samples))
+	mid := float64(n-1) / 2
+	// Std error of the mean of reservoirCap uniform draws over [0,n) is
+	// ~ n/sqrt(12*cap) ≈ 0.16% of n; 2% is a >10-sigma gate.
+	if math.Abs(mean-mid) > 0.02*float64(n) {
+		t.Fatalf("reservoir mean %.0f, want ~%.0f: sampling is biased", mean, mid)
+	}
+}
+
+// TestZipfPickerSkew: the zipf mode must actually be skewed (hottest
+// address dominates) while staying in range — that skew is what makes the
+// pipeline's duplicate-read coalescing observable in benchmarks.
+func TestZipfPickerSkew(t *testing.T) {
+	const n = 1 << 10
+	const draws = 20_000
+	pick := zipfPicker(3, 0, 1.2, n)
+	counts := make(map[uint64]int)
+	for i := 0; i < draws; i++ {
+		a := pick()
+		if a >= n {
+			t.Fatalf("zipf address %d out of range [0, %d)", a, n)
+		}
+		counts[a]++
+	}
+	hottest := 0
+	for _, c := range counts {
+		if c > hottest {
+			hottest = c
+		}
+	}
+	uniformExpect := float64(draws) / n
+	if float64(hottest) < 20*uniformExpect {
+		t.Fatalf("hottest address drew %d times (uniform expectation %.1f); not skewed",
+			hottest, uniformExpect)
+	}
+	// And distinct workers draw from the same distribution but different
+	// streams.
+	other := zipfPicker(3, 1, 1.2, n)
+	diff := false
+	for i := 0; i < 64 && !diff; i++ {
+		diff = pick() != other()
+	}
+	if !diff {
+		t.Fatal("zipf workers replay the same stream")
+	}
+}
+
+// TestPercentiles pins the nearest-rank behavior runLoad reports.
+func TestPercentiles(t *testing.T) {
+	lats := make([]time.Duration, 100)
+	for i := range lats {
+		lats[99-i] = time.Duration(i+1) * time.Millisecond // reverse order on purpose
+	}
+	got := percentiles(lats, []float64{0.50, 0.90, 0.99})
+	want := []time.Duration{50 * time.Millisecond, 90 * time.Millisecond, 99 * time.Millisecond}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("q%d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

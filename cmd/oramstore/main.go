@@ -6,23 +6,36 @@
 //	GET  /block/{addr}  — read a block (application/octet-stream)
 //	PUT  /block/{addr}  — write a block (body is zero-padded/truncated)
 //	GET  /stats         — aggregate + per-shard counters as JSON
+//	GET  /shards        — per-shard lifecycle + pipeline state as JSON
 //	GET  /healthz       — liveness probe
 //
+// Requests are served by the store's asynchronous per-shard pipeline. A
+// shard that latches a PMMAC integrity violation is quarantined: its
+// addresses answer 503 with a Retry-After header (the data on every other
+// shard stays available), true internal errors answer 500, and caller
+// mistakes 400 — so monitoring can tell a misbehaving client, a broken
+// server, and a poisoned shard apart.
+//
 // With -data-dir the store is durable: sealed buckets live in per-shard
-// page files, and on SIGINT/SIGTERM the server drains connections,
-// snapshots the trusted controller state (position map, stash, PMMAC
-// counters) and exits; the next start resumes serving the same blocks.
-// After a crash (no clean snapshot), PMMAC-enabled schemes refuse blocks
-// whose on-disk state diverged instead of serving them.
+// page files, and on SIGINT/SIGTERM the server drains connections and the
+// shard queues, snapshots the trusted controller state (position map,
+// stash, PMMAC counters) and exits; the next start resumes serving the
+// same blocks. -snapshot-interval additionally snapshots on a background
+// ticker, bounding how much counter state a crash can lose. After a crash
+// (no clean snapshot), PMMAC-enabled schemes refuse blocks whose on-disk
+// state diverged instead of serving them.
 //
 // Load mode hammers a running server with concurrent random reads and
-// writes and reports throughput and latency percentiles.
+// writes — uniformly or Zipf-skewed (-dist zipf), the latter showing off
+// the pipeline's duplicate-read coalescing — and reports throughput and
+// latency percentiles.
 //
 // Examples:
 //
 //	oramstore -addr :8080 -shards 16 -blocks 20 -lightweight
 //	oramstore -addr :8080 -shards 4 -blocks 18 -data-dir /var/lib/oramstore
 //	oramstore load -url http://localhost:8080 -workers 32 -duration 10s
+//	oramstore load -url http://localhost:8080 -dist zipf -zipf-s 1.2
 package main
 
 import (
@@ -37,7 +50,6 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -77,6 +89,8 @@ func runServe(args []string) {
 	dataDir := fs.String("data-dir", "", "durable mode: per-shard bucket files + trusted-state snapshots under this directory")
 	readLat := fs.Duration("read-latency", 0, "injected delay per untrusted-memory bucket read")
 	writeLat := fs.Duration("write-latency", 0, "injected delay per untrusted-memory bucket write")
+	queueDepth := fs.Int("queue-depth", 0, "per-shard request queue bound (0: store default)")
+	snapEvery := fs.Duration("snapshot-interval", 0, "durable mode: also snapshot trusted state on this interval (0: only at shutdown)")
 	fs.Parse(args)
 
 	sc, ok := schemes[*scheme]
@@ -86,10 +100,14 @@ func runServe(args []string) {
 	if *dataDir != "" && *lightweight {
 		log.Fatal("-data-dir needs real buckets to persist; drop -lightweight")
 	}
+	if *snapEvery != 0 && *dataDir == "" {
+		log.Fatal("-snapshot-interval needs -data-dir")
+	}
 	st, err := store.New(store.Config{
-		Shards:  *shards,
-		Blocks:  1 << uint(*logBlocks),
-		DataDir: *dataDir,
+		Shards:     *shards,
+		Blocks:     1 << uint(*logBlocks),
+		DataDir:    *dataDir,
+		QueueDepth: *queueDepth,
 		ORAM: freecursive.Config{
 			Scheme:       sc,
 			BlockBytes:   *blockB,
@@ -114,6 +132,9 @@ func runServe(args []string) {
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
+	if *snapEvery > 0 {
+		go snapshotTicker(ctx, st, *snapEvery)
+	}
 
 	select {
 	case err := <-errCh:
@@ -131,12 +152,36 @@ func runServe(args []string) {
 	}
 }
 
+// snapshotTicker periodically persists the trusted controller state so a
+// crash loses at most one interval of counter advances. Errors are logged,
+// not fatal: a quarantined shard is skipped by design (its state must not
+// be resurrected) and the rest of the store keeps snapshotting.
+func snapshotTicker(ctx context.Context, st *store.Store, every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if err := st.Snapshot(); err != nil {
+				log.Printf("periodic snapshot: %v", err)
+			}
+		}
+	}
+}
+
 // shutdownStore performs the clean-stop sequence: snapshot trusted state
-// (durable stores only), then release the bucket files.
+// (durable stores only), then drain the shard queues and release the
+// bucket files. A quarantined shard only fails its own snapshot; the
+// healthy shards' state is persisted and shutdown proceeds.
 func shutdownStore(st *store.Store, durable bool) error {
 	if durable {
 		if err := st.Snapshot(); err != nil {
-			return err
+			if !errors.Is(err, store.ErrQuarantined) {
+				return err
+			}
+			log.Printf("snapshot: %v", err)
 		}
 	}
 	return st.Close()
@@ -162,6 +207,12 @@ func newHandler(st *store.Store) http.Handler {
 			PerShard  []freecursive.Stats `json:"per_shard"`
 		}{st.Shards(), st.Blocks(), st.BlockBytes(), store.Aggregate(perShard), perShard})
 	})
+	mux.HandleFunc("GET /shards", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Shards []store.ShardInfo `json:"shards"`
+		}{st.ShardInfos()})
+	})
 	mux.HandleFunc("GET /block/{addr}", func(w http.ResponseWriter, r *http.Request) {
 		addr, ok := parseAddr(w, r)
 		if !ok {
@@ -169,7 +220,7 @@ func newHandler(st *store.Store) http.Handler {
 		}
 		b, err := st.Get(addr)
 		if err != nil {
-			http.Error(w, err.Error(), storeStatus(err))
+			writeStoreError(w, err)
 			return
 		}
 		w.Header().Set("Content-Type", "application/octet-stream")
@@ -191,7 +242,7 @@ func newHandler(st *store.Store) http.Handler {
 			return
 		}
 		if _, err := st.Put(addr, body); err != nil {
-			http.Error(w, err.Error(), storeStatus(err))
+			writeStoreError(w, err)
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
@@ -199,14 +250,36 @@ func newHandler(st *store.Store) http.Handler {
 	return mux
 }
 
-// storeStatus separates caller mistakes (bad address: 400) from shard-side
-// failures (integrity violations, internal errors: 500), so monitoring can
-// tell a misbehaving client from a poisoned shard.
+// retryAfterSeconds is the Retry-After hint on 503s. Quarantine needs an
+// operator (or a restart against intact storage), so the hint is a polling
+// cadence, not a recovery estimate.
+const retryAfterSeconds = "30"
+
+// storeStatus separates caller mistakes (bad address: 400) from
+// unavailability (quarantined shard, store shutting down: 503) from true
+// internal errors (500), so monitoring can tell a misbehaving client, a
+// poisoned shard, and a broken server apart. A quarantined shard answers
+// 503 rather than 500 because only its slice of the address space is down
+// — the client's next request for another address will likely succeed.
 func storeStatus(err error) int {
-	if errors.Is(err, store.ErrOutOfRange) {
+	switch {
+	case errors.Is(err, store.ErrOutOfRange):
 		return http.StatusBadRequest
+	case errors.Is(err, store.ErrQuarantined), errors.Is(err, store.ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
 	}
-	return http.StatusInternalServerError
+}
+
+// writeStoreError renders a store error with its mapped status, attaching
+// Retry-After to 503s.
+func writeStoreError(w http.ResponseWriter, err error) {
+	code := storeStatus(err)
+	if code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", retryAfterSeconds)
+	}
+	http.Error(w, err.Error(), code)
 }
 
 func parseAddr(w http.ResponseWriter, r *http.Request) (uint64, bool) {
@@ -228,7 +301,16 @@ func runLoad(args []string) {
 	logBlocks := fs.Int("blocks", 16, "log2 of address range to hit")
 	blockB := fs.Int("block", 64, "write payload size in bytes")
 	writeFrac := fs.Float64("writes", 0.5, "fraction of requests that are writes")
+	dist := fs.String("dist", "uniform", "address distribution: uniform | zipf")
+	zipfS := fs.Float64("zipf-s", 1.2, "zipf skew parameter (> 1; larger is hotter)")
+	seed := fs.Uint64("seed", 1, "load-generator seed (workers derive independent streams)")
 	fs.Parse(args)
+	if *dist != "uniform" && *dist != "zipf" {
+		log.Fatalf("unknown -dist %q (want uniform or zipf)", *dist)
+	}
+	if *dist == "zipf" && *zipfS <= 1 {
+		log.Fatalf("-zipf-s must be > 1, got %v", *zipfS)
+	}
 
 	// One quick health check before unleashing the workers.
 	resp, err := http.Get(*url + "/healthz")
@@ -246,42 +328,38 @@ func runLoad(args []string) {
 	)
 	payload := make([]byte, *blockB)
 	deadline := time.Now().Add(*duration)
-	// Per-worker latency reservoirs keep memory constant on long runs:
-	// past reservoirCap samples, each new sample replaces a random slot
-	// with probability cap/seen, giving a uniform sample for percentiles.
-	const reservoirCap = 1 << 15
 	for w := 0; w < *workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			client := &http.Client{Timeout: 10 * time.Second}
-			state := uint64(w)*2654435761 + 12345
-			local := make([]time.Duration, 0, 4096)
-			seen := uint64(0)
+			// One stream for the coin and the reservoir, a separate one
+			// for addresses: sample retention must not correlate with
+			// which address a request hit.
+			rng := workerRNG(*seed, w)
+			n := uint64(1) << uint(*logBlocks)
+			pick := uniformPicker(workerRNG(*seed+1, w), n)
+			if *dist == "zipf" {
+				pick = zipfPicker(*seed, w, *zipfS, n)
+			}
+			res := newReservoir(rng)
 			for time.Now().Before(deadline) {
-				state = state*6364136223846793005 + 1442695040888963407
-				addr := (state >> 11) & (1<<uint(*logBlocks) - 1)
+				addr := pick()
 				start := time.Now()
 				var err error
-				if float64(state%1000)/1000 < *writeFrac {
+				if pickWrite(rng, *writeFrac) {
 					err = doPut(client, *url, addr, payload)
 				} else {
 					err = doGet(client, *url, addr)
 				}
-				elapsed := time.Since(start)
-				seen++
-				if len(local) < reservoirCap {
-					local = append(local, elapsed)
-				} else if j := (state >> 17) % seen; j < reservoirCap {
-					local[j] = elapsed
-				}
+				res.observe(time.Since(start))
 				ops.Add(1)
 				if err != nil {
 					failures.Add(1)
 				}
 			}
 			mu.Lock()
-			lats = append(lats, local...)
+			lats = append(lats, res.samples...)
 			mu.Unlock()
 		}(w)
 	}
@@ -291,10 +369,9 @@ func runLoad(args []string) {
 	fmt.Printf("ops: %d (%.0f/s), failures: %d\n",
 		n, float64(n)/duration.Seconds(), failures.Load())
 	if len(lats) > 0 {
-		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-		for _, p := range []float64{0.50, 0.90, 0.99} {
-			i := int(p * float64(len(lats)-1))
-			fmt.Printf("p%02.0f: %v\n", p*100, lats[i].Round(time.Microsecond))
+		qs := []float64{0.50, 0.90, 0.99}
+		for i, v := range percentiles(lats, qs) {
+			fmt.Printf("p%02.0f: %v\n", qs[i]*100, v.Round(time.Microsecond))
 		}
 	}
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -110,5 +111,120 @@ func TestHealthAndStats(t *testing.T) {
 	}
 	if body.Aggregate.Accesses == 0 {
 		t.Fatal("aggregate accesses = 0 after a read")
+	}
+	// The documented /stats contract: aggregate == fold(per_shard), from
+	// one consistent snapshot.
+	var sum uint64
+	for _, st := range body.PerShard {
+		sum += st.Accesses
+	}
+	if body.Aggregate.Accesses != sum {
+		t.Fatalf("aggregate accesses %d != per-shard sum %d", body.Aggregate.Accesses, sum)
+	}
+	if agg := store.Aggregate(body.PerShard); agg != body.Aggregate {
+		t.Fatalf("aggregate %+v != Aggregate(per_shard) %+v", body.Aggregate, agg)
+	}
+}
+
+// shardsBody decodes GET /shards.
+func shardsBody(t *testing.T, srv *httptest.Server) []store.ShardInfo {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + "/shards")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/shards status = %d", resp.StatusCode)
+	}
+	var body struct {
+		Shards []store.ShardInfo `json:"shards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	return body.Shards
+}
+
+// TestQuarantinedShardStatuses drives the status-code contract end to end:
+// quarantined-shard addresses answer 503 with Retry-After, healthy shards
+// keep answering 200/204, bad addresses stay 400, and /shards reports the
+// lifecycle.
+func TestQuarantinedShardStatuses(t *testing.T) {
+	srv, st := testServer(t)
+	for _, info := range shardsBody(t, srv) {
+		if info.State != "healthy" {
+			t.Fatalf("shard %d starts %q, want healthy", info.Index, info.State)
+		}
+	}
+
+	const victim = 1
+	if err := st.Quarantine(victim, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	served, refused := 0, 0
+	for addr := uint64(0); addr < 128; addr++ {
+		resp, err := srv.Client().Get(fmt.Sprintf("%s/block/%d", srv.URL, addr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if st.ShardOf(addr) == victim {
+			if resp.StatusCode != http.StatusServiceUnavailable {
+				t.Fatalf("GET /block/%d (quarantined shard) status = %d, want 503", addr, resp.StatusCode)
+			}
+			if resp.Header.Get("Retry-After") == "" {
+				t.Fatalf("503 for /block/%d carries no Retry-After", addr)
+			}
+			refused++
+		} else {
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("GET /block/%d (healthy shard) status = %d, want 200", addr, resp.StatusCode)
+			}
+			served++
+		}
+	}
+	if served == 0 || refused == 0 {
+		t.Fatalf("test never hit both shard kinds: %d served, %d refused", served, refused)
+	}
+	// Writes to healthy shards still succeed.
+	var healthyAddr uint64
+	for st.ShardOf(healthyAddr) == victim {
+		healthyAddr++
+	}
+	req, _ := http.NewRequest(http.MethodPut,
+		fmt.Sprintf("%s/block/%d", srv.URL, healthyAddr), bytes.NewReader([]byte{1}))
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("PUT to healthy shard status = %d, want 204", resp.StatusCode)
+	}
+	// Bad addresses remain the client's fault, not availability.
+	resp, err = srv.Client().Get(srv.URL + "/block/99999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("out-of-range status = %d, want 400", resp.StatusCode)
+	}
+
+	infos := shardsBody(t, srv)
+	for _, info := range infos {
+		want := "healthy"
+		if info.Index == victim {
+			want = "quarantined"
+		}
+		if info.State != want {
+			t.Fatalf("/shards reports shard %d %q, want %q", info.Index, info.State, want)
+		}
+	}
+	if infos[victim].Cause == "" {
+		t.Fatal("/shards reports no cause for the quarantined shard")
 	}
 }

@@ -127,6 +127,7 @@ type Stats struct {
 	MACChecks       uint64  // PMMAC verifications
 	Violations      uint64  // integrity violations detected
 	StashMax        uint64  // peak stash occupancy
+	StashOverflow   uint64  // times the stash exceeded its configured capacity
 }
 
 // ORAM is an oblivious memory of Blocks fixed-size blocks.
@@ -142,6 +143,10 @@ type ORAM struct {
 func New(cfg Config) (*ORAM, error) {
 	if cfg.Blocks == 0 {
 		cfg.Blocks = 1 << 20
+	}
+	if cfg.ReadLatency < 0 || cfg.WriteLatency < 0 {
+		return nil, fmt.Errorf("freecursive: negative latency (read %v, write %v)",
+			cfg.ReadLatency, cfg.WriteLatency)
 	}
 	enc := crypt.SeedGlobal
 	if cfg.UnsafeBucketSeeds {
@@ -204,8 +209,16 @@ func (o *ORAM) Stats() Stats {
 		MACChecks:       c.MACChecks,
 		Violations:      c.Violations,
 		StashMax:        c.StashMax,
+		StashOverflow:   c.StashOverflow,
 	}
 }
+
+// Violation returns the integrity error the controller has latched, or nil
+// while it is healthy. Once PMMAC detects tampering the ORAM refuses all
+// further accesses with the same error (the paper's processor exception,
+// §2); Violation lets serving layers inspect that state without issuing an
+// access. Like every other method it must be serialized with Read/Write.
+func (o *ORAM) Violation() error { return o.sys.Violation() }
 
 // Close releases the untrusted storage behind the ORAM (bucket page files
 // when DataDir is set; a no-op for in-memory trees). Close does NOT write a

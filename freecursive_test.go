@@ -5,6 +5,7 @@ import (
 	"errors"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"freecursive/internal/backend"
 )
@@ -114,6 +115,9 @@ func TestIntegrityViolationSurfaced(t *testing.T) {
 			raw[7] ^= 0x01          // and nudge the encryption seed
 		}
 	}
+	if err := o.Violation(); err != nil {
+		t.Fatalf("violation latched before any access saw tampering: %v", err)
+	}
 	var lastErr error
 	for a := uint64(0); a < 128; a++ {
 		if _, lastErr = o.Read(a); lastErr != nil {
@@ -122,6 +126,32 @@ func TestIntegrityViolationSurfaced(t *testing.T) {
 	}
 	if !errors.Is(lastErr, ErrIntegrity) {
 		t.Fatalf("expected ErrIntegrity, got %v", lastErr)
+	}
+	// The violation is introspectable without issuing another access, and
+	// matches what the failing access returned.
+	if err := o.Violation(); !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("Violation() = %v, want the latched ErrIntegrity", err)
+	}
+}
+
+// TestConfigValidation covers the knob combinations New must reject:
+// negative latencies (previously swallowed by mem.WithLatency's <= 0
+// check) and latency injection or durability on the Lightweight backend.
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Scheme: PIC, Blocks: 1 << 10, ReadLatency: -time.Microsecond},
+		{Scheme: PIC, Blocks: 1 << 10, WriteLatency: -time.Microsecond},
+		{Scheme: PIC, Blocks: 1 << 10, Lightweight: true, ReadLatency: time.Microsecond},
+		{Scheme: PIC, Blocks: 1 << 10, Lightweight: true, WriteLatency: time.Microsecond},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d (%+v) accepted, want error", i, cfg)
+		}
+	}
+	// The zero latencies stay valid, with and without Lightweight.
+	if _, err := New(Config{Scheme: PIC, Blocks: 1 << 10, Lightweight: true}); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -41,6 +41,19 @@ type Frontend interface {
 // the ORAM as dead.
 var ErrIntegrity = errors.New("integrity violation detected")
 
+// violating is implemented by frontends that can latch an integrity
+// violation (today only PLBFrontend; the recursive baseline has no PMMAC).
+type violating interface{ Violation() error }
+
+// Violation returns the frontend's latched integrity error, or nil while
+// the system is healthy or the frontend cannot detect violations.
+func (s *System) Violation() error {
+	if fe, ok := s.Frontend.(violating); ok {
+		return fe.Violation()
+	}
+	return nil
+}
+
 // Scheme names the frontend configurations evaluated in the paper (§7.1.4).
 type Scheme int
 

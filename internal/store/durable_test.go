@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -76,5 +77,36 @@ func TestSnapshotRequiresDataDir(t *testing.T) {
 	defer s.Close()
 	if err := s.Snapshot(); err == nil {
 		t.Fatal("Snapshot without DataDir should fail")
+	}
+}
+
+// TestSnapshotSkipsQuarantined: a poisoned shard must not be resurrected,
+// but its quarantine must not block persisting the healthy shards either.
+func TestSnapshotSkipsQuarantined(t *testing.T) {
+	cfg := durableCfg(t.TempDir())
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for addr := uint64(0); addr < 32; addr++ {
+		if _, err := s.Put(addr, val(addr, s.BlockBytes())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const victim = 0
+	if err := s.Quarantine(victim, errors.New("suspect disk")); err != nil {
+		t.Fatal(err)
+	}
+	err = s.Snapshot()
+	if !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("Snapshot with a quarantined shard = %v, want ErrQuarantined", err)
+	}
+	// The healthy shard's snapshot landed; the victim's did not.
+	if _, err := os.Stat(filepath.Join(shardDir(cfg.DataDir, 1), stateFile)); err != nil {
+		t.Fatalf("healthy shard snapshot missing: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(shardDir(cfg.DataDir, victim), stateFile)); !os.IsNotExist(err) {
+		t.Fatalf("quarantined shard snapshot written anyway: %v", err)
 	}
 }

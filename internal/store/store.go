@@ -4,15 +4,24 @@
 // A Store owns S independent ORAM shards. Store addresses are partitioned
 // across shards by a bijective multiplicative hash, so consecutive addresses
 // land on different shards and every shard sees a balanced slice of any
-// workload. Each shard is guarded by its own mutex: accesses to different
-// shards proceed in parallel, while accesses to the same shard serialize —
-// exactly the contract a single freecursive.ORAM requires (see the package
-// comment on freecursive.ORAM).
+// workload. Each shard is owned by a dedicated goroutine fed by a bounded
+// request queue — the goroutine is the serialization, exactly the
+// single-controller contract a freecursive.ORAM requires (see the package
+// comment on freecursive.ORAM) — and duplicate-address reads arriving close
+// together coalesce into one physical ORAM access. Callers can block
+// (Get/Put/BatchGet/BatchPut) or go asynchronous (SubmitGet/SubmitPut,
+// which return a Future).
 //
 // This is the serving arrangement Freecursive ORAM (§2, §4) makes cheap: the
 // controller's trusted state per instance — PLB, stash, on-chip PosMap — is
 // tiny, so running many instances side by side costs little beyond the
 // untrusted trees themselves.
+//
+// Shards have a lifecycle (ShardState): a shard that latches a PMMAC
+// integrity violation is quarantined — it fail-stops like the paper's
+// processor exception, but only for its slice of the address space; every
+// other shard keeps serving, and ShardInfos exposes the state for
+// monitoring. Operators can also fence a shard by hand with Quarantine.
 //
 // With Config.DataDir set, the store is durable: each shard keeps its
 // sealed bucket trees and trusted-state snapshot under its own
@@ -28,7 +37,6 @@ import (
 	"math/bits"
 	"os"
 	"path/filepath"
-	"sort"
 	"sync"
 
 	"freecursive"
@@ -43,9 +51,26 @@ type Config struct {
 	// each shard holds a power-of-two number of blocks; default 1<<20.
 	Blocks uint64
 	// ORAM configures each shard. Its Blocks field is ignored (derived from
-	// Blocks/Shards above) and its Seed is offset per shard so shards draw
-	// independent randomness.
+	// Blocks/Shards above) and its Seed is treated as the store seed: each
+	// shard's ORAM seed is derived from (store seed, shard index) with a
+	// SplitMix64-style mix, so distinct (seed, shard) pairs draw independent
+	// randomness.
+	//
+	// Compatibility note: releases before the SplitMix64 derivation offset
+	// the seed linearly per shard, which made shard i of a store seeded s
+	// identical to shard i-1 of a store seeded s+0x9E37. The new derivation
+	// changes every shard's block placement, so a durable store written by
+	// an old build will refuse to resume (the per-shard snapshots record
+	// the old seeds and the parameter check fails loudly); re-create the
+	// store to migrate.
 	ORAM freecursive.Config
+	// QueueDepth bounds each shard's request queue; submits past it block
+	// (backpressure). Default 64.
+	QueueDepth int
+	// CoalesceWindow bounds how many already-queued requests a shard's
+	// owner goroutine drains and serves as one window; duplicate-address
+	// reads within a window share one physical ORAM access. Default 32.
+	CoalesceWindow int
 	// DataDir, if non-empty, makes the store durable: shard i keeps its
 	// bucket page files and trusted-state snapshot under
 	// DataDir/shard-<i>/. New resumes any shard whose snapshot file
@@ -62,11 +87,10 @@ type Config struct {
 // stateFile is the per-shard trusted-state snapshot written by Snapshot.
 const stateFile = "state.json"
 
-// shard pairs one ORAM instance with the mutex that serializes access to it.
-type shard struct {
-	mu   sync.Mutex
-	oram *freecursive.ORAM
-}
+const (
+	defaultQueueDepth     = 64
+	defaultCoalesceWindow = 32
+)
 
 // Store is a concurrency-safe oblivious block store. All methods may be
 // called from any number of goroutines.
@@ -86,6 +110,32 @@ type Store struct {
 // slot within it — distinct store addresses can never collide on a slot.
 const fibMix = 0x9E3779B97F4A7C15
 
+// splitmix64 is the SplitMix64 finalizer: a bijection on uint64 with full
+// avalanche, used to derive per-shard seeds.
+func splitmix64(z uint64) uint64 {
+	z += 0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// shardSeed derives shard i's ORAM seed from the store seed. Mixing the
+// base through SplitMix64 before adding the index and mixing again means a
+// collision between (s, i) and (s', i') requires splitmix64(s')-splitmix64(s)
+// to land exactly on i-i' — a pseudo-random 64-bit difference hitting a
+// value smaller than the shard count — rather than the trivial collisions
+// of a linear offset. Seed 0 is avoided because it means "use the default"
+// downstream.
+func shardSeed(base uint64, i uint64) uint64 {
+	s := splitmix64(splitmix64(base) + i)
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
 // New builds a Store.
 func New(cfg Config) (*Store, error) {
 	if cfg.Shards < 0 {
@@ -96,6 +146,16 @@ func New(cfg Config) (*Store, error) {
 	}
 	if cfg.Blocks == 0 {
 		cfg.Blocks = 1 << 20
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = defaultQueueDepth
+	}
+	if cfg.CoalesceWindow == 0 {
+		cfg.CoalesceWindow = defaultCoalesceWindow
+	}
+	if cfg.QueueDepth < 1 || cfg.CoalesceWindow < 1 {
+		return nil, fmt.Errorf("store: queue depth %d / coalesce window %d must be positive",
+			cfg.QueueDepth, cfg.CoalesceWindow)
 	}
 	nShards := nextPow2(uint64(cfg.Shards))
 	perShard := nextPow2((cfg.Blocks + nShards - 1) / nShards)
@@ -109,19 +169,20 @@ func New(cfg Config) (*Store, error) {
 		shardShift: uint(bits.TrailingZeros64(perShard)),
 		dataDir:    cfg.DataDir,
 	}
+	base := cfg.ORAM.Seed
+	if base == 0 {
+		base = 1
+	}
 	for i := range s.shards {
 		ocfg := cfg.ORAM
 		ocfg.Blocks = perShard
-		if ocfg.Seed == 0 {
-			ocfg.Seed = 1
-		}
-		ocfg.Seed += uint64(i) * 0x9E37
+		ocfg.Seed = shardSeed(base, uint64(i))
 		o, err := openShard(i, ocfg, cfg.DataDir)
 		if err != nil {
 			s.Close()
 			return nil, fmt.Errorf("store: shard %d: %w", i, err)
 		}
-		s.shards[i] = &shard{oram: o}
+		s.shards[i] = newShard(o, cfg.QueueDepth, cfg.CoalesceWindow)
 	}
 	s.blockBytes = s.shards[0].oram.BlockBytes()
 	return s, nil
@@ -175,9 +236,16 @@ func (s *Store) locate(addr uint64) (uint64, uint64) {
 	return m >> s.shardShift, m & (s.perShard - 1)
 }
 
+// ShardOf returns the shard index serving addr. It is the exported view of
+// the address partition, for monitoring and tests; addr must be in range.
+func (s *Store) ShardOf(addr uint64) int {
+	si, _ := s.locate(addr)
+	return int(si)
+}
+
 // ErrOutOfRange is returned (wrapped) for addresses at or beyond Blocks().
 // Callers can use it to tell caller mistakes from shard failures such as
-// freecursive.ErrIntegrity.
+// freecursive.ErrIntegrity or a quarantined shard (ErrQuarantined).
 var ErrOutOfRange = errors.New("address out of range")
 
 func (s *Store) check(addr uint64) error {
@@ -187,131 +255,141 @@ func (s *Store) check(addr uint64) error {
 	return nil
 }
 
+// SubmitGet enqueues a read of the block at addr on its shard's pipeline
+// and returns immediately. The returned Future resolves to the block
+// contents (never-written blocks read as zeros). Duplicate-address reads
+// queued close together share one physical ORAM access.
+func (s *Store) SubmitGet(addr uint64) *Future {
+	if err := s.check(addr); err != nil {
+		return resolvedFuture(nil, err)
+	}
+	si, inner := s.locate(addr)
+	return s.shards[si].submit(request{inner: inner})
+}
+
+// SubmitPut enqueues a write of data to the block at addr (shorter data is
+// zero-padded) and returns immediately. The Future resolves to the block's
+// previous contents. The caller must not modify data until the future
+// resolves.
+func (s *Store) SubmitPut(addr uint64, data []byte) *Future {
+	if err := s.check(addr); err != nil {
+		return resolvedFuture(nil, err)
+	}
+	si, inner := s.locate(addr)
+	return s.shards[si].submit(request{write: true, inner: inner, data: data})
+}
+
 // Get returns the contents of the block at addr. Never-written blocks read
 // as zeros.
 func (s *Store) Get(addr uint64) ([]byte, error) {
-	if err := s.check(addr); err != nil {
-		return nil, err
-	}
-	si, inner := s.locate(addr)
-	sh := s.shards[si]
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	return sh.oram.Read(inner)
+	return s.SubmitGet(addr).Wait()
 }
 
 // Put replaces the block at addr (shorter data is zero-padded) and returns
 // its previous contents.
 func (s *Store) Put(addr uint64, data []byte) ([]byte, error) {
-	if err := s.check(addr); err != nil {
-		return nil, err
-	}
-	si, inner := s.locate(addr)
-	sh := s.shards[si]
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	return sh.oram.Write(inner, data)
+	return s.SubmitPut(addr, data).Wait()
 }
 
-// op is one request of a batch, carrying its position in the caller's slice
-// so results land back in order after the shard-wise regrouping.
-type op struct {
-	idx   int
-	inner uint64
-	data  []byte // nil for gets
-}
-
-// BatchGet reads many blocks. Requests are grouped by shard and each shard
-// is drained under a single lock acquisition, with distinct shards running
-// in parallel. Results are returned in request order. If any read fails,
-// the first error is returned and the results slice is nil.
+// BatchGet reads many blocks. All requests are submitted to their shards'
+// pipelines before any result is awaited, so distinct shards run in
+// parallel and duplicate addresses coalesce. Results are returned in
+// request order. If any read fails, the first failure (in request order)
+// is returned and the results slice is nil; an out-of-range address fails
+// the batch before anything is submitted.
 func (s *Store) BatchGet(addrs []uint64) ([][]byte, error) {
-	groups, err := s.group(addrs, nil)
-	if err != nil {
-		return nil, err
+	for _, addr := range addrs {
+		if err := s.check(addr); err != nil {
+			return nil, err
+		}
+	}
+	futs := make([]*Future, len(addrs))
+	for i, addr := range addrs {
+		futs[i] = s.SubmitGet(addr)
 	}
 	out := make([][]byte, len(addrs))
-	err = s.drain(groups, func(o *freecursive.ORAM, req op) error {
-		b, err := o.Read(req.inner)
+	var firstErr error
+	for i, f := range futs {
+		b, err := f.Wait()
 		if err != nil {
-			return err
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
 		}
-		out[req.idx] = b
-		return nil
-	})
-	if err != nil {
-		return nil, err
+		out[i] = b
+	}
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return out, nil
 }
 
-// BatchPut writes many blocks, with the same shard-wise batching as
+// BatchPut writes many blocks, with the same pipelined submission as
 // BatchGet. addrs and vals must have equal length. When addrs repeats an
-// address, the writes land in request order (later entries win).
+// address, the writes land in request order (later entries win). The first
+// failure in request order is returned.
 func (s *Store) BatchPut(addrs []uint64, vals [][]byte) error {
 	if len(addrs) != len(vals) {
 		return fmt.Errorf("store: BatchPut got %d addrs but %d values", len(addrs), len(vals))
 	}
-	groups, err := s.group(addrs, vals)
-	if err != nil {
-		return err
-	}
-	return s.drain(groups, func(o *freecursive.ORAM, req op) error {
-		_, err := o.Write(req.inner, req.data)
-		return err
-	})
-}
-
-// group validates addrs and buckets the requests by shard. vals is nil for
-// get batches. Within a shard, requests keep their relative order.
-func (s *Store) group(addrs []uint64, vals [][]byte) (map[uint64][]op, error) {
-	groups := make(map[uint64][]op)
-	for i, addr := range addrs {
+	for _, addr := range addrs {
 		if err := s.check(addr); err != nil {
-			return nil, err
-		}
-		si, inner := s.locate(addr)
-		o := op{idx: i, inner: inner}
-		if vals != nil {
-			o.data = vals[i]
-		}
-		groups[si] = append(groups[si], o)
-	}
-	return groups, nil
-}
-
-// drain runs one goroutine per involved shard, each taking that shard's
-// lock once and applying f to its requests in order. It returns the first
-// error encountered (by shard index, then request order).
-func (s *Store) drain(groups map[uint64][]op, f func(*freecursive.ORAM, op) error) error {
-	order := make([]uint64, 0, len(groups))
-	for si := range groups {
-		order = append(order, si)
-	}
-	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
-	errs := make([]error, len(order))
-	var wg sync.WaitGroup
-	for i, si := range order {
-		wg.Add(1)
-		go func(i int, sh *shard, reqs []op) {
-			defer wg.Done()
-			sh.mu.Lock()
-			defer sh.mu.Unlock()
-			for _, req := range reqs {
-				if err := f(sh.oram, req); err != nil {
-					errs[i] = err
-					return
-				}
-			}
-		}(i, s.shards[si], groups[si])
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
 			return err
 		}
 	}
+	futs := make([]*Future, len(addrs))
+	for i, addr := range addrs {
+		futs[i] = s.SubmitPut(addr, vals[i])
+	}
+	var firstErr error
+	for _, f := range futs {
+		if _, err := f.Wait(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Quarantine fences shard i by hand: its data requests fail fast with an
+// error wrapping ErrQuarantined (503-class) while other shards keep
+// serving. cause, if non-nil, is recorded and reported by ShardInfos.
+// Integrity violations quarantine the affected shard automatically; this
+// is the operator's lever for everything PMMAC cannot see (a suspect disk,
+// a migration). Quarantine is terminal for the shard within this process —
+// requests already executing may still complete.
+func (s *Store) Quarantine(i int, cause error) error {
+	if i < 0 || i >= len(s.shards) {
+		return fmt.Errorf("store: shard %d not in [0, %d)", i, len(s.shards))
+	}
+	s.shards[i].health.quarantine(cause)
 	return nil
+}
+
+// ShardState returns shard i's lifecycle state.
+func (s *Store) ShardState(i int) ShardState {
+	return s.shards[i].health.State()
+}
+
+// ShardInfos returns a point-in-time lifecycle and pipeline snapshot of
+// every shard, indexed by shard.
+func (s *Store) ShardInfos() []ShardInfo {
+	out := make([]ShardInfo, len(s.shards))
+	for i, sh := range s.shards {
+		info := ShardInfo{
+			Index:          i,
+			State:          sh.health.State().String(),
+			QueueLen:       len(sh.reqs),
+			QueueCap:       cap(sh.reqs),
+			Enqueued:       sh.enqueued.Load(),
+			CoalescedReads: sh.coalesced.Load(),
+		}
+		if cause := sh.health.Cause(); cause != nil {
+			info.Cause = cause.Error()
+		}
+		out[i] = info
+	}
+	return out
 }
 
 // Stats returns counters aggregated across all shards, equivalent to
@@ -335,6 +413,7 @@ func Aggregate(shards []freecursive.Stats) freecursive.Stats {
 		agg.GroupRemaps += st.GroupRemaps
 		agg.MACChecks += st.MACChecks
 		agg.Violations += st.Violations
+		agg.StashOverflow += st.StashOverflow
 		if st.StashMax > agg.StashMax {
 			agg.StashMax = st.StashMax
 		}
@@ -346,44 +425,68 @@ func Aggregate(shards []freecursive.Stats) freecursive.Stats {
 	return agg
 }
 
-// ShardStats returns a per-shard snapshot, indexed by shard.
+// ShardStats returns a per-shard snapshot, indexed by shard. Each shard's
+// counters are read on its owner goroutine (so the snapshot serializes
+// with traffic), with all shards sampled concurrently.
 func (s *Store) ShardStats() []freecursive.Stats {
 	out := make([]freecursive.Stats, len(s.shards))
+	var wg sync.WaitGroup
 	for i, sh := range s.shards {
-		sh.mu.Lock()
-		out[i] = sh.oram.Stats()
-		sh.mu.Unlock()
+		wg.Add(1)
+		go func(i int, sh *shard) {
+			defer wg.Done()
+			out[i] = sh.stats()
+		}(i, sh)
 	}
+	wg.Wait()
 	return out
 }
 
-// Snapshot persists every shard's trusted controller state under DataDir
-// (each shard under its own lock, so in-flight traffic serializes against
-// the snapshot but is otherwise unaffected). Snapshots are written to a
-// temporary file and renamed, so a crash mid-snapshot leaves the previous
-// one intact. It fails if the store was built without DataDir.
+// Snapshot persists every healthy shard's trusted controller state under
+// DataDir. Each shard's snapshot runs on its owner goroutine, so in-flight
+// traffic serializes against it but other shards are unaffected. Snapshots
+// are written to a temporary file and renamed, so a crash mid-snapshot
+// leaves the previous one intact. Quarantined shards are skipped — a
+// poisoned controller must not be resurrected — and reported with an error
+// wrapping ErrQuarantined after every healthy shard has been persisted.
+// It fails if the store was built without DataDir.
 func (s *Store) Snapshot() error {
 	if s.dataDir == "" {
 		return fmt.Errorf("store: Snapshot requires a DataDir")
 	}
+	var skipped []int
 	for i, sh := range s.shards {
+		if sh.health.State() == StateQuarantined {
+			skipped = append(skipped, i)
+			continue
+		}
 		if err := s.snapshotShard(i, sh); err != nil {
 			return fmt.Errorf("store: shard %d: %w", i, err)
 		}
+	}
+	if len(skipped) > 0 {
+		return fmt.Errorf("store: %w: skipped snapshot of quarantined shard(s) %v", ErrQuarantined, skipped)
 	}
 	return nil
 }
 
 func (s *Store) snapshotShard(i int, sh *shard) error {
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	dir := shardDir(s.dataDir, i)
+	errCh := make(chan error, 1)
+	if !sh.control(func(o *freecursive.ORAM) { errCh <- writeSnapshot(shardDir(s.dataDir, i), o) }) {
+		return errClosed()
+	}
+	return <-errCh
+}
+
+// writeSnapshot writes one shard's trusted state with the tmp+rename dance.
+// It runs on the shard's owner goroutine.
+func writeSnapshot(dir string, o *freecursive.ORAM) error {
 	tmp, err := os.CreateTemp(dir, stateFile+".tmp-*")
 	if err != nil {
 		return err
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if err := sh.oram.Snapshot(tmp); err != nil {
+	if err := o.Snapshot(tmp); err != nil {
 		tmp.Close()
 		return err
 	}
@@ -397,18 +500,26 @@ func (s *Store) snapshotShard(i int, sh *shard) error {
 	return os.Rename(tmp.Name(), filepath.Join(dir, stateFile))
 }
 
-// Close releases every shard's untrusted storage. It does not snapshot —
-// call Snapshot first for a clean durable shutdown.
+// Close drains every shard's queue (requests already accepted are served),
+// stops the owner goroutines, and releases the untrusted storage. It does
+// not snapshot — call Snapshot first for a clean durable shutdown. Submits
+// racing with Close fail with an error wrapping ErrClosed.
 func (s *Store) Close() error {
-	var first error
+	// Seal every queue first so all owners drain concurrently; shutdown
+	// latency is then the slowest shard's drain, not the sum.
 	for _, sh := range s.shards {
 		if sh == nil {
 			continue // New failed partway; close what was opened
 		}
-		sh.mu.Lock()
-		err := sh.oram.Close()
-		sh.mu.Unlock()
-		if err != nil && first == nil {
+		sh.shutdown()
+	}
+	var first error
+	for _, sh := range s.shards {
+		if sh == nil {
+			continue
+		}
+		<-sh.done
+		if err := sh.oram.Close(); err != nil && first == nil {
 			first = err
 		}
 	}

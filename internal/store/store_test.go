@@ -58,6 +58,36 @@ func TestRounding(t *testing.T) {
 	}
 }
 
+// TestShardSeedDerivation proves distinct (store seed, shard index) pairs
+// get distinct ORAM seeds. The old linear offset (seed += i*0x9E37) made
+// shard i of a store seeded s identical to shard i-1 of a store seeded
+// s+0x9E37; the SplitMix64 derivation must not reproduce that or any other
+// collision across nearby seeds.
+func TestShardSeedDerivation(t *testing.T) {
+	const shards = 64
+	seeds := []uint64{1, 2, 3, 42, 42 + 0x9E37, 42 + 2*0x9E37, 1 << 40, ^uint64(0)}
+	seen := make(map[uint64][2]uint64)
+	for _, s := range seeds {
+		for i := uint64(0); i < shards; i++ {
+			d := shardSeed(s, i)
+			if d == 0 {
+				t.Fatalf("shardSeed(%d, %d) = 0 (reserved for defaults)", s, i)
+			}
+			if prev, dup := seen[d]; dup {
+				t.Fatalf("shardSeed collision: (%d,%d) and (%d,%d) both derive %#x",
+					prev[0], prev[1], s, i, d)
+			}
+			seen[d] = [2]uint64{s, i}
+		}
+	}
+	// The specific regression: the adjacent-seed ladder of the old scheme.
+	for i := uint64(1); i < shards; i++ {
+		if shardSeed(42+0x9E37, i-1) == shardSeed(42, i) {
+			t.Fatalf("shard %d of seed 42 collides with shard %d of seed 42+0x9E37", i, i-1)
+		}
+	}
+}
+
 // TestLocateBijective proves the address partition never maps two store
 // addresses onto the same (shard, slot) pair.
 func TestLocateBijective(t *testing.T) {
@@ -229,6 +259,7 @@ func TestStatsAggregation(t *testing.T) {
 		want.GroupRemaps += st.GroupRemaps
 		want.MACChecks += st.MACChecks
 		want.Violations += st.Violations
+		want.StashOverflow += st.StashOverflow
 		if st.StashMax > want.StashMax {
 			want.StashMax = st.StashMax
 		}

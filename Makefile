@@ -1,7 +1,7 @@
 # Targets mirror the CI jobs in .github/workflows/ci.yml so local runs and
 # CI stay in lockstep.
 
-.PHONY: all build test race bench bench-all bins lint fmt
+.PHONY: all build test race bench bench-all bench-network bins lint fmt
 
 all: build lint test
 
@@ -12,7 +12,7 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/store/... ./cmd/oramstore/...
+	go test -race ./internal/store/... ./internal/httpapi/... ./client/... ./cmd/oramstore/...
 
 bench:
 	go test -run=NONE -bench=. -benchtime=1x .
@@ -20,6 +20,11 @@ bench:
 # Every benchmark in every package, one iteration each (the CI smoke pass).
 bench-all:
 	go test -run=NONE -bench=. -benchtime=1x ./...
+
+# Over-the-wire single-block vs batched-client comparison (the CI
+# network-smoke job); writes BENCH_network.json.
+bench-network:
+	./scripts/bench_network.sh
 
 # Link every cmd/ and examples/ binary (the CI bins job).
 bins:

@@ -1,0 +1,341 @@
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Config parameterizes a Client. Only BaseURL is required.
+type Config struct {
+	// BaseURL locates the server, e.g. "http://localhost:8080". Trailing
+	// slashes are trimmed.
+	BaseURL string
+	// HTTPClient, if non-nil, overrides the transport. The default is a
+	// dedicated keep-alive pooled client with a 30s request timeout;
+	// connection reuse matters more than usual here because every batch is
+	// one POST to the same host.
+	HTTPClient *http.Client
+	// MaxBatch flushes the pending batch when it reaches this many
+	// operations (default 16, capped at MaxOps). 1 disables cross-caller
+	// batching: every operation is its own POST.
+	MaxBatch int
+	// FlushInterval flushes a non-empty pending batch this long after its
+	// first operation arrived, so a lone caller is not held hostage
+	// waiting for MaxBatch peers (default 2ms).
+	FlushInterval time.Duration
+	// MaxRetries bounds transport-level retries per batch — network
+	// errors and whole-response 503s (default 3; negative disables).
+	MaxRetries int
+	// MaxRetryWait caps how long a server Retry-After hint is honored
+	// (default 2s). Without a hint, retries back off exponentially from
+	// 50ms toward this cap.
+	MaxRetryWait time.Duration
+}
+
+// Error is a failed operation's outcome: the per-op (or whole-response)
+// status code, the server's error text, and its Retry-After hint when the
+// status is 503.
+type Error struct {
+	Status     int
+	Msg        string
+	RetryAfter time.Duration
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("oramstore: status %d: %s", e.Status, e.Msg)
+}
+
+// Temporary reports whether the failure is availability (503) rather than
+// a caller or server bug — retrying elsewhere in the address space, or
+// later, can succeed.
+func (e *Error) Temporary() bool { return e.Status == http.StatusServiceUnavailable }
+
+// AsError unwraps err to this package's *Error, or nil.
+func AsError(err error) *Error {
+	var e *Error
+	if errors.As(err, &e) {
+		return e
+	}
+	return nil
+}
+
+// ErrClosed is returned (wrapped) by operations on a closed Client.
+var ErrClosed = errors.New("client closed")
+
+// pending is one operation waiting in the collector.
+type pending struct {
+	op   BatchOp
+	done chan outcome
+}
+
+type outcome struct {
+	data []byte
+	err  error
+}
+
+// Client is a concurrency-safe oramstore client. See the package
+// documentation for batching and retry behavior.
+type Client struct {
+	cfg  Config
+	http *http.Client
+
+	mu     sync.Mutex
+	pend   []*pending
+	timer  *time.Timer
+	closed bool
+}
+
+// New validates cfg and returns a Client. It does not contact the server.
+func New(cfg Config) (*Client, error) {
+	if cfg.BaseURL == "" {
+		return nil, errors.New("client: Config.BaseURL is required")
+	}
+	for len(cfg.BaseURL) > 0 && cfg.BaseURL[len(cfg.BaseURL)-1] == '/' {
+		cfg.BaseURL = cfg.BaseURL[:len(cfg.BaseURL)-1]
+	}
+	if cfg.MaxBatch == 0 {
+		cfg.MaxBatch = 16
+	}
+	if cfg.MaxBatch < 1 || cfg.MaxBatch > MaxOps {
+		return nil, fmt.Errorf("client: MaxBatch %d not in [1, %d]", cfg.MaxBatch, MaxOps)
+	}
+	if cfg.FlushInterval == 0 {
+		cfg.FlushInterval = 2 * time.Millisecond
+	}
+	if cfg.FlushInterval < 0 {
+		return nil, fmt.Errorf("client: negative FlushInterval %v", cfg.FlushInterval)
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 3
+	}
+	if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	}
+	if cfg.MaxRetryWait == 0 {
+		cfg.MaxRetryWait = 2 * time.Second
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = &http.Client{
+			Timeout: 30 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConns:        64,
+				MaxIdleConnsPerHost: 64,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		}
+	}
+	return &Client{cfg: cfg, http: hc}, nil
+}
+
+// Get returns the contents of the block at addr (never-written blocks read
+// as zeros). The call may be micro-batched with concurrent operations.
+func (c *Client) Get(addr uint64) ([]byte, error) {
+	return c.submit(BatchOp{Op: OpGet, Addr: addr})
+}
+
+// Put writes data to the block at addr (shorter payloads are zero-padded
+// by the server). The call may be micro-batched with concurrent
+// operations; data must not be modified until Put returns.
+func (c *Client) Put(addr uint64, data []byte) error {
+	_, err := c.submit(BatchOp{Op: OpPut, Addr: addr, Data: data})
+	return err
+}
+
+// Do sends ops as one explicit batch, bypassing the micro-batch collector,
+// and returns the per-operation outcomes index-aligned with ops. Only
+// whole-request failures (transport errors after retries, malformed-batch
+// rejections) return an error; per-operation failures are reported in the
+// results' Status/Error fields.
+func (c *Client) Do(ops []BatchOp) ([]OpResult, error) {
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return nil, fmt.Errorf("client: %w", ErrClosed)
+	}
+	return c.post(BatchRequest{Ops: ops})
+}
+
+// Flush sends any operations waiting in the collector now, without waiting
+// for the count or interval trigger.
+func (c *Client) Flush() {
+	c.mu.Lock()
+	batch := c.take()
+	c.mu.Unlock()
+	c.send(batch)
+}
+
+// Close flushes pending operations, fails all future ones with ErrClosed,
+// and releases idle connections.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	batch := c.take()
+	c.mu.Unlock()
+	c.send(batch)
+	c.http.CloseIdleConnections()
+	return nil
+}
+
+// submit runs one operation through the collector and waits for its
+// outcome. The caller that fills the batch carries it to the wire; a lone
+// caller's batch rides the flush timer.
+func (c *Client) submit(op BatchOp) ([]byte, error) {
+	p := &pending{op: op, done: make(chan outcome, 1)}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("client: %w", ErrClosed)
+	}
+	c.pend = append(c.pend, p)
+	var batch []*pending
+	switch {
+	case len(c.pend) >= c.cfg.MaxBatch:
+		batch = c.take()
+	case len(c.pend) == 1:
+		c.timer = time.AfterFunc(c.cfg.FlushInterval, c.timerFlush)
+	}
+	c.mu.Unlock()
+	c.send(batch)
+	out := <-p.done
+	return out.data, out.err
+}
+
+// take removes and returns the pending batch. Caller holds c.mu.
+func (c *Client) take() []*pending {
+	batch := c.pend
+	c.pend = nil
+	if c.timer != nil {
+		c.timer.Stop()
+		c.timer = nil
+	}
+	return batch
+}
+
+func (c *Client) timerFlush() {
+	c.mu.Lock()
+	batch := c.take()
+	c.mu.Unlock()
+	c.send(batch)
+}
+
+// send posts one collected batch and distributes the per-op outcomes. A
+// whole-request failure fails every operation in the batch with the same
+// error.
+func (c *Client) send(batch []*pending) {
+	if len(batch) == 0 {
+		return
+	}
+	req := BatchRequest{Ops: make([]BatchOp, len(batch))}
+	for i, p := range batch {
+		req.Ops[i] = p.op
+	}
+	results, err := c.post(req)
+	if err != nil {
+		for _, p := range batch {
+			p.done <- outcome{err: err}
+		}
+		return
+	}
+	for i, p := range batch {
+		res := results[i]
+		if res.Status >= 400 {
+			p.done <- outcome{err: &Error{
+				Status:     res.Status,
+				Msg:        res.Error,
+				RetryAfter: time.Duration(res.RetryAfterSeconds) * time.Second,
+			}}
+			continue
+		}
+		p.done <- outcome{data: res.Data}
+	}
+}
+
+// post performs the POST /batch round-trip with transport-level retries:
+// network errors and whole-response 503s retry up to MaxRetries times,
+// honoring Retry-After up to MaxRetryWait. Responses other than 200/207
+// become whole-request errors.
+func (c *Client) post(req BatchRequest) ([]OpResult, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding batch: %w", err)
+	}
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(c.backoff(attempt, lastErr))
+		}
+		resp, err := c.http.Post(c.cfg.BaseURL+"/batch", "application/json",
+			bytes.NewReader(body))
+		if err != nil {
+			lastErr = fmt.Errorf("client: %w", err)
+			continue
+		}
+		switch resp.StatusCode {
+		case http.StatusOK, http.StatusMultiStatus:
+			var out BatchResponse
+			err := json.NewDecoder(resp.Body).Decode(&out)
+			resp.Body.Close()
+			if err != nil {
+				return nil, fmt.Errorf("client: decoding batch response: %w", err)
+			}
+			if len(out.Results) != len(req.Ops) {
+				return nil, fmt.Errorf("client: server returned %d results for %d ops",
+					len(out.Results), len(req.Ops))
+			}
+			return out.Results, nil
+		case http.StatusServiceUnavailable:
+			lastErr = responseError(resp)
+			continue // whole store unavailable (draining): worth retrying
+		default:
+			err := responseError(resp)
+			return nil, err
+		}
+	}
+	return nil, lastErr
+}
+
+// responseError drains a non-2xx response into an *Error, capturing
+// Retry-After when present. It closes the body.
+func responseError(resp *http.Response) error {
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+	resp.Body.Close()
+	e := &Error{Status: resp.StatusCode, Msg: string(bytes.TrimSpace(msg))}
+	if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s >= 0 {
+		e.RetryAfter = time.Duration(s) * time.Second
+	}
+	return e
+}
+
+// backoff picks the wait before retry attempt n (n >= 1): the server's
+// Retry-After hint when lastErr carries one, else exponential from 50ms —
+// both capped at MaxRetryWait. The shift is bounded so a large MaxRetries
+// cannot overflow the duration into a negative (busy-loop) sleep.
+func (c *Client) backoff(attempt int, lastErr error) time.Duration {
+	d := c.cfg.MaxRetryWait
+	if shift := attempt - 1; shift < 20 { // 50ms << 20 is already ~15h
+		d = 50 * time.Millisecond << shift
+	}
+	if e := AsError(lastErr); e != nil && e.RetryAfter > 0 {
+		d = e.RetryAfter
+	}
+	if d > c.cfg.MaxRetryWait {
+		d = c.cfg.MaxRetryWait
+	}
+	return d
+}

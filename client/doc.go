@@ -1,0 +1,65 @@
+// Package client is the native Go client for an oramstore server — the
+// HTTP frontend over the sharded oblivious block store (see
+// cmd/oramstore). It speaks the single-block endpoints' semantics through
+// the mixed-operation POST /batch API, pooling connections and batching
+// requests so the server's per-shard pipelines see bulk arrivals (which is
+// what makes duplicate-read coalescing and shard parallelism pay off over
+// the wire).
+//
+// # Basic use
+//
+//	c, err := client.New(client.Config{BaseURL: "http://localhost:8080"})
+//	if err != nil { ... }
+//	defer c.Close()
+//
+//	if err := c.Put(42, data); err != nil { ... }
+//	got, err := c.Get(42)
+//
+// Get and Put are safe for concurrent use from any number of goroutines —
+// that is the intended shape: many callers share one Client.
+//
+// # Micro-batching
+//
+// Concurrent Get/Put calls do not each pay an HTTP round-trip. Operations
+// gather in a pending batch that is flushed as one POST /batch when it
+// reaches Config.MaxBatch operations or when Config.FlushInterval elapses
+// after the first pending op, whichever comes first. Each call still
+// blocks until its own operation resolves, so per-call semantics are
+// unchanged; only the wire traffic is reshaped. Set MaxBatch to 1 to
+// disable batching (every op becomes its own POST).
+//
+// Callers that already hold a batch can skip the collector and send it
+// directly with Do, which also exposes per-operation outcomes instead of
+// folding the first failure into an error.
+//
+// # Errors and retries
+//
+// Transport-level failures — a connection error, or a whole-response 503
+// (the server answers one when the store is draining and the entire batch
+// failed for it) — are retried up to Config.MaxRetries times, honoring
+// the server's Retry-After header (capped at Config.MaxRetryWait).
+// Retrying is safe because both operations are idempotent: a put replaces
+// the block's contents. Per-operation failures inside a 207 response are
+// NOT retried automatically: a 503 there means the address's shard is
+// quarantined after an integrity violation, which an operator has to
+// resolve — the client surfaces it as an *Error with Status 503 and the
+// server's RetryAfter hint, and the caller decides.
+//
+// Failed operations return an *Error carrying the per-op status code of
+// the wire schema (see OpResult): 400 caller mistake, 413 payload too
+// large, 503 shard quarantined or store draining, 500 internal.
+//
+//	if e := client.AsError(err); e != nil && e.Status == 503 {
+//		// back off for e.RetryAfter, alert on the shard, ...
+//	}
+//
+// # Trust model
+//
+// The oramstore server IS the trusted ORAM controller: it hides access
+// patterns and verifies integrity against its own untrusted storage, not
+// against its HTTP clients. This client therefore sends addresses and
+// plaintext blocks over the wire like any KV client would — deploy it
+// inside the trust boundary (same host or a private, authenticated,
+// TLS-terminated network), because anyone observing this traffic sees
+// exactly what the ORAM exists to hide from the storage adversary.
+package client

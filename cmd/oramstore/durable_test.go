@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"freecursive"
+	"freecursive/internal/httpapi"
 	"freecursive/internal/store"
 )
 
@@ -64,7 +65,7 @@ func TestServerRestartServesOldBlocks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newHandler(st))
+	srv := httptest.NewServer(httpapi.New(st))
 	const addrs = 48
 	for a := uint64(0); a < addrs; a++ {
 		putBlock(t, srv, a, blockBody(a))
@@ -79,7 +80,7 @@ func TestServerRestartServesOldBlocks(t *testing.T) {
 	if err != nil {
 		t.Fatalf("restart: %v", err)
 	}
-	srv = httptest.NewServer(newHandler(st))
+	srv = httptest.NewServer(httpapi.New(st))
 	defer srv.Close()
 	defer st.Close()
 	for a := uint64(0); a < addrs; a++ {
@@ -121,7 +122,7 @@ func TestServerDetectsTamperBetweenRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newHandler(st))
+	srv := httptest.NewServer(httpapi.New(st))
 	const addrs = 48
 	for a := uint64(0); a < addrs; a++ {
 		putBlock(t, srv, a, blockBody(a))
@@ -153,7 +154,7 @@ func TestServerDetectsTamperBetweenRuns(t *testing.T) {
 	if err != nil {
 		t.Fatalf("restart over tampered files: %v", err)
 	}
-	srv = httptest.NewServer(newHandler(st))
+	srv = httptest.NewServer(httpapi.New(st))
 	defer srv.Close()
 	defer st.Close()
 

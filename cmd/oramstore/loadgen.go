@@ -1,7 +1,9 @@
 package main
 
-// Load-generator statistics primitives, extracted from runLoad so their
-// distributions are testable. Two bugs lived here historically and the
+// The load generator: a transport-independent worker harness (runWorkers
+// over an executor — in-process store, single-block HTTP, or the batched
+// network client) plus the statistics primitives, extracted from runLoad
+// so their distributions are testable. Two bugs lived here historically and the
 // structure now rules them out by construction:
 //
 //   - the write/read coin was (lcgState % 1000) / 1000 — the low bits of
@@ -16,11 +18,188 @@ package main
 // Algorithm R with its own draw.
 
 import (
+	"bytes"
+	"fmt"
+	"io"
 	mathrand "math/rand"
 	"math/rand/v2"
+	"net/http"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
+
+	"freecursive/client"
+	"freecursive/internal/store"
 )
+
+// --- executors --------------------------------------------------------------
+
+// executor abstracts who serves one load-generator operation, so one
+// harness benchmarks an in-process store, the single-block HTTP API, and
+// the batched network client with identical workloads. Implementations
+// must be safe for concurrent use; the batched client in particular RELIES
+// on concurrent callers — micro-batching gathers ops across workers.
+type executor interface {
+	get(addr uint64) error
+	put(addr uint64, data []byte) error
+}
+
+// storeExec drives a store directly — the in-process ceiling for a
+// workload: no wire, no JSON, just the shard pipelines.
+type storeExec struct{ st *store.Store }
+
+func (e storeExec) get(addr uint64) error {
+	_, err := e.st.Get(addr)
+	return err
+}
+
+func (e storeExec) put(addr uint64, data []byte) error {
+	_, err := e.st.Put(addr, data)
+	return err
+}
+
+// clientExec drives the batched network client: every worker op joins the
+// shared micro-batch collector, so the server sees POST /batch bursts.
+type clientExec struct{ c *client.Client }
+
+func (e clientExec) get(addr uint64) error {
+	_, err := e.c.Get(addr)
+	return err
+}
+
+func (e clientExec) put(addr uint64, data []byte) error {
+	return e.c.Put(addr, data)
+}
+
+// httpExec is the legacy single-block mode: one GET or PUT round-trip per
+// operation, the baseline the batch pipeline is measured against.
+type httpExec struct {
+	c    *http.Client
+	base string
+}
+
+func newHTTPExec(base string) httpExec {
+	return httpExec{c: &http.Client{Timeout: 10 * time.Second}, base: base}
+}
+
+func (e httpExec) get(addr uint64) error {
+	resp, err := e.c.Get(fmt.Sprintf("%s/block/%d", e.base, addr))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+func (e httpExec) put(addr uint64, body []byte) error {
+	req, err := http.NewRequest(http.MethodPut,
+		fmt.Sprintf("%s/block/%d", e.base, addr), bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	resp, err := e.c.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("PUT status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// --- worker harness ---------------------------------------------------------
+
+// loadOpts shapes one load run, transport-independent.
+type loadOpts struct {
+	workers   int
+	duration  time.Duration
+	addrs     uint64 // address range [0, addrs)
+	blockB    int
+	writeFrac float64
+	dist      string // "uniform" | "zipf"
+	zipfS     float64
+	seed      uint64
+}
+
+// loadReport is what a run measures. The JSON shape is consumed by
+// scripts/bench_network.sh to assemble BENCH_network.json.
+type loadReport struct {
+	Mode      string  `json:"mode"`
+	Ops       uint64  `json:"ops"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	Failures  uint64  `json:"failures"`
+	P50Micros float64 `json:"p50_us"`
+	P90Micros float64 `json:"p90_us"`
+	P99Micros float64 `json:"p99_us"`
+}
+
+// runWorkers hammers exec from o.workers goroutines until the deadline,
+// sampling per-op latency with per-worker reservoirs. Workers draw
+// independent PCG streams — one for the write coin and the reservoir, a
+// separate one for addresses, so sample retention never correlates with
+// which address a request hit.
+func runWorkers(exec executor, o loadOpts) loadReport {
+	var (
+		ops      atomic.Uint64
+		failures atomic.Uint64
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		lats     []time.Duration
+	)
+	payload := make([]byte, o.blockB)
+	deadline := time.Now().Add(o.duration)
+	for w := 0; w < o.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := workerRNG(o.seed, w)
+			pick := uniformPicker(workerRNG(o.seed+1, w), o.addrs)
+			if o.dist == "zipf" {
+				pick = zipfPicker(o.seed, w, o.zipfS, o.addrs)
+			}
+			res := newReservoir(rng)
+			for time.Now().Before(deadline) {
+				addr := pick()
+				start := time.Now()
+				var err error
+				if pickWrite(rng, o.writeFrac) {
+					err = exec.put(addr, payload)
+				} else {
+					err = exec.get(addr)
+				}
+				res.observe(time.Since(start))
+				ops.Add(1)
+				if err != nil {
+					failures.Add(1)
+				}
+			}
+			mu.Lock()
+			lats = append(lats, res.samples...)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+
+	rep := loadReport{
+		Ops:       ops.Load(),
+		OpsPerSec: float64(ops.Load()) / o.duration.Seconds(),
+		Failures:  failures.Load(),
+	}
+	if len(lats) > 0 {
+		qs := percentiles(lats, []float64{0.50, 0.90, 0.99})
+		rep.P50Micros = float64(qs[0]) / float64(time.Microsecond)
+		rep.P90Micros = float64(qs[1]) / float64(time.Microsecond)
+		rep.P99Micros = float64(qs[2]) / float64(time.Microsecond)
+	}
+	return rep
+}
 
 // reservoirCap bounds each worker's latency sample. Past it, each new
 // sample replaces a random slot with probability cap/seen, giving a

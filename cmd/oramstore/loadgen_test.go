@@ -1,6 +1,12 @@
 package main
 
 import (
+	"net/http/httptest"
+
+	"freecursive"
+	"freecursive/client"
+	"freecursive/internal/httpapi"
+	"freecursive/internal/store"
 	"math"
 	"testing"
 	"time"
@@ -125,5 +131,75 @@ func TestPercentiles(t *testing.T) {
 		if got[i] != want[i] {
 			t.Errorf("q%d = %v, want %v", i, got[i], want[i])
 		}
+	}
+}
+
+// TestRunWorkersInProcess drives the whole harness over an in-process
+// store: ops complete, nothing fails, and the report is internally
+// consistent.
+func TestRunWorkersInProcess(t *testing.T) {
+	st, err := store.New(store.Config{
+		Shards: 2,
+		Blocks: 1 << 8,
+		ORAM:   freecursive.Config{Scheme: freecursive.PLB, BlockBytes: 16, Seed: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	rep := runWorkers(storeExec{st}, loadOpts{
+		workers:   4,
+		duration:  150 * time.Millisecond,
+		addrs:     1 << 8,
+		blockB:    16,
+		writeFrac: 0.5,
+		dist:      "uniform",
+		seed:      1,
+	})
+	if rep.Ops == 0 {
+		t.Fatal("harness completed zero ops")
+	}
+	if rep.Failures != 0 {
+		t.Fatalf("%d/%d in-process ops failed", rep.Failures, rep.Ops)
+	}
+	if rep.P50Micros <= 0 || rep.P99Micros < rep.P50Micros {
+		t.Fatalf("implausible percentiles: p50=%v p99=%v", rep.P50Micros, rep.P99Micros)
+	}
+}
+
+// TestRunWorkersNetworkBatch drives the harness through the batched client
+// against the production handler — the -target path end to end.
+func TestRunWorkersNetworkBatch(t *testing.T) {
+	st, err := store.New(store.Config{
+		Shards: 2,
+		Blocks: 1 << 8,
+		ORAM:   freecursive.Config{Scheme: freecursive.PLB, BlockBytes: 16, Seed: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	srv := httptest.NewServer(httpapi.New(st))
+	defer srv.Close()
+	c, err := client.New(client.Config{BaseURL: srv.URL, MaxBatch: 4, FlushInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	rep := runWorkers(clientExec{c}, loadOpts{
+		workers:   4,
+		duration:  150 * time.Millisecond,
+		addrs:     1 << 8,
+		blockB:    16,
+		writeFrac: 0.3,
+		dist:      "zipf",
+		zipfS:     1.2,
+		seed:      3,
+	})
+	if rep.Ops == 0 {
+		t.Fatal("harness completed zero ops over the wire")
+	}
+	if rep.Failures != 0 {
+		t.Fatalf("%d/%d batched network ops failed", rep.Failures, rep.Ops)
 	}
 }

@@ -1,12 +1,15 @@
 // Command oramstore serves a sharded oblivious block store over HTTP, and
 // doubles as a load generator for driving one.
 //
-// Serve mode (the default) exposes:
+// Serve mode (the default) exposes (handler in freecursive/internal/httpapi):
 //
 //	GET  /block/{addr}  — read a block (application/octet-stream)
 //	PUT  /block/{addr}  — write a block (body is zero-padded/truncated)
+//	POST /batch         — mixed get/put batch, per-op outcomes (JSON; schema
+//	                      in freecursive/client)
 //	GET  /stats         — aggregate + per-shard counters as JSON
 //	GET  /shards        — per-shard lifecycle + pipeline state as JSON
+//	GET  /metrics       — the same counters in Prometheus text format
 //	GET  /healthz       — liveness probe
 //
 // Requests are served by the store's asynchronous per-shard pipeline. A
@@ -14,7 +17,9 @@
 // addresses answer 503 with a Retry-After header (the data on every other
 // shard stays available), true internal errors answer 500, and caller
 // mistakes 400 — so monitoring can tell a misbehaving client, a broken
-// server, and a poisoned shard apart.
+// server, and a poisoned shard apart. POST /batch applies the same codes
+// per operation inside a 207 Multi-Status envelope, so one poisoned shard
+// fails only its slice of a batch.
 //
 // With -data-dir the store is durable: sealed buckets live in per-shard
 // page files, and on SIGINT/SIGTERM the server drains connections and the
@@ -25,38 +30,42 @@
 // (no clean snapshot), PMMAC-enabled schemes refuse blocks whose on-disk
 // state diverged instead of serving them.
 //
-// Load mode hammers a running server with concurrent random reads and
-// writes — uniformly or Zipf-skewed (-dist zipf), the latter showing off
-// the pipeline's duplicate-read coalescing — and reports throughput and
-// latency percentiles.
+// Load mode hammers a store with concurrent random reads and writes —
+// uniformly or Zipf-skewed (-dist zipf), the latter showing off the
+// pipeline's duplicate-read coalescing — and reports throughput and
+// latency percentiles. One harness, three transports:
+//
+//	-url       legacy single-block HTTP (one GET/PUT per op)
+//	-target    batched network mode through the freecursive/client
+//	           micro-batching client (-batch, -flush-interval)
+//	-inprocess no HTTP at all: builds a store in this process and drives
+//	           it directly (the serving ceiling for the same workload)
 //
 // Examples:
 //
 //	oramstore -addr :8080 -shards 16 -blocks 20 -lightweight
 //	oramstore -addr :8080 -shards 4 -blocks 18 -data-dir /var/lib/oramstore
 //	oramstore load -url http://localhost:8080 -workers 32 -duration 10s
-//	oramstore load -url http://localhost:8080 -dist zipf -zipf-s 1.2
+//	oramstore load -target http://localhost:8080 -dist zipf -batch 16
+//	oramstore load -inprocess -shards 16 -lightweight -dist zipf -json
 package main
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
-	"strconv"
-	"sync"
-	"sync/atomic"
 	"syscall"
 	"time"
 
 	"freecursive"
+	"freecursive/client"
+	"freecursive/internal/httpapi"
 	"freecursive/internal/store"
 )
 
@@ -127,7 +136,7 @@ func runServe(args []string) {
 	log.Printf("serving %d blocks x %d B across %d shards (%s, %s) on %s",
 		st.Blocks(), st.BlockBytes(), st.Shards(), *scheme, mode, *addr)
 
-	srv := &http.Server{Addr: *addr, Handler: newHandler(st)}
+	srv := &http.Server{Addr: *addr, Handler: httpapi.New(st)}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 1)
@@ -187,115 +196,15 @@ func shutdownStore(st *store.Store, durable bool) error {
 	return st.Close()
 }
 
-// newHandler builds the HTTP mux over a store; split out so tests can drive
-// it through httptest without a listener.
-func newHandler(st *store.Store) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		io.WriteString(w, "ok\n")
-	})
-	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		// One snapshot for both views, so aggregate == sum(per_shard)
-		// within a single response even under live traffic.
-		perShard := st.ShardStats()
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(struct {
-			Shards    int                 `json:"shards"`
-			Blocks    uint64              `json:"blocks"`
-			BlockSize int                 `json:"block_bytes"`
-			Aggregate freecursive.Stats   `json:"aggregate"`
-			PerShard  []freecursive.Stats `json:"per_shard"`
-		}{st.Shards(), st.Blocks(), st.BlockBytes(), store.Aggregate(perShard), perShard})
-	})
-	mux.HandleFunc("GET /shards", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(struct {
-			Shards []store.ShardInfo `json:"shards"`
-		}{st.ShardInfos()})
-	})
-	mux.HandleFunc("GET /block/{addr}", func(w http.ResponseWriter, r *http.Request) {
-		addr, ok := parseAddr(w, r)
-		if !ok {
-			return
-		}
-		b, err := st.Get(addr)
-		if err != nil {
-			writeStoreError(w, err)
-			return
-		}
-		w.Header().Set("Content-Type", "application/octet-stream")
-		w.Write(b)
-	})
-	mux.HandleFunc("PUT /block/{addr}", func(w http.ResponseWriter, r *http.Request) {
-		addr, ok := parseAddr(w, r)
-		if !ok {
-			return
-		}
-		body, err := io.ReadAll(io.LimitReader(r.Body, int64(st.BlockBytes())+1))
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		if len(body) > st.BlockBytes() {
-			http.Error(w, fmt.Sprintf("body exceeds block size %d", st.BlockBytes()),
-				http.StatusRequestEntityTooLarge)
-			return
-		}
-		if _, err := st.Put(addr, body); err != nil {
-			writeStoreError(w, err)
-			return
-		}
-		w.WriteHeader(http.StatusNoContent)
-	})
-	return mux
-}
-
-// retryAfterSeconds is the Retry-After hint on 503s. Quarantine needs an
-// operator (or a restart against intact storage), so the hint is a polling
-// cadence, not a recovery estimate.
-const retryAfterSeconds = "30"
-
-// storeStatus separates caller mistakes (bad address: 400) from
-// unavailability (quarantined shard, store shutting down: 503) from true
-// internal errors (500), so monitoring can tell a misbehaving client, a
-// poisoned shard, and a broken server apart. A quarantined shard answers
-// 503 rather than 500 because only its slice of the address space is down
-// — the client's next request for another address will likely succeed.
-func storeStatus(err error) int {
-	switch {
-	case errors.Is(err, store.ErrOutOfRange):
-		return http.StatusBadRequest
-	case errors.Is(err, store.ErrQuarantined), errors.Is(err, store.ErrClosed):
-		return http.StatusServiceUnavailable
-	default:
-		return http.StatusInternalServerError
-	}
-}
-
-// writeStoreError renders a store error with its mapped status, attaching
-// Retry-After to 503s.
-func writeStoreError(w http.ResponseWriter, err error) {
-	code := storeStatus(err)
-	if code == http.StatusServiceUnavailable {
-		w.Header().Set("Retry-After", retryAfterSeconds)
-	}
-	http.Error(w, err.Error(), code)
-}
-
-func parseAddr(w http.ResponseWriter, r *http.Request) (uint64, bool) {
-	addr, err := strconv.ParseUint(r.PathValue("addr"), 10, 64)
-	if err != nil {
-		http.Error(w, "bad address: "+err.Error(), http.StatusBadRequest)
-		return 0, false
-	}
-	return addr, true
-}
-
 // --- load mode --------------------------------------------------------------
 
 func runLoad(args []string) {
 	fs := flag.NewFlagSet("load", flag.ExitOnError)
-	url := fs.String("url", "http://localhost:8080", "target server")
+	url := fs.String("url", "http://localhost:8080", "target server for legacy single-block mode (one GET/PUT per op)")
+	target := fs.String("target", "", "target server for batched network mode through the client package (overrides -url)")
+	inproc := fs.Bool("inprocess", false, "no HTTP: build a store in this process and drive it directly")
+	batch := fs.Int("batch", 16, "network mode: client micro-batch size (1 disables batching)")
+	flushInt := fs.Duration("flush-interval", 2*time.Millisecond, "network mode: client micro-batch flush interval")
 	workers := fs.Int("workers", 16, "concurrent workers")
 	duration := fs.Duration("duration", 5*time.Second, "run length")
 	logBlocks := fs.Int("blocks", 16, "log2 of address range to hit")
@@ -304,6 +213,10 @@ func runLoad(args []string) {
 	dist := fs.String("dist", "uniform", "address distribution: uniform | zipf")
 	zipfS := fs.Float64("zipf-s", 1.2, "zipf skew parameter (> 1; larger is hotter)")
 	seed := fs.Uint64("seed", 1, "load-generator seed (workers derive independent streams)")
+	shards := fs.Int("shards", 8, "in-process mode: shard count")
+	scheme := fs.String("scheme", "PIC", "in-process mode: R | P | PC | PI | PIC")
+	lightweight := fs.Bool("lightweight", false, "in-process mode: bandwidth-accounting backend")
+	jsonOut := fs.Bool("json", false, "emit one machine-readable JSON line instead of text")
 	fs.Parse(args)
 	if *dist != "uniform" && *dist != "zipf" {
 		log.Fatalf("unknown -dist %q (want uniform or zipf)", *dist)
@@ -312,97 +225,86 @@ func runLoad(args []string) {
 		log.Fatalf("-zipf-s must be > 1, got %v", *zipfS)
 	}
 
-	// One quick health check before unleashing the workers.
-	resp, err := http.Get(*url + "/healthz")
+	opts := loadOpts{
+		workers:   *workers,
+		duration:  *duration,
+		addrs:     uint64(1) << uint(*logBlocks),
+		blockB:    *blockB,
+		writeFrac: *writeFrac,
+		dist:      *dist,
+		zipfS:     *zipfS,
+		seed:      *seed,
+	}
+
+	var (
+		exec executor
+		mode string
+	)
+	switch {
+	case *inproc:
+		sc, ok := schemes[*scheme]
+		if !ok {
+			log.Fatalf("unknown scheme %q", *scheme)
+		}
+		st, err := store.New(store.Config{
+			Shards: *shards,
+			Blocks: opts.addrs,
+			ORAM: freecursive.Config{
+				Scheme:      sc,
+				BlockBytes:  *blockB,
+				Lightweight: *lightweight,
+				Seed:        *seed,
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer st.Close()
+		exec, mode = storeExec{st}, "inprocess"
+	case *target != "":
+		checkHealth(*target)
+		c, err := client.New(client.Config{
+			BaseURL:       *target,
+			MaxBatch:      *batch,
+			FlushInterval: *flushInt,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer c.Close()
+		exec, mode = clientExec{c}, "network-batch"
+	default:
+		checkHealth(*url)
+		exec, mode = newHTTPExec(*url), "network-single"
+	}
+
+	rep := runWorkers(exec, opts)
+	rep.Mode = mode
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		if err := enc.Encode(rep); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Printf("mode: %s\nops: %d (%.0f/s), failures: %d\n",
+		rep.Mode, rep.Ops, rep.OpsPerSec, rep.Failures)
+	for _, p := range []struct {
+		name string
+		us   float64
+	}{{"p50", rep.P50Micros}, {"p90", rep.P90Micros}, {"p99", rep.P99Micros}} {
+		fmt.Printf("%s: %v\n", p.name, (time.Duration(p.us * float64(time.Microsecond))).Round(time.Microsecond))
+	}
+}
+
+// checkHealth performs one quick probe before unleashing the workers.
+func checkHealth(base string) {
+	resp, err := http.Get(base + "/healthz")
 	if err != nil {
 		log.Fatalf("target not reachable: %v", err)
 	}
 	resp.Body.Close()
-
-	var (
-		ops      atomic.Uint64
-		failures atomic.Uint64
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		lats     []time.Duration
-	)
-	payload := make([]byte, *blockB)
-	deadline := time.Now().Add(*duration)
-	for w := 0; w < *workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			client := &http.Client{Timeout: 10 * time.Second}
-			// One stream for the coin and the reservoir, a separate one
-			// for addresses: sample retention must not correlate with
-			// which address a request hit.
-			rng := workerRNG(*seed, w)
-			n := uint64(1) << uint(*logBlocks)
-			pick := uniformPicker(workerRNG(*seed+1, w), n)
-			if *dist == "zipf" {
-				pick = zipfPicker(*seed, w, *zipfS, n)
-			}
-			res := newReservoir(rng)
-			for time.Now().Before(deadline) {
-				addr := pick()
-				start := time.Now()
-				var err error
-				if pickWrite(rng, *writeFrac) {
-					err = doPut(client, *url, addr, payload)
-				} else {
-					err = doGet(client, *url, addr)
-				}
-				res.observe(time.Since(start))
-				ops.Add(1)
-				if err != nil {
-					failures.Add(1)
-				}
-			}
-			mu.Lock()
-			lats = append(lats, res.samples...)
-			mu.Unlock()
-		}(w)
-	}
-	wg.Wait()
-
-	n := ops.Load()
-	fmt.Printf("ops: %d (%.0f/s), failures: %d\n",
-		n, float64(n)/duration.Seconds(), failures.Load())
-	if len(lats) > 0 {
-		qs := []float64{0.50, 0.90, 0.99}
-		for i, v := range percentiles(lats, qs) {
-			fmt.Printf("p%02.0f: %v\n", qs[i]*100, v.Round(time.Microsecond))
-		}
-	}
-}
-
-func doGet(c *http.Client, base string, addr uint64) error {
-	resp, err := c.Get(fmt.Sprintf("%s/block/%d", base, addr))
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	io.Copy(io.Discard, resp.Body)
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("GET status %d", resp.StatusCode)
+		log.Fatalf("target unhealthy: /healthz status %d", resp.StatusCode)
 	}
-	return nil
-}
-
-func doPut(c *http.Client, base string, addr uint64, body []byte) error {
-	req, err := http.NewRequest(http.MethodPut,
-		fmt.Sprintf("%s/block/%d", base, addr), bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	resp, err := c.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	io.Copy(io.Discard, resp.Body)
-	if resp.StatusCode != http.StatusNoContent {
-		return fmt.Errorf("PUT status %d", resp.StatusCode)
-	}
-	return nil
 }

@@ -1,0 +1,248 @@
+// Package httpapi is the HTTP serving surface over a sharded oblivious
+// store: the handler behind cmd/oramstore, split into a package so tests,
+// examples, and embedders can mount the exact production routes on any
+// listener.
+//
+// Endpoints:
+//
+//	GET  /block/{addr}  — read one block (application/octet-stream)
+//	PUT  /block/{addr}  — write one block (body zero-padded/truncated)
+//	POST /batch         — mixed get/put batch, per-op outcomes (JSON)
+//	GET  /stats         — aggregate + per-shard counters as JSON
+//	GET  /shards        — per-shard lifecycle + pipeline state as JSON
+//	GET  /metrics       — the same counters in Prometheus text format
+//	GET  /healthz       — liveness probe
+//
+// The status-code contract separates failure domains: 400 means the caller
+// is wrong, 503 (with Retry-After) means the shard serving that address is
+// quarantined after a PMMAC integrity violation or the store is draining —
+// every other shard keeps serving — and 500 is reserved for true internal
+// errors. POST /batch applies the same codes per operation inside a 207
+// Multi-Status envelope, so one poisoned shard fails only its slice of a
+// batch. The wire schema of /batch lives in freecursive/client, which both
+// sides import.
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"freecursive"
+	"freecursive/client"
+	"freecursive/internal/store"
+)
+
+// retryAfterSeconds is the Retry-After hint on 503s (header on the
+// single-block endpoints, retry_after_seconds per op in /batch).
+// Quarantine needs an operator (or a restart against intact storage), so
+// the hint is a polling cadence, not a recovery estimate.
+const retryAfterSeconds = 30
+
+// New builds the HTTP handler over a store. The handler is safe for
+// concurrent use, like the store itself.
+func New(st *store.Store) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		// One snapshot for both views, so aggregate == sum(per_shard)
+		// within a single response even under live traffic.
+		perShard := st.ShardStats()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Shards    int                 `json:"shards"`
+			Blocks    uint64              `json:"blocks"`
+			BlockSize int                 `json:"block_bytes"`
+			Aggregate freecursive.Stats   `json:"aggregate"`
+			PerShard  []freecursive.Stats `json:"per_shard"`
+		}{st.Shards(), st.Blocks(), st.BlockBytes(), store.Aggregate(perShard), perShard})
+	})
+	mux.HandleFunc("GET /shards", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Shards []store.ShardInfo `json:"shards"`
+		}{st.ShardInfos()})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writeMetrics(w, st)
+	})
+	mux.HandleFunc("GET /block/{addr}", func(w http.ResponseWriter, r *http.Request) {
+		addr, ok := parseAddr(w, r)
+		if !ok {
+			return
+		}
+		b, err := st.Get(addr)
+		if err != nil {
+			writeStoreError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(b)
+	})
+	mux.HandleFunc("PUT /block/{addr}", func(w http.ResponseWriter, r *http.Request) {
+		addr, ok := parseAddr(w, r)
+		if !ok {
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, int64(st.BlockBytes())+1))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if len(body) > st.BlockBytes() {
+			http.Error(w, fmt.Sprintf("body exceeds block size %d", st.BlockBytes()),
+				http.StatusRequestEntityTooLarge)
+			return
+		}
+		if _, err := st.Put(addr, body); err != nil {
+			writeStoreError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST /batch", func(w http.ResponseWriter, r *http.Request) {
+		serveBatch(w, r, st)
+	})
+	return mux
+}
+
+// maxBatchBody bounds a /batch request body: room for MaxOps base64
+// payloads of one block each plus JSON framing.
+func maxBatchBody(blockBytes int) int64 {
+	return int64(client.MaxOps)*(int64(blockBytes)*4/3+64) + 1024
+}
+
+// serveBatch is POST /batch: decode the mixed-op batch, validate each
+// operation independently, submit the valid ones to the shard pipelines in
+// one SubmitBatch (so distinct shards overlap and duplicate reads
+// coalesce), and report per-op outcomes. The response is 200 when every
+// operation succeeded and 207 Multi-Status otherwise; only a malformed
+// request — bad JSON, too many ops, oversized body — fails whole with 400.
+func serveBatch(w http.ResponseWriter, r *http.Request, st *store.Store) {
+	var req client.BatchRequest
+	body := http.MaxBytesReader(w, r.Body, maxBatchBody(st.BlockBytes()))
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		http.Error(w, "bad batch request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Ops) > client.MaxOps {
+		http.Error(w, fmt.Sprintf("batch of %d ops exceeds the %d-op cap",
+			len(req.Ops), client.MaxOps), http.StatusBadRequest)
+		return
+	}
+
+	// Validate per op; only well-formed ops reach the store. slot[j] maps
+	// the j-th submitted op back to its result index.
+	results := make([]client.OpResult, len(req.Ops))
+	ops := make([]store.Op, 0, len(req.Ops))
+	slot := make([]int, 0, len(req.Ops))
+	failed := false
+	for i, op := range req.Ops {
+		switch op.Op {
+		case client.OpGet:
+			ops = append(ops, store.Op{Addr: op.Addr})
+			slot = append(slot, i)
+		case client.OpPut:
+			if len(op.Data) > st.BlockBytes() {
+				results[i] = client.OpResult{
+					Status: http.StatusRequestEntityTooLarge,
+					Error:  fmt.Sprintf("payload exceeds block size %d", st.BlockBytes()),
+				}
+				failed = true
+				continue
+			}
+			ops = append(ops, store.Op{Write: true, Addr: op.Addr, Data: op.Data})
+			slot = append(slot, i)
+		default:
+			results[i] = client.OpResult{
+				Status: http.StatusBadRequest,
+				Error:  fmt.Sprintf("unknown op %q (want %q or %q)", op.Op, client.OpGet, client.OpPut),
+			}
+			failed = true
+		}
+	}
+
+	futs := st.SubmitBatch(ops)
+	closed := 0
+	for j, f := range futs {
+		i := slot[j]
+		data, err := f.Wait()
+		switch {
+		case err != nil:
+			if errors.Is(err, store.ErrClosed) {
+				closed++
+			}
+			res := client.OpResult{Status: storeStatus(err), Error: err.Error()}
+			if res.Status == http.StatusServiceUnavailable {
+				res.RetryAfterSeconds = retryAfterSeconds
+			}
+			results[i] = res
+			failed = true
+		case req.Ops[i].Op == client.OpGet:
+			results[i] = client.OpResult{Status: http.StatusOK, Data: data}
+		default:
+			results[i] = client.OpResult{Status: http.StatusNoContent}
+		}
+	}
+
+	// A batch that failed entirely because the store is draining is not a
+	// mixed outcome — the whole service is going away. Answer a plain 503
+	// with Retry-After so transport-level retry logic (the client package's
+	// included) treats it like any other unavailable server, distinct from
+	// the per-op 503s of a quarantined shard inside a 207.
+	if len(futs) > 0 && closed == len(futs) {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		http.Error(w, "store draining", http.StatusServiceUnavailable)
+		return
+	}
+
+	code := http.StatusOK
+	if failed {
+		code = http.StatusMultiStatus
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(client.BatchResponse{Results: results})
+}
+
+// storeStatus separates caller mistakes (bad address: 400) from
+// unavailability (quarantined shard, store shutting down: 503) from true
+// internal errors (500), so monitoring can tell a misbehaving client, a
+// poisoned shard, and a broken server apart. A quarantined shard answers
+// 503 rather than 500 because only its slice of the address space is down
+// — the client's next request for another address will likely succeed.
+func storeStatus(err error) int {
+	switch {
+	case errors.Is(err, store.ErrOutOfRange):
+		return http.StatusBadRequest
+	case errors.Is(err, store.ErrQuarantined), errors.Is(err, store.ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// writeStoreError renders a store error with its mapped status, attaching
+// Retry-After to 503s.
+func writeStoreError(w http.ResponseWriter, err error) {
+	code := storeStatus(err)
+	if code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	}
+	http.Error(w, err.Error(), code)
+}
+
+func parseAddr(w http.ResponseWriter, r *http.Request) (uint64, bool) {
+	addr, err := strconv.ParseUint(r.PathValue("addr"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad address: "+err.Error(), http.StatusBadRequest)
+		return 0, false
+	}
+	return addr, true
+}

@@ -9,8 +9,9 @@
 // single-controller contract a freecursive.ORAM requires (see the package
 // comment on freecursive.ORAM) — and duplicate-address reads arriving close
 // together coalesce into one physical ORAM access. Callers can block
-// (Get/Put/BatchGet/BatchPut) or go asynchronous (SubmitGet/SubmitPut,
-// which return a Future).
+// (Get/Put/BatchGet/BatchPut, and the mixed-op Batch with per-op
+// outcomes) or go asynchronous (SubmitGet/SubmitPut/SubmitBatch, which
+// return Futures).
 //
 // This is the serving arrangement Freecursive ORAM (§2, §4) makes cheap: the
 // controller's trusted state per instance — PLB, stash, on-chip PosMap — is

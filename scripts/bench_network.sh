@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Build-and-smoke for the network serving path, emitting BENCH_network.json.
+#
+# Starts an oramstore server, drives the SAME zipf workload through the two
+# network transports —
+#
+#   single: legacy one-GET/PUT-per-op HTTP        (oramstore load -url)
+#   batch:  the micro-batching client, POST /batch (oramstore load -target)
+#
+# — then scrapes /metrics and fails on any non-2xx response, zero completed
+# ops, or a batch/single throughput ratio below BENCH_MIN_SPEEDUP (default
+# 1.5: the batch pipeline must actually pay off over the wire, per-PR).
+#
+# Usage: scripts/bench_network.sh [oramstore-binary] [out.json]
+# Env:   BENCH_DURATION (default 3s), BENCH_WORKERS (32),
+#        BENCH_MIN_SPEEDUP (1.5), ORAMSTORE_ADDR (127.0.0.1:18080)
+set -euo pipefail
+
+BIN=${1:-}
+OUT=${2:-BENCH_network.json}
+ADDR=${ORAMSTORE_ADDR:-127.0.0.1:18080}
+DURATION=${BENCH_DURATION:-3s}
+WORKERS=${BENCH_WORKERS:-32}
+MIN_SPEEDUP=${BENCH_MIN_SPEEDUP:-1.5}
+
+if [ -z "$BIN" ]; then
+  BIN=$(mktemp -d)/oramstore
+  go build -o "$BIN" ./cmd/oramstore
+fi
+
+"$BIN" -addr "$ADDR" -shards 8 -blocks 16 -lightweight &
+SRV=$!
+trap 'kill "$SRV" 2>/dev/null || true; wait "$SRV" 2>/dev/null || true' EXIT
+
+up=0
+for _ in $(seq 1 50); do
+  if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then up=1; break; fi
+  sleep 0.2
+done
+[ "$up" = 1 ] || { echo "server never became healthy on $ADDR" >&2; exit 1; }
+
+echo "== single-block mode (-url) =="
+single=$("$BIN" load -url "http://$ADDR" -dist zipf -workers "$WORKERS" -duration "$DURATION" -json)
+echo "$single"
+echo "== batched mode (-target, -batch 16) =="
+batch=$("$BIN" load -target "http://$ADDR" -dist zipf -workers "$WORKERS" -batch 16 -duration "$DURATION" -json)
+echo "$batch"
+
+# field NAME JSON -> numeric value of "NAME":<v>
+field() {
+  printf '%s\n' "$2" | sed -n "s/.*\"$1\":\([0-9.eE+-]*\).*/\1/p"
+}
+
+for mode in single batch; do
+  json=$(eval "printf '%s' \"\$$mode\"")
+  ops=$(field ops "$json"); fails=$(field failures "$json")
+  completed=$(awk -v o="$ops" -v f="$fails" 'BEGIN { print o - f }')
+  if [ "${completed%.*}" -le 0 ]; then
+    echo "FAIL: $mode mode completed $completed ops (ops=$ops failures=$fails)" >&2
+    exit 1
+  fi
+  if [ "${fails%.*}" -ne 0 ]; then
+    echo "FAIL: $mode mode had $fails failed ops" >&2
+    exit 1
+  fi
+done
+
+# /metrics must answer 2xx and carry the core series, with traffic counted.
+metrics=$(curl -fsS "http://$ADDR/metrics")
+printf '%s\n' "$metrics" | grep -q '^oramstore_accesses_total [1-9]' ||
+  { echo "FAIL: /metrics missing a non-zero oramstore_accesses_total" >&2; exit 1; }
+printf '%s\n' "$metrics" | grep -q '^oramstore_shard_coalesced_reads_total' ||
+  { echo "FAIL: /metrics missing coalesced-reads series" >&2; exit 1; }
+coalesced=$(printf '%s\n' "$metrics" |
+  awk '/^oramstore_shard_coalesced_reads_total/ { sum += $2 } END { print sum+0 }')
+
+speedup=$(awk -v b="$(field ops_per_sec "$batch")" -v s="$(field ops_per_sec "$single")" \
+  'BEGIN { printf "%.2f", b / s }')
+
+printf '{\n  "workload": "zipf s=1.2, %s workers, %s, 8 shards, lightweight",\n  "single": %s,\n  "batch": %s,\n  "batch_speedup": %s,\n  "server_coalesced_reads": %s\n}\n' \
+  "$WORKERS" "$DURATION" "$single" "$batch" "$speedup" "$coalesced" > "$OUT"
+cat "$OUT"
+
+awk -v sp="$speedup" -v min="$MIN_SPEEDUP" 'BEGIN { exit !(sp >= min) }' ||
+  { echo "FAIL: batch speedup ${speedup}x below required ${MIN_SPEEDUP}x" >&2; exit 1; }
+echo "OK: batch mode is ${speedup}x single-block throughput (${coalesced} reads coalesced)"

@@ -1,7 +1,7 @@
 # Targets mirror the CI jobs in .github/workflows/ci.yml so local runs and
 # CI stay in lockstep.
 
-.PHONY: all build test race bench bench-all bench-network bins lint fmt
+.PHONY: all build test race bench bench-all bench-hotpath bench-network bins lint fmt
 
 all: build lint test
 
@@ -20,6 +20,12 @@ bench:
 # Every benchmark in every package, one iteration each (the CI smoke pass).
 bench-all:
 	go test -run=NONE -bench=. -benchtime=1x ./...
+
+# Steady-state access + sharded-store benchmarks with -benchmem (the CI
+# hotpath step); writes BENCH_hotpath.json and gates on the per-access
+# allocation budget.
+bench-hotpath:
+	./scripts/bench_hotpath.sh
 
 # Over-the-wire single-block vs batched-client comparison (the CI
 # network-smoke job); writes BENCH_network.json.

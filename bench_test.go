@@ -286,6 +286,50 @@ func BenchmarkMemBackendMapLatency(b *testing.B) {
 	})
 }
 
+// --- hot-path allocation trajectory ------------------------------------------
+
+// benchAccessAllocs measures the steady-state encrypted PIC access with
+// allocation reporting: together with the -benchmem CI run this feeds
+// BENCH_hotpath.json, the allocs/op + ns/op trajectory of the hottest loop
+// in the system. The warm-up mirrors hotpath_test.go: buckets materialized,
+// PLB full, free lists populated.
+func benchAccessAllocs(b *testing.B, mutate func(*freecursive.Config)) {
+	cfg := freecursive.Config{Scheme: freecursive.PIC, Blocks: 1 << 12, Seed: 2}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	o, err := freecursive.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer o.Close()
+	buf := make([]byte, o.BlockBytes())
+	for i := uint64(0); i < 2*o.Blocks(); i++ {
+		if _, err := o.Write(i%o.Blocks(), buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewPCG(9, 9))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := rng.Uint64() % o.Blocks()
+		if i%2 == 0 {
+			if _, err := o.Write(addr, buf); err != nil {
+				b.Fatal(err)
+			}
+		} else if _, err := o.Read(addr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAccessAllocsMap(b *testing.B) { benchAccessAllocs(b, nil) }
+
+func BenchmarkAccessAllocsFile(b *testing.B) {
+	benchAccessAllocs(b, func(cfg *freecursive.Config) { cfg.DataDir = b.TempDir() })
+}
+
 // --- sharded-store throughput -----------------------------------------------
 
 // benchStoreParallel measures aggregate Get/Put throughput through
@@ -306,6 +350,7 @@ func benchStoreParallel(b *testing.B, shards int, lightweight bool) {
 		b.Fatal(err)
 	}
 	buf := make([]byte, s.BlockBytes())
+	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		rng := rand.New(rand.NewPCG(rand.Uint64(), 11))
@@ -461,6 +506,7 @@ const benchBatch = 8
 func benchStoreDist(b *testing.B, s blockStore, blocks uint64, blockBytes int, table []uint64) {
 	buf := make([]byte, blockBytes)
 	b.SetParallelism(8)
+	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		rng := rand.New(rand.NewPCG(rand.Uint64(), 23))

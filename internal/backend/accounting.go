@@ -17,11 +17,14 @@ import (
 // Accounting trusts its caller (there is no adversary below it), so it is
 // never used in integrity experiments other than to count MAC bytes.
 type Accounting struct {
-	geom     tree.Geometry
-	ctr      *stats.Counters
-	payloads map[uint64][]byte
-	// present tracks logical existence separately so zero-length payloads
-	// remain distinguishable from absent blocks.
+	geom tree.Geometry
+	ctr  *stats.Counters
+	// payloads maps address -> full BlockBytes payload. Map membership IS
+	// the presence bit: every access that materializes a block stores a
+	// full-size (zero-padded) payload, and OpReadRmv deletes the entry, so
+	// there is no zero-length-vs-absent ambiguity to track separately.
+	// TestAccountingPresence pins these semantics.
+	payloads  map[uint64][]byte
 	pathBytes uint64
 }
 

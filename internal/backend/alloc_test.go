@@ -1,0 +1,51 @@
+package backend
+
+import (
+	"testing"
+
+	"math/rand/v2"
+)
+
+// testAccessAllocs drives a warmed-up PathORAM through its steady-state
+// read/write loop and asserts the per-access allocation budget. The budget
+// is deliberately small and absolute: the whole point of the scratch-buffer
+// design is that path reads, decryption, stash traffic, eviction, resealing,
+// and untrusted-memory writes recycle memory instead of allocating it.
+func testAccessAllocs(t *testing.T, encrypted bool, budget float64) {
+	r := newRef(t, encrypted)
+	// Warm-up: materialize blocks, grow the stash free lists, the mem store
+	// buckets, and every scratch buffer to steady-state size.
+	for i := 0; i < 2000; i++ {
+		r.step(t, r.rng.Uint64()%128, r.rng.IntN(2) == 0)
+	}
+	rng := rand.New(rand.NewPCG(21, 22))
+	i := 0
+	n := testing.AllocsPerRun(400, func() {
+		addr := rng.Uint64() % 128
+		cur, ok := r.leaf[addr]
+		if !ok {
+			cur = rng.Uint64() % r.g.Leaves()
+		}
+		nl := rng.Uint64() % r.g.Leaves()
+		r.leaf[addr] = nl
+		req := Request{Op: OpRead, Addr: addr, Leaf: cur, NewLeaf: nl}
+		if i%2 == 0 {
+			req.Op = OpWrite
+			req.Data = r.data[addr] // any stable payload will do
+		}
+		i++
+		if _, err := r.p.Access(req); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if n > budget {
+		t.Fatalf("steady-state access allocates %.2f/op, budget %.2f", n, budget)
+	}
+}
+
+// TestAccessAllocsPlaintext pins the plaintext backend's budget at zero.
+func TestAccessAllocsPlaintext(t *testing.T) { testAccessAllocs(t, false, 0) }
+
+// TestAccessAllocsEncrypted pins the encrypted backend's budget at zero:
+// sealing and opening run through the caller-provided-buffer cipher paths.
+func TestAccessAllocsEncrypted(t *testing.T) { testAccessAllocs(t, true, 0) }

@@ -67,7 +67,10 @@ type Request struct {
 	Addr    uint64 // logical block address (PosMap blocks use i||a_i tags)
 	Leaf    uint64 // current leaf: the path to read (or, for append, the leaf the block carries)
 	NewLeaf uint64 // leaf to remap to (OpRead/OpWrite)
-	Data    []byte // payload for OpWrite/OpAppend
+	// Data is the payload for OpWrite/OpAppend; shorter payloads are
+	// zero-extended to the block size. It must not alias a previous
+	// Result.Data (copy first): the backend reuses that buffer.
+	Data []byte
 	// Update, if non-nil, transforms the fetched payload before it re-enters
 	// the stash (read-modify-write, used to update leaves inside PosMap
 	// blocks in one access). found reports whether the block existed; a
@@ -80,8 +83,11 @@ type Request struct {
 
 // Result is what an access returns.
 type Result struct {
-	Data  []byte // payload as fetched (before Update/Write replacement)
-	Found bool   // false if the block had never been written (zero block)
+	// Data is the payload as fetched (before Update/Write replacement). It
+	// may be backend-owned scratch, valid only until the next Access on the
+	// same backend: callers that retain the payload must copy it.
+	Data  []byte
+	Found bool // false if the block had never been written (zero block)
 }
 
 // Backend is the interface the frontends (internal/core) drive. It captures

@@ -422,6 +422,77 @@ func TestAccountingSemantics(t *testing.T) {
 	}
 }
 
+// TestAccountingPresence pins the accounting backend's absent-vs-present
+// semantics: map membership in the payload map is the presence bit, Found
+// reports presence BEFORE the access, and every materializing op stores a
+// full-size zero-padded payload (there are no zero-length payloads to
+// distinguish from absence).
+func TestAccountingPresence(t *testing.T) {
+	g := newGeom(t, 6, 4, 8)
+	a, err := NewAccounting(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAccess := func(req Request) Result {
+		t.Helper()
+		res, err := a.Access(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	// A never-touched block is absent.
+	if res := mustAccess(Request{Op: OpRead, Addr: 1}); res.Found {
+		t.Fatal("never-written block reported present")
+	}
+	// ... but a plain read materializes it (the ORAM is logically
+	// zero-initialized, and a read remaps the block like any access).
+	if res := mustAccess(Request{Op: OpRead, Addr: 1}); !res.Found {
+		t.Fatal("block not present after first read")
+	}
+
+	// A write with a short payload materializes a full-size, zero-padded
+	// block and reports the pre-access absence.
+	if res := mustAccess(Request{Op: OpWrite, Addr: 2, Data: []byte{0xAB}}); res.Found {
+		t.Fatal("write of fresh block reported present")
+	}
+	res := mustAccess(Request{Op: OpRead, Addr: 2})
+	if !res.Found || len(res.Data) != g.BlockBytes || res.Data[0] != 0xAB || res.Data[1] != 0 {
+		t.Fatalf("short write not zero-padded to full size: %v", res.Data)
+	}
+
+	// Readrmv removes: the block is absent again afterwards.
+	if res := mustAccess(Request{Op: OpReadRmv, Addr: 2}); !res.Found || res.Data[0] != 0xAB {
+		t.Fatal("readrmv did not return the resident block")
+	}
+	if res := mustAccess(Request{Op: OpRead, Addr: 2}); res.Found {
+		t.Fatal("block still present after readrmv")
+	}
+
+	// Append materializes with Found=true by definition (the caller is
+	// returning a block it owns).
+	if res := mustAccess(Request{Op: OpAppend, Addr: 3, Data: []byte{7}}); !res.Found {
+		t.Fatal("append reported not-found")
+	}
+	if res := mustAccess(Request{Op: OpRead, Addr: 3}); !res.Found || res.Data[0] != 7 {
+		t.Fatal("appended block not present")
+	}
+
+	// A read with Update materializes the block with the updated payload.
+	mustAccess(Request{Op: OpRead, Addr: 4, Update: func(old []byte, found bool) []byte {
+		if found {
+			t.Fatal("fresh block reported found in Update")
+		}
+		out := make([]byte, len(old))
+		out[0] = 9
+		return out
+	}})
+	if res := mustAccess(Request{Op: OpRead, Addr: 4}); !res.Found || res.Data[0] != 9 {
+		t.Fatal("update did not materialize the block")
+	}
+}
+
 // TestProbabilisticReencryption: the same bucket's ciphertext changes on
 // every writeback even when contents are identical.
 func TestProbabilisticReencryption(t *testing.T) {

@@ -16,6 +16,14 @@ import (
 // remote — the controller cannot tell), decrypts/encrypts with a
 // crypt.BucketCipher, and maintains the Path ORAM invariant: every block is
 // on the path of its mapped leaf or in the stash.
+//
+// The access loop is allocation-free in steady state: bucket bodies, sealed
+// buckets, decoded blocks, and the result payload all live in scratch
+// buffers owned by the PathORAM, and block payload buffers recirculate
+// through a free list as blocks move between the tree and the stash. This
+// leans on the mem.Backend ownership contract (Read returns memory we must
+// not retain, Write does not retain what we pass) and on the stash returning
+// evicted payload buffers to the caller.
 type PathORAM struct {
 	geom  tree.Geometry
 	store mem.Backend
@@ -27,6 +35,14 @@ type PathORAM struct {
 	pathIdx []uint64
 	// seeds of buckets read this access, for per-bucket reseal.
 	pathSeeds []uint64
+	bodyBuf   []byte        // decrypted bucket body (path read)
+	encBuf    []byte        // plaintext bucket body (path write)
+	sealedBuf []byte        // sealed bucket (path write)
+	incoming  []stash.Block // blocks decoded from one bucket
+	resultBuf []byte        // Result.Data backing store
+	// freeData recycles block payload buffers (BlockBytes each): decoded
+	// path blocks take one, evicted/removed blocks give theirs back.
+	freeData [][]byte
 }
 
 // Config parameterizes a functional backend.
@@ -55,13 +71,18 @@ func NewPathORAM(cfg Config) (*PathORAM, error) {
 	if ctr == nil {
 		ctr = &stats.Counters{}
 	}
-	return &PathORAM{
+	p := &PathORAM{
 		geom:  cfg.Geometry,
 		store: st,
 		ciph:  cfg.Cipher,
 		stash: stash.New(cap),
 		ctr:   ctr,
-	}, nil
+	}
+	p.bodyBuf = make([]byte, 0, p.bodyBytes())
+	p.encBuf = make([]byte, p.bodyBytes())
+	p.sealedBuf = make([]byte, 0, crypt.SeedBytes+p.bodyBytes())
+	p.resultBuf = make([]byte, p.geom.BlockBytes)
+	return p, nil
 }
 
 // Geometry returns the tree geometry.
@@ -82,6 +103,35 @@ func (p *PathORAM) Cipher() *crypt.BucketCipher { return p.ciph }
 
 // Close releases the untrusted store's resources.
 func (p *PathORAM) Close() error { return p.store.Close() }
+
+// --- block payload buffer recycling ---------------------------------------
+
+// newBlockBuf returns a BlockBytes payload buffer with arbitrary contents,
+// reusing a recycled one when available.
+func (p *PathORAM) newBlockBuf() []byte {
+	if n := len(p.freeData); n > 0 {
+		buf := p.freeData[n-1]
+		p.freeData[n-1] = nil
+		p.freeData = p.freeData[:n-1]
+		return buf
+	}
+	return make([]byte, p.geom.BlockBytes)
+}
+
+// recycleBlockBuf returns a payload buffer to the free list. Foreign-sized
+// buffers (e.g. handed in by a snapshot restore) are dropped.
+func (p *PathORAM) recycleBlockBuf(buf []byte) {
+	if len(buf) == p.geom.BlockBytes {
+		p.freeData = append(p.freeData, buf)
+	}
+}
+
+// fillBlockBuf copies src into dst, zero-padding the tail (shorter writes
+// are zero-extended to the block size, as the Request contract promises).
+func fillBlockBuf(dst, src []byte) {
+	n := copy(dst, src)
+	clear(dst[n:])
+}
 
 // --- bucket serialization ------------------------------------------------
 //
@@ -108,8 +158,11 @@ func SealedBucketBytes(g tree.Geometry) int {
 	return crypt.SeedBytes + g.Z*(slotHeader+g.BlockBytes)
 }
 
+// encodeBucket serializes blocks into the reusable encode scratch and
+// returns it; the result is valid until the next encodeBucket call.
 func (p *PathORAM) encodeBucket(blocks []stash.Block) []byte {
-	body := make([]byte, p.bodyBytes())
+	body := p.encBuf
+	clear(body) // dummy slots must read as all zeros
 	for i, b := range blocks {
 		s := body[i*p.slotBytes():]
 		s[0] = slotValid
@@ -120,7 +173,9 @@ func (p *PathORAM) encodeBucket(blocks []stash.Block) []byte {
 	return body
 }
 
-// decodeBucket appends the real blocks found in body to dst.
+// decodeBucket appends the real blocks found in body to dst. Each decoded
+// block's Data is a free-list buffer owned by the caller (return it with
+// recycleBlockBuf or hand it to the stash).
 func (p *PathORAM) decodeBucket(body []byte, dst []stash.Block) []stash.Block {
 	if len(body) != p.bodyBytes() {
 		return dst // tampered to a wrong size: nothing decodable
@@ -130,7 +185,7 @@ func (p *PathORAM) decodeBucket(body []byte, dst []stash.Block) []stash.Block {
 		if s[0] != slotValid {
 			continue
 		}
-		data := make([]byte, p.geom.BlockBytes)
+		data := p.newBlockBuf()
 		copy(data, s[slotHeader:slotHeader+p.geom.BlockBytes])
 		dst = append(dst, stash.Block{
 			Addr: binary.BigEndian.Uint64(s[1:9]),
@@ -144,7 +199,9 @@ func (p *PathORAM) decodeBucket(body []byte, dst []stash.Block) []stash.Block {
 // --- access ---------------------------------------------------------------
 
 // Access performs one backend operation. See the Op documentation for
-// semantics. The returned Result.Data aliases freshly allocated memory.
+// semantics. The returned Result.Data is reusable scratch owned by the
+// backend: it is only valid until the next Access, and callers that retain
+// the payload must copy it.
 func (p *PathORAM) Access(req Request) (Result, error) {
 	switch req.Op {
 	case OpAppend:
@@ -163,8 +220,8 @@ func (p *PathORAM) append(req Request) (Result, error) {
 	if p.stash.Get(req.Addr) != nil {
 		return Result{}, fmt.Errorf("backend: append would duplicate block %#x", req.Addr)
 	}
-	data := make([]byte, p.geom.BlockBytes)
-	copy(data, req.Data)
+	data := p.newBlockBuf()
+	fillBlockBuf(data, req.Data)
 	p.stash.Put(stash.Block{Addr: req.Addr, Leaf: req.Leaf, Data: data})
 	p.ctr.Appends++
 	p.stash.Note()
@@ -188,7 +245,6 @@ func (p *PathORAM) access(req Request) (Result, error) {
 	}
 	p.pathSeeds = p.pathSeeds[:len(p.pathIdx)]
 
-	var incoming []stash.Block
 	for i, idx := range p.pathIdx {
 		sealed, err := p.store.Read(idx)
 		if err != nil {
@@ -202,7 +258,7 @@ func (p *PathORAM) access(req Request) (Result, error) {
 		if p.ciph != nil {
 			var seed uint64
 			var err error
-			body, seed, err = p.ciph.Open(idx, sealed)
+			body, seed, err = p.ciph.OpenTo(p.bodyBuf[:0], idx, sealed)
 			if err != nil {
 				// Structurally undecryptable (torn or truncated by the
 				// adversary): the bucket contributes nothing, like any
@@ -210,51 +266,64 @@ func (p *PathORAM) access(req Request) (Result, error) {
 				// missing blocks; errors are reserved for real I/O faults.
 				continue
 			}
+			p.bodyBuf = body // keep any grown capacity for the next bucket
 			p.pathSeeds[i] = seed
 		}
-		incoming = p.decodeBucket(body, nil)
-		for _, b := range incoming {
+		p.incoming = p.decodeBucket(body, p.incoming[:0])
+		for _, b := range p.incoming {
 			// A tampered bucket can decode garbage; never let it displace a
 			// block already in the trusted stash, and drop blocks whose leaf
 			// is not even a valid label.
 			if !p.geom.ValidLeaf(b.Leaf) || p.stash.Get(b.Addr) != nil {
+				p.recycleBlockBuf(b.Data)
 				continue
 			}
 			p.stash.Put(b)
 		}
 	}
 
-	// Steps 3-4: find the block of interest.
+	// Steps 3-4: find the block of interest. The result payload is copied
+	// out first, so the stash block can then be mutated (or removed) in
+	// place without a second buffer.
 	res := Result{}
 	blk := p.stash.Get(req.Addr)
-	if blk == nil {
-		// First-ever access: the ORAM is logically zero-initialized.
-		blk = &stash.Block{Addr: req.Addr, Data: make([]byte, p.geom.BlockBytes)}
-		res.Found = false
+	res.Found = blk != nil
+	res.Data = p.resultBuf
+	if blk != nil {
+		copy(res.Data, blk.Data)
 	} else {
-		res.Found = true
+		clear(res.Data)
 	}
-	res.Data = make([]byte, p.geom.BlockBytes)
-	copy(res.Data, blk.Data)
 
 	switch req.Op {
 	case OpReadRmv:
-		p.stash.Remove(req.Addr)
+		if blk != nil {
+			data := blk.Data
+			p.stash.Remove(req.Addr)
+			p.recycleBlockBuf(data)
+		}
 	case OpRead:
+		if blk == nil {
+			// First-ever access: the ORAM is logically zero-initialized.
+			buf := p.newBlockBuf()
+			clear(buf)
+			p.stash.Put(stash.Block{Addr: req.Addr, Leaf: req.NewLeaf, Data: buf})
+			blk = p.stash.Get(req.Addr)
+		}
 		if req.Update != nil {
 			upd := req.Update(blk.Data, res.Found)
-			data := make([]byte, p.geom.BlockBytes)
-			copy(data, upd)
-			blk.Data = data
+			fillBlockBuf(blk.Data, upd)
 		}
 		blk.Leaf = req.NewLeaf
-		p.stash.Put(*blk)
 	case OpWrite:
-		data := make([]byte, p.geom.BlockBytes)
-		copy(data, req.Data)
-		blk.Data = data
-		blk.Leaf = req.NewLeaf
-		p.stash.Put(*blk)
+		if blk == nil {
+			buf := p.newBlockBuf()
+			fillBlockBuf(buf, req.Data)
+			p.stash.Put(stash.Block{Addr: req.Addr, Leaf: req.NewLeaf, Data: buf})
+		} else {
+			fillBlockBuf(blk.Data, req.Data)
+			blk.Leaf = req.NewLeaf
+		}
 	}
 
 	// Step 5: evict as much as possible back to the same path.
@@ -283,10 +352,16 @@ func (p *PathORAM) writePath(leaf uint64) error {
 		idx := p.pathIdx[lev]
 		body := p.encodeBucket(blocks)
 		if p.ciph != nil {
-			body = p.ciph.Seal(idx, p.pathSeeds[lev], body)
+			p.sealedBuf = p.ciph.SealTo(p.sealedBuf[:0], idx, p.pathSeeds[lev], body)
+			body = p.sealedBuf
 		}
 		if err := p.store.Write(idx, body); err != nil {
 			return fmt.Errorf("backend: bucket %d: %w", idx, err)
+		}
+		// The evicted blocks are serialized; their payload buffers go back
+		// into circulation for the next path read.
+		for _, b := range blocks {
+			p.recycleBlockBuf(b.Data)
 		}
 	}
 	return nil

@@ -30,7 +30,9 @@ import (
 type Frontend interface {
 	// Access reads or writes one data block. For writes, data is the new
 	// block content (shorter slices are zero-padded). The returned slice is
-	// the block's previous content (the read value).
+	// the block's previous content (the read value), freshly allocated and
+	// owned by the caller — unlike backend.Result.Data it is never reused
+	// scratch, because serving layers retain it past the next access.
 	Access(addr uint64, write bool, data []byte) ([]byte, error)
 	// Counters exposes the shared statistics.
 	Counters() *stats.Counters

@@ -34,6 +34,16 @@ type PLBFrontend struct {
 	violated  bool
 	violation error
 
+	// Hot-path scratch. sealBuf backs seal's output (always consumed — i.e.
+	// copied — by the backend before the next seal call); writeBuf holds
+	// the zero-padded payload of a data write for the duration of one
+	// access; freeBlocks recycles dataBytes-sized PLB block buffers, fed by
+	// evicted PLB victims after their append and drained by PosMap-block
+	// fetches, so steady-state PMMAC verification allocates nothing.
+	sealBuf    []byte
+	writeBuf   []byte
+	freeBlocks [][]byte
+
 	// OnBackendAccess, if set, observes every unified-tree access (op and
 	// leaf) — the adversary's view used by the security tests.
 	OnBackendAccess func(op backend.Op, leaf uint64)
@@ -166,7 +176,28 @@ func NewPLB(cfg PLBConfig) (*PLBFrontend, error) {
 		macBytes:  macBytes,
 		ctr:       ctr,
 		rng:       cfg.Rand,
+		sealBuf:   make([]byte, 0, macBytes+cfg.DataBytes),
+		writeBuf:  make([]byte, cfg.DataBytes),
 	}, nil
+}
+
+// newBlockBuf returns a dataBytes buffer with arbitrary contents, reusing a
+// recycled PLB block buffer when one is available.
+func (fe *PLBFrontend) newBlockBuf() []byte {
+	if n := len(fe.freeBlocks); n > 0 {
+		buf := fe.freeBlocks[n-1]
+		fe.freeBlocks[n-1] = nil
+		fe.freeBlocks = fe.freeBlocks[:n-1]
+		return buf
+	}
+	return make([]byte, fe.dataBytes)
+}
+
+// recycleBlockBuf returns a retired PLB block buffer to the free list.
+func (fe *PLBFrontend) recycleBlockBuf(buf []byte) {
+	if len(buf) == fe.dataBytes {
+		fe.freeBlocks = append(fe.freeBlocks, buf)
+	}
 }
 
 // H returns the recursion depth.
@@ -221,20 +252,27 @@ func (fe *PLBFrontend) fail(format string, args ...any) error {
 }
 
 // checkFetched authenticates a payload fetched for the tagged block address
-// at the given access counter and returns the data portion. found=false is
-// legal only for a counter of zero (never-accessed block, §6.2.2): PosMap
-// counters tell us whether a block must exist.
-func (fe *PLBFrontend) checkFetched(tag, counter uint64, payload []byte, found bool) ([]byte, error) {
+// at the given access counter and returns the data portion, copied into dst
+// (which must hold dataBytes; pass nil to allocate — callers that hand the
+// result to an owner with unbounded lifetime, like the public Access return
+// value, do that). found=false is legal only for a counter of zero
+// (never-accessed block, §6.2.2): PosMap counters tell us whether a block
+// must exist.
+func (fe *PLBFrontend) checkFetched(dst []byte, tag, counter uint64, payload []byte, found bool) ([]byte, error) {
+	if dst == nil {
+		dst = make([]byte, fe.dataBytes)
+	}
+	dst = dst[:fe.dataBytes]
 	if fe.mac == nil {
-		data := make([]byte, fe.dataBytes)
-		copy(data, payload)
-		return data, nil
+		fillPadded(dst, payload)
+		return dst, nil
 	}
 	if !found {
 		if counter != 0 {
 			return nil, fe.fail("core: block %#x absent but counter=%d", tag, counter)
 		}
-		return make([]byte, fe.dataBytes), nil
+		clear(dst)
+		return dst, nil
 	}
 	tagBytes, data := payload[:fe.macBytes], payload[fe.macBytes:]
 	fe.ctr.MACChecks++
@@ -242,21 +280,29 @@ func (fe *PLBFrontend) checkFetched(tag, counter uint64, payload []byte, found b
 	if !fe.mac.Verify(tagBytes, counter, tag, data) {
 		return nil, fe.fail("core: bad MAC for block %#x at counter %d", tag, counter)
 	}
-	out := make([]byte, fe.dataBytes)
-	copy(out, data)
-	return out, nil
+	fillPadded(dst, data)
+	return dst, nil
 }
 
 // seal packs a block payload for storage: MAC(counter || tag || data) || data
-// under PMMAC, plain data otherwise.
+// under PMMAC, plain data otherwise. The PMMAC result lives in the
+// frontend's reusable seal scratch: it is valid until the next seal call,
+// which every caller satisfies by handing it straight to a backend access
+// (the backend copies before returning).
 func (fe *PLBFrontend) seal(tag, counter uint64, data []byte) []byte {
 	if fe.mac == nil {
 		return data
 	}
 	fe.ctr.HashedBytes += uint64(fe.dataBytes) + 16
-	out := make([]byte, fe.macBytes+fe.dataBytes)
-	copy(out, fe.mac.Sum(counter, tag, data))
-	copy(out[fe.macBytes:], data)
+	out := fe.mac.AppendTag(fe.sealBuf[:0], counter, tag, data)
+	out = append(out, data...)
+	// Preserve the historical layout: the payload region is dataBytes wide,
+	// zero-padded past len(data) (PLB blocks can be narrower than a data
+	// block), and the MAC covers the unpadded data exactly as written.
+	for len(out) < fe.macBytes+fe.dataBytes {
+		out = append(out, 0)
+	}
+	fe.sealBuf = out
 	return out
 }
 
@@ -355,7 +401,9 @@ func (fe *PLBFrontend) Access(a0 uint64, write bool, data []byte) ([]byte, error
 		if err != nil {
 			return nil, err
 		}
-		block, err := fe.checkFetched(t, m.curCounter, res.Data, res.Found)
+		// The fetched PosMap block moves into the PLB, which owns its buffer
+		// until eviction; recycled victim buffers keep this allocation-free.
+		block, err := fe.checkFetched(fe.newBlockBuf(), t, m.curCounter, res.Data, res.Found)
 		if err != nil {
 			return nil, err
 		}
@@ -391,11 +439,10 @@ func (fe *PLBFrontend) Access(a0 uint64, write bool, data []byte) ([]byte, error
 
 func (fe *PLBFrontend) accessData(a0 uint64, write bool, data []byte, m mapping) ([]byte, error) {
 	if write {
-		buf := make([]byte, fe.dataBytes)
-		copy(buf, data)
+		fillPadded(fe.writeBuf, data)
 		res, err := fe.access(backend.Request{
 			Op: backend.OpWrite, Addr: a0, Leaf: m.curLeaf, NewLeaf: m.newLeaf,
-			Data: fe.seal(a0, m.newCounter, buf),
+			Data: fe.seal(a0, m.newCounter, fe.writeBuf),
 		})
 		if err != nil {
 			return nil, err
@@ -404,27 +451,29 @@ func (fe *PLBFrontend) accessData(a0 uint64, write bool, data []byte, m mapping)
 			return nil, fe.fail("core: block %#x absent but counter=%d", a0, m.curCounter)
 		}
 		// The overwritten value is returned unverified: it is discarded by
-		// the processor, and the write installed a fresh MAC.
-		if !res.Found {
-			return make([]byte, fe.dataBytes), nil
-		}
-		old := res.Data
-		if fe.mac != nil {
-			old = old[fe.macBytes:]
-		}
+		// the processor, and the write installed a fresh MAC. The copy is
+		// deliberate — the Frontend contract returns an owned slice.
 		out := make([]byte, fe.dataBytes)
-		copy(out, old)
+		if res.Found {
+			old := res.Data
+			if fe.mac != nil {
+				old = old[fe.macBytes:]
+			}
+			copy(out, old)
+		}
 		return out, nil
 	}
 
 	// Read: verify the fetched block and re-seal it under the new counter
-	// inside the same backend access (read-modify-write).
+	// inside the same backend access (read-modify-write). The verified
+	// payload is copied into a fresh slice: it is the frontend's return
+	// value, owned by the caller (the Frontend contract).
 	var out []byte
 	var vErr error
 	res, err := fe.access(backend.Request{
 		Op: backend.OpRead, Addr: a0, Leaf: m.curLeaf, NewLeaf: m.newLeaf, PosMap: false,
 		Update: func(old []byte, found bool) []byte {
-			block, err := fe.checkFetched(a0, m.curCounter, old, found)
+			block, err := fe.checkFetched(nil, a0, m.curCounter, old, found)
 			if err != nil {
 				vErr = err
 				return old
@@ -443,8 +492,15 @@ func (fe *PLBFrontend) accessData(a0 uint64, write bool, data []byte, m mapping)
 	return out, nil
 }
 
+// fillPadded copies src into dst, zero-filling the tail.
+func fillPadded(dst, src []byte) {
+	n := copy(dst, src)
+	clear(dst[n:])
+}
+
 // appendVictim returns an evicted PLB block to the ORAM stash (§4.2.4 step
-// 2: "append that block to the stash").
+// 2: "append that block to the stash") and recycles the victim's buffer for
+// the next PLB refill.
 func (fe *PLBFrontend) appendVictim(v plb.Entry) error {
 	_, err := fe.access(backend.Request{
 		Op: backend.OpAppend, Addr: v.Tag, Leaf: v.Leaf,
@@ -452,6 +508,7 @@ func (fe *PLBFrontend) appendVictim(v plb.Entry) error {
 	})
 	if err == nil {
 		fe.ctr.PLBEvicts++
+		fe.recycleBlockBuf(v.Block)
 	}
 	return err
 }
@@ -519,7 +576,9 @@ func (fe *PLBFrontend) groupRemap(parent *plb.Entry, childLevel int) error {
 			Op: backend.OpRead, Addr: t, Leaf: old.leaf, NewLeaf: newLeaf,
 			PosMap: childLevel >= 1,
 			Update: func(payload []byte, found bool) []byte {
-				block, err := fe.checkFetched(t, old.counter, payload, found)
+				// Group remaps are rare (counter rollover), so this path
+				// does not bother with buffer recycling.
+				block, err := fe.checkFetched(nil, t, old.counter, payload, found)
 				if err != nil {
 					vErr = err
 					return payload

@@ -170,7 +170,11 @@ func (r *RecursiveFrontend) Access(a0 uint64, write bool, data []byte) ([]byte, 
 	if err != nil {
 		return nil, fmt.Errorf("core: ORam_0: %w", err)
 	}
-	return res.Data, nil
+	// Result.Data is backend scratch; the Frontend contract hands the
+	// caller an owned slice.
+	out := make([]byte, len(res.Data))
+	copy(out, res.Data)
+	return out, nil
 }
 
 var _ Frontend = (*RecursiveFrontend)(nil)

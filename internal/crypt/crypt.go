@@ -13,6 +13,7 @@ import (
 	"crypto/aes"
 	"crypto/cipher"
 	"crypto/sha3"
+	"crypto/subtle"
 	"encoding/binary"
 	"fmt"
 )
@@ -20,8 +21,14 @@ import (
 // PRF is a pseudorandom function keyed with AES-128. Inputs are a pair of
 // 64-bit words (typically block address and access counter); the output is a
 // 64-bit word. PRF is deterministic for a fixed key.
+//
+// Eval runs on every PosMap lookup, so the AES input/output scratch lives on
+// the struct (stack arrays would escape through the cipher.Block interface
+// and allocate per call). Like the controller that owns it, a PRF is NOT
+// safe for concurrent use.
 type PRF struct {
-	block cipher.Block
+	block   cipher.Block
+	in, out [16]byte
 }
 
 // NewPRF builds a PRF from a 16-byte key.
@@ -38,11 +45,10 @@ func NewPRF(key []byte) (*PRF, error) {
 
 // Eval computes PRF_K(a || c) and returns the low 64 bits of the AES output.
 func (p *PRF) Eval(a, c uint64) uint64 {
-	var in, out [16]byte
-	binary.BigEndian.PutUint64(in[0:8], a)
-	binary.BigEndian.PutUint64(in[8:16], c)
-	p.block.Encrypt(out[:], in[:])
-	return binary.BigEndian.Uint64(out[0:8])
+	binary.BigEndian.PutUint64(p.in[0:8], a)
+	binary.BigEndian.PutUint64(p.in[8:16], c)
+	p.block.Encrypt(p.out[:], p.in[:])
+	return binary.BigEndian.Uint64(p.out[0:8])
 }
 
 // Leaf computes PRF_K(a || c) mod 2^levels, i.e. a leaf label for an ORAM
@@ -60,9 +66,15 @@ func (p *PRF) Leaf(a, c uint64, levels int) uint64 {
 // MAC computes keyed SHA3-224 tags over (counter || address || data) tuples,
 // truncated to TagBytes, following the PMMAC construction h = MAC_K(c‖a‖d).
 // SHA3 is safe to key by prefixing, unlike SHA-2 which would need HMAC.
+//
+// A MAC reuses one SHA3 state and one output buffer across calls, so the
+// steady-state tag-per-access path of PMMAC does not allocate. Like the ORAM
+// controller that owns it, a MAC is NOT safe for concurrent use.
 type MAC struct {
 	key      []byte
 	tagBytes int
+	h        *sha3.SHA3 // reusable keyed-hash state
+	sum      []byte     // reusable Sum output buffer (28 bytes)
 }
 
 // DefaultTagBytes is the tag size used throughout the evaluation: 128 bits,
@@ -80,37 +92,55 @@ func NewMAC(key []byte, tagBytes int) (*MAC, error) {
 	}
 	k := make([]byte, len(key))
 	copy(k, key)
-	return &MAC{key: k, tagBytes: tagBytes}, nil
+	return &MAC{
+		key:      k,
+		tagBytes: tagBytes,
+		h:        sha3.New224(),
+		sum:      make([]byte, 0, 28),
+	}, nil
 }
 
 // TagBytes returns the truncated tag size in bytes.
 func (m *MAC) TagBytes() int { return m.tagBytes }
 
-// Sum computes MAC_K(c || a || d).
-func (m *MAC) Sum(c, a uint64, d []byte) []byte {
-	h := sha3.New224()
-	h.Write(m.key)
+// sumInto computes MAC_K(c || a || d) into the MAC's reusable buffer and
+// returns the truncated tag. The result is only valid until the next call on
+// this MAC.
+func (m *MAC) sumInto(c, a uint64, d []byte) []byte {
+	m.h.Reset()
+	m.h.Write(m.key)
 	var hdr [16]byte
 	binary.BigEndian.PutUint64(hdr[0:8], c)
 	binary.BigEndian.PutUint64(hdr[8:16], a)
-	h.Write(hdr[:])
-	h.Write(d)
-	return h.Sum(nil)[:m.tagBytes]
+	m.h.Write(hdr[:])
+	m.h.Write(d)
+	m.sum = m.h.Sum(m.sum[:0])
+	return m.sum[:m.tagBytes]
 }
 
-// Verify reports whether tag is a valid MAC for (c, a, d). It compares the
-// full truncated tag; the simulation does not need constant time.
+// Sum computes MAC_K(c || a || d) into a freshly allocated tag. Hot paths
+// should prefer AppendTag, which reuses caller memory.
+func (m *MAC) Sum(c, a uint64, d []byte) []byte {
+	tag := make([]byte, m.tagBytes)
+	copy(tag, m.sumInto(c, a, d))
+	return tag
+}
+
+// AppendTag appends the truncated MAC_K(c || a || d) tag to dst and returns
+// the extended slice, allocating only when dst lacks capacity.
+func (m *MAC) AppendTag(dst []byte, c, a uint64, d []byte) []byte {
+	return append(dst, m.sumInto(c, a, d)...)
+}
+
+// Verify reports whether tag is a valid MAC for (c, a, d). The comparison is
+// constant-time in the tag bytes: PMMAC is a production integrity check and
+// must not leak how long a forged tag's matching prefix is.
 func (m *MAC) Verify(tag []byte, c, a uint64, d []byte) bool {
-	want := m.Sum(c, a, d)
+	want := m.sumInto(c, a, d)
 	if len(tag) != len(want) {
 		return false
 	}
-	for i := range want {
-		if tag[i] != want[i] {
-			return false
-		}
-	}
-	return true
+	return subtle.ConstantTimeCompare(tag, want) == 1
 }
 
 // SeedScheme selects how encryption seeds (AES-CTR counters) are managed.
@@ -145,6 +175,11 @@ type BucketCipher struct {
 	block      cipher.Block
 	scheme     SeedScheme
 	globalSeed uint64 // next seed for SeedGlobal
+	// iv and ks are the CTR counter block and keystream scratch. They live
+	// on the struct (not the stack) so passing them through the
+	// cipher.Block interface does not force a heap escape per bucket.
+	iv [16]byte
+	ks [16]byte
 }
 
 // SeedBytes is the plaintext seed prefix length of every sealed bucket.
@@ -176,18 +211,40 @@ func (bc *BucketCipher) SetGlobalSeed(v uint64) { bc.globalSeed = v }
 
 func (bc *BucketCipher) pad(bucketID, seed uint64, body []byte, out []byte) {
 	// IV layout: bucketID (48 bits) || seed (48 bits) || chunk counter (32
-	// bits, advanced by CTR mode across the body). For the global-seed
-	// scheme the bucket ID is deliberately excluded: freshness comes from
-	// the monotonic controller counter alone (§6.4). Seeds and bucket IDs
-	// beyond 2^48 are unreachable in simulation.
+	// bits, advanced across the body exactly as cipher.NewCTR would). For
+	// the global-seed scheme the bucket ID is deliberately excluded:
+	// freshness comes from the monotonic controller counter alone (§6.4).
+	// Seeds and bucket IDs beyond 2^48 are unreachable in simulation.
+	//
+	// The keystream loop is hand-rolled instead of using cipher.NewCTR so
+	// the per-bucket seal/open on the ORAM hot path does not allocate a
+	// stream object per bucket; TestPadMatchesStdlibCTR pins the output to
+	// the stdlib's, byte for byte, so on-disk buckets stay compatible.
 	if bc.scheme == SeedGlobal {
 		bucketID = 0
 	}
-	var iv [16]byte
+	iv, ks := &bc.iv, &bc.ks
 	putUint48(iv[0:6], bucketID)
 	putUint48(iv[6:12], seed)
-	ctr := cipher.NewCTR(bc.block, iv[:])
-	ctr.XORKeyStream(out, body)
+	for i := 12; i < 16; i++ {
+		iv[i] = 0
+	}
+	for off := 0; off < len(body); off += aes.BlockSize {
+		bc.block.Encrypt(ks[:], iv[:])
+		n := len(body) - off
+		if n > aes.BlockSize {
+			n = aes.BlockSize
+		}
+		subtle.XORBytes(out[off:off+n], body[off:off+n], ks[:n])
+		// Increment the whole IV as a 128-bit big-endian counter, matching
+		// CTR-mode semantics.
+		for k := len(iv) - 1; k >= 0; k-- {
+			iv[k]++
+			if iv[k] != 0 {
+				break
+			}
+		}
+	}
 }
 
 func putUint48(dst []byte, v uint64) {
@@ -200,8 +257,16 @@ func putUint48(dst []byte, v uint64) {
 // Seal encrypts body for the bucket with the given ID. For SeedPerBucket the
 // new seed is prevSeed+1 where prevSeed is the seed the bucket was last
 // sealed with (0 for never); for SeedGlobal the controller register is used
-// and incremented. The result is seed || ciphertext.
+// and incremented. The result is seed || ciphertext in a fresh allocation;
+// hot paths should prefer SealTo.
 func (bc *BucketCipher) Seal(bucketID, prevSeed uint64, body []byte) []byte {
+	return bc.SealTo(nil, bucketID, prevSeed, body)
+}
+
+// SealTo is Seal writing into dst's capacity (dst is overwritten from length
+// zero; pass buf[:0] to reuse buf). It returns the sealed bucket, allocating
+// only when dst cannot hold seed || ciphertext. dst must not alias body.
+func (bc *BucketCipher) SealTo(dst []byte, bucketID, prevSeed uint64, body []byte) []byte {
 	var seed uint64
 	switch bc.scheme {
 	case SeedPerBucket:
@@ -210,21 +275,37 @@ func (bc *BucketCipher) Seal(bucketID, prevSeed uint64, body []byte) []byte {
 		seed = bc.globalSeed
 		bc.globalSeed++
 	}
-	out := make([]byte, SeedBytes+len(body))
+	n := SeedBytes + len(body)
+	if cap(dst) < n {
+		dst = make([]byte, n)
+	}
+	out := dst[:n]
 	binary.BigEndian.PutUint64(out[0:SeedBytes], seed)
 	bc.pad(bucketID, seed, body, out[SeedBytes:])
 	return out
 }
 
 // Open decrypts a sealed bucket, returning the body and the seed it was
-// sealed under. Open trusts nothing: the seed is read from the (possibly
-// tampered) ciphertext, exactly as a real controller must.
+// sealed under in a fresh allocation; hot paths should prefer OpenTo. Open
+// trusts nothing: the seed is read from the (possibly tampered) ciphertext,
+// exactly as a real controller must.
 func (bc *BucketCipher) Open(bucketID uint64, sealed []byte) (body []byte, seed uint64, err error) {
+	return bc.OpenTo(nil, bucketID, sealed)
+}
+
+// OpenTo is Open writing the decrypted body into dst's capacity (dst is
+// overwritten from length zero; pass buf[:0] to reuse buf). It allocates
+// only when dst cannot hold the body. dst must not alias sealed.
+func (bc *BucketCipher) OpenTo(dst []byte, bucketID uint64, sealed []byte) (body []byte, seed uint64, err error) {
 	if len(sealed) < SeedBytes {
 		return nil, 0, fmt.Errorf("crypt: sealed bucket too short (%d bytes)", len(sealed))
 	}
 	seed = binary.BigEndian.Uint64(sealed[0:SeedBytes])
-	body = make([]byte, len(sealed)-SeedBytes)
+	n := len(sealed) - SeedBytes
+	if cap(dst) < n {
+		dst = make([]byte, n)
+	}
+	body = dst[:n]
 	bc.pad(bucketID, seed, sealed[SeedBytes:], body)
 	return body, seed, nil
 }

@@ -2,6 +2,8 @@ package crypt
 
 import (
 	"bytes"
+	"crypto/aes"
+	"crypto/cipher"
 	"testing"
 	"testing/quick"
 )
@@ -219,6 +221,129 @@ func TestGlobalSeedMonotonic(t *testing.T) {
 			t.Fatalf("global seed not monotonic: %d after %d", seed, prev)
 		}
 		prev = seed
+	}
+}
+
+// TestPadMatchesStdlibCTR pins the hand-rolled keystream loop to
+// cipher.NewCTR's output byte for byte, for every scheme and for bodies that
+// are shorter than, equal to, and longer than whole AES blocks. Sealed
+// buckets written by earlier builds (durable page files) must keep
+// decrypting, so this equivalence is part of the on-disk format.
+func TestPadMatchesStdlibCTR(t *testing.T) {
+	key := testKey(7)
+	blk, err := aes.NewCipher(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range []SeedScheme{SeedPerBucket, SeedGlobal} {
+		bc, _ := NewBucketCipher(key, scheme)
+		for _, n := range []int{0, 1, 15, 16, 17, 31, 32, 388, 1000} {
+			body := make([]byte, n)
+			for i := range body {
+				body[i] = byte(i*31 + n)
+			}
+			const bucketID, seed = 0x1234, 0x9999
+			got := make([]byte, n)
+			bc.pad(bucketID, seed, body, got)
+
+			ivID := uint64(bucketID)
+			if scheme == SeedGlobal {
+				ivID = 0
+			}
+			var iv [16]byte
+			putUint48(iv[0:6], ivID)
+			putUint48(iv[6:12], seed)
+			want := make([]byte, n)
+			cipher.NewCTR(blk, iv[:]).XORKeyStream(want, body)
+
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%v n=%d: pad diverges from stdlib CTR", scheme, n)
+			}
+		}
+	}
+}
+
+// TestSealToOpenToReuse: the dst-based variants must reuse caller capacity,
+// round-trip, and agree with the allocating forms.
+func TestSealToOpenToReuse(t *testing.T) {
+	bc, _ := NewBucketCipher(testKey(7), SeedGlobal)
+	body := []byte("bucket contents with some slack....")
+	sealedBuf := make([]byte, 0, SeedBytes+len(body))
+	bodyBuf := make([]byte, 0, len(body))
+
+	for i := 0; i < 10; i++ {
+		sealed := bc.SealTo(sealedBuf[:0], 3, 0, body)
+		if cap(sealed) != cap(sealedBuf) || &sealed[0] != &sealedBuf[:1][0] {
+			t.Fatal("SealTo did not reuse the provided buffer")
+		}
+		got, _, err := bc.OpenTo(bodyBuf[:0], 3, sealed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if &got[0] != &bodyBuf[:1][0] {
+			t.Fatal("OpenTo did not reuse the provided buffer")
+		}
+		if !bytes.Equal(got, body) {
+			t.Fatalf("round-trip mismatch on iteration %d", i)
+		}
+	}
+	// Undersized dst still works by allocating.
+	sealed := bc.SealTo(make([]byte, 0, 1), 3, 0, body)
+	got, _, err := bc.OpenTo(make([]byte, 0, 1), 3, sealed)
+	if err != nil || !bytes.Equal(got, body) {
+		t.Fatalf("undersized-dst round trip failed: %v", err)
+	}
+}
+
+// TestAppendTagMatchesSum: AppendTag and Sum must agree, and AppendTag must
+// extend dst in place when capacity allows.
+func TestAppendTagMatchesSum(t *testing.T) {
+	m, _ := NewMAC(testKey(5), 16)
+	d := []byte("some block data")
+	want := m.Sum(9, 42, d)
+	buf := make([]byte, 0, 64)
+	got := m.AppendTag(buf, 9, 42, d)
+	if !bytes.Equal(got, want) {
+		t.Fatal("AppendTag diverges from Sum")
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("AppendTag did not append in place")
+	}
+	// Appending after a prefix keeps the prefix.
+	got2 := m.AppendTag(append(buf[:0], 0xAB), 9, 42, d)
+	if got2[0] != 0xAB || !bytes.Equal(got2[1:], want) {
+		t.Fatal("AppendTag clobbered the prefix")
+	}
+}
+
+// TestHotPathAllocs pins the steady-state allocation behavior of the crypto
+// primitives the per-access loop leans on: zero for MAC tag+verify and for
+// SealTo/OpenTo with adequate buffers.
+func TestHotPathAllocs(t *testing.T) {
+	m, _ := NewMAC(testKey(5), 16)
+	d := make([]byte, 80)
+	tagBuf := make([]byte, 0, 32)
+	var tag []byte
+	if n := testing.AllocsPerRun(500, func() {
+		tag = m.AppendTag(tagBuf[:0], 9, 42, d)
+		if !m.Verify(tag, 9, 42, d) {
+			t.Fatal("verify failed")
+		}
+	}); n != 0 {
+		t.Fatalf("MAC AppendTag+Verify allocates %.1f/op, want 0", n)
+	}
+
+	bc, _ := NewBucketCipher(testKey(7), SeedGlobal)
+	body := make([]byte, 388)
+	sealedBuf := make([]byte, 0, SeedBytes+len(body))
+	bodyBuf := make([]byte, 0, len(body))
+	if n := testing.AllocsPerRun(500, func() {
+		sealed := bc.SealTo(sealedBuf[:0], 3, 0, body)
+		if _, _, err := bc.OpenTo(bodyBuf[:0], 3, sealed); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("SealTo+OpenTo allocates %.1f/op, want 0", n)
 	}
 }
 

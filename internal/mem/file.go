@@ -48,6 +48,13 @@ type FileStore struct {
 	reads     uint64
 	writes    uint64
 	closed    bool
+	// readBuf and writeBuf are reusable slot-sized I/O buffers: Read
+	// returns a slice of readBuf (the Backend contract allows scratch),
+	// and store assembles the length-prefixed slot in writeBuf. They are
+	// distinct so a tamper hook that nests a Read inside a Write cannot
+	// corrupt the in-flight slot image.
+	readBuf  []byte
+	writeBuf []byte
 }
 
 // FileConfig parameterizes OpenFile.
@@ -87,6 +94,8 @@ func OpenFile(cfg FileConfig) (*FileStore, error) {
 		geom:      cfg.Geometry,
 		slotBytes: cfg.SlotBytes,
 		buckets:   cfg.Geometry.Buckets(),
+		readBuf:   make([]byte, slotLenBytes+cfg.SlotBytes),
+		writeBuf:  make([]byte, slotLenBytes+cfg.SlotBytes),
 	}
 	s.present = make([]uint64, (s.buckets+63)/64)
 
@@ -248,12 +257,14 @@ func (s *FileStore) slotOff(idx uint64) int64 {
 	return fileHeaderLen + int64(idx)*int64(slotLenBytes+s.slotBytes)
 }
 
-// load reads one slot, clamping torn or tampered lengths. nil means absent.
+// load reads one slot into readBuf, clamping torn or tampered lengths. The
+// returned slice aliases readBuf and is only valid until the next load; nil
+// means absent.
 func (s *FileStore) load(idx uint64) ([]byte, error) {
 	if idx >= s.buckets {
 		return nil, fmt.Errorf("mem: bucket %d out of range [0,%d)", idx, s.buckets)
 	}
-	buf := make([]byte, slotLenBytes+s.slotBytes)
+	buf := s.readBuf
 	n, err := s.f.ReadAt(buf, s.slotOff(idx))
 	if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
 		// A real I/O fault (not a torn tail) must surface as an error, per
@@ -271,12 +282,11 @@ func (s *FileStore) load(idx uint64) ([]byte, error) {
 	if length == 0 {
 		return nil, nil
 	}
-	data := make([]byte, length)
-	copy(data, buf[slotLenBytes:slotLenBytes+length])
-	return data, nil
+	return buf[slotLenBytes : slotLenBytes+length], nil
 }
 
-// store writes one slot; nil data clears it.
+// store writes one slot; nil data clears it. The slot image is assembled in
+// writeBuf, so data is not retained.
 func (s *FileStore) store(idx uint64, data []byte) error {
 	if idx >= s.buckets {
 		return fmt.Errorf("mem: bucket %d out of range [0,%d)", idx, s.buckets)
@@ -284,7 +294,7 @@ func (s *FileStore) store(idx uint64, data []byte) error {
 	if len(data) > s.slotBytes {
 		return fmt.Errorf("mem: sealed bucket %d is %dB, slot holds %dB", idx, len(data), s.slotBytes)
 	}
-	buf := make([]byte, slotLenBytes+len(data))
+	buf := s.writeBuf[:slotLenBytes+len(data)]
 	binary.BigEndian.PutUint32(buf[:slotLenBytes], uint32(len(data)))
 	copy(buf[slotLenBytes:], data)
 	if _, err := s.f.WriteAt(buf, s.slotOff(idx)); err != nil {
@@ -294,7 +304,8 @@ func (s *FileStore) store(idx uint64, data []byte) error {
 	return nil
 }
 
-// Read implements Backend. The returned slice is a fresh copy.
+// Read implements Backend. The returned slice is I/O scratch, valid only
+// until the next operation on this store.
 func (s *FileStore) Read(idx uint64) ([]byte, error) {
 	s.reads++
 	data, err := s.load(idx)
@@ -318,13 +329,29 @@ func (s *FileStore) Write(idx uint64, data []byte) error {
 
 // Peek implements Backend: a mutable copy of the slot, hook- and
 // counter-free. I/O faults surface as nil (absent), matching what the
-// controller would be served.
+// controller would be served. Peek deliberately reads through its own
+// buffer, not the Read scratch, so a tamper hook that Peeks at other
+// buckets mid-Read cannot corrupt the bucket in flight.
 func (s *FileStore) Peek(idx uint64) []byte {
-	data, err := s.load(idx)
-	if err != nil {
+	if idx >= s.buckets {
 		return nil
 	}
-	return data
+	buf := make([]byte, slotLenBytes+s.slotBytes)
+	n, err := s.f.ReadAt(buf, s.slotOff(idx))
+	if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+		return nil
+	}
+	if n < slotLenBytes {
+		return nil
+	}
+	length := int(binary.BigEndian.Uint32(buf[:slotLenBytes]))
+	if avail := n - slotLenBytes; length > avail {
+		length = avail
+	}
+	if length == 0 {
+		return nil
+	}
+	return buf[slotLenBytes : slotLenBytes+length]
 }
 
 // Poke implements Backend; nil deletes the bucket. I/O faults are dropped

@@ -6,7 +6,9 @@ import "time"
 // Write, simulating remote or disk-class untrusted memory (the trusted
 // processor / untrusted storage split of The Pyramid Scheme). Peek and Poke
 // stay instant — the adversary inspects memory at rest, not over the wire —
-// and hooks are delegated so tamper ordering is unchanged.
+// and hooks are delegated so tamper ordering is unchanged. The wrapper adds
+// no copying: it inherits the inner backend's buffer-ownership semantics
+// (Read may return inner scratch; Write does not retain the slice).
 type Latency struct {
 	Backend
 	readDelay  time.Duration

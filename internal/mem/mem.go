@@ -14,12 +14,24 @@
 //
 // # Ownership
 //
-// Write transfers ownership of data to the backend: the caller must not
-// reuse the slice afterwards. Read returns a slice the caller must treat as
-// read-only — Store hands out its live internal slice, other backends a
-// fresh copy, and callers may rely on neither. Peek returns a mutable
-// scratch copy (or, for Store, the live slice) intended to be modified and
-// written back with Poke.
+// The buffer-ownership contract is designed so the single-threaded ORAM
+// controller above can drive a backend with reusable scratch memory and no
+// per-operation allocation:
+//
+//   - Write does NOT retain data: the backend copies (or persists) what it
+//     needs before returning, and the caller is free to reuse the slice for
+//     the next bucket. Implementations reuse their own retained buffers
+//     across writes of the same bucket.
+//   - Read returns memory the caller must NOT retain past the next
+//     operation on the same backend, and must treat as read-only — Store
+//     hands out its live internal slice, FileStore a reusable I/O scratch
+//     buffer. Callers that keep bucket bytes must copy them.
+//   - Peek returns a mutable copy for FileStore — never backed by the
+//     Read scratch — and the live bucket slice for Store (the adversary's
+//     in-place tampering idiom depends on that). A live slice is NOT a
+//     stable snapshot: a later Write to the same bucket updates it in
+//     place, so clone what must be kept (replay attacks already must).
+//     Poke, like Write, does not retain the passed slice.
 //
 // # Tamper hooks
 //
@@ -35,6 +47,13 @@ package mem
 // bucket index; data is the sealed bucket (may be nil for a never-written
 // bucket on read). The returned slice replaces the data; return the input
 // unchanged to observe passively.
+//
+// data may be backend scratch (FileStore) or the live stored bucket
+// (Store), so a hook must not issue another operation on the same backend
+// while holding it — copy first if the hook needs to Read, Write, or Poke.
+// FileStore's Peek is safe to nest (it never shares the in-flight I/O
+// buffer); Store's Peek of the bucket being read returns the very slice the
+// hook already holds.
 type TamperFunc func(idx uint64, data []byte) []byte
 
 // Stats is a snapshot of a backend's operation counters and footprint.
@@ -57,8 +76,11 @@ type Backend interface {
 	// Read returns the sealed bucket at idx, or nil if it has never been
 	// written. Errors are I/O faults only — tampered or torn contents are
 	// returned as-is for the layers above (decryption, PMMAC) to judge.
+	// The returned slice may be backend-owned scratch: it is only valid
+	// until the next operation on this backend and must not be modified.
 	Read(idx uint64) ([]byte, error)
-	// Write stores the sealed bucket at idx, taking ownership of data.
+	// Write stores the sealed bucket at idx. The backend does not retain
+	// data; the caller may reuse the slice immediately after Write returns.
 	Write(idx uint64, data []byte) error
 	// SetOnRead and SetOnWrite install the adversary hooks (nil to clear).
 	SetOnRead(f TamperFunc)
@@ -109,7 +131,9 @@ func (s *Store) Read(idx uint64) ([]byte, error) {
 	return data, nil
 }
 
-// Write implements Backend. The store takes ownership of data.
+// Write implements Backend. The store copies data into its own retained
+// buffer (reused across writes of the same bucket), so the caller may reuse
+// the slice immediately.
 func (s *Store) Write(idx uint64, data []byte) error {
 	s.writes++
 	if s.onWrite != nil {
@@ -120,18 +144,34 @@ func (s *Store) Write(idx uint64, data []byte) error {
 }
 
 func (s *Store) put(idx uint64, data []byte) {
-	if old, ok := s.buckets[idx]; ok {
+	old, ok := s.buckets[idx]
+	if ok {
 		s.bytes -= uint64(len(old))
 	}
 	if data == nil {
-		delete(s.buckets, idx)
+		if ok {
+			delete(s.buckets, idx)
+		}
 		return
 	}
 	s.bytes += uint64(len(data))
-	s.buckets[idx] = data
+	// Copy into the bucket's existing allocation when it fits: the caller
+	// keeps ownership of data (it is typically the controller's seal
+	// scratch), and steady-state rewrites of a bucket then allocate nothing.
+	if cap(old) >= len(data) {
+		buf := old[:len(data)]
+		copy(buf, data)
+		s.buckets[idx] = buf
+		return
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	s.buckets[idx] = buf
 }
 
 // Peek implements Backend: the returned slice is the live stored bucket.
+// Because Write reuses the bucket's allocation in place, a held Peek slice
+// tracks later Writes — clone it to keep a point-in-time copy.
 func (s *Store) Peek(idx uint64) []byte { return s.buckets[idx] }
 
 // Poke implements Backend.

@@ -130,6 +130,58 @@ func TestReadHookSeesNil(t *testing.T) {
 	})
 }
 
+// TestWriteDoesNotRetain pins the hot-path ownership contract: after Write
+// returns, the caller owns its slice again and may scribble on it without
+// affecting the stored bucket. Every Backend must copy-or-persist before
+// returning.
+func TestWriteDoesNotRetain(t *testing.T) {
+	eachBackend(t, func(t *testing.T, s Backend) {
+		buf := []byte{1, 2, 3}
+		if err := s.Write(4, buf); err != nil {
+			t.Fatal(err)
+		}
+		buf[0] = 0xEE // caller reuses its scratch buffer
+		if got := mustRead(t, s, 4); !bytes.Equal(got, []byte{1, 2, 3}) {
+			t.Fatalf("stored bucket changed with the caller's slice: %v", got)
+		}
+	})
+}
+
+// TestSteadyStateOpAllocs pins the allocation-free steady state the ORAM
+// access loop depends on: once a bucket exists, rewriting and rereading it
+// allocates nothing in either built-in store.
+func TestSteadyStateOpAllocs(t *testing.T) {
+	run := func(t *testing.T, s Backend) {
+		data := make([]byte, 100)
+		if err := s.Write(1, data); err != nil {
+			t.Fatal(err)
+		}
+		if n := testing.AllocsPerRun(300, func() {
+			if err := s.Write(1, data); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Read(1); err != nil {
+				t.Fatal(err)
+			}
+		}); n != 0 {
+			t.Fatalf("steady-state Write+Read allocates %.1f/op, want 0", n)
+		}
+	}
+	t.Run("map", func(t *testing.T) { run(t, NewStore()) })
+	t.Run("file", func(t *testing.T) {
+		fs, err := OpenFile(FileConfig{
+			Path:      filepath.Join(t.TempDir(), "buckets"),
+			Geometry:  testGeom(t),
+			SlotBytes: 128,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { fs.Close() })
+		run(t, fs)
+	})
+}
+
 func TestFileReopen(t *testing.T) {
 	cfg := FileConfig{
 		Path:      filepath.Join(t.TempDir(), "buckets"),

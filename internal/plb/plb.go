@@ -138,15 +138,20 @@ func (p *PLB) Insert(e Entry) (inserted *Entry, victim Entry, evicted bool) {
 	return &set[slot], victim, evicted
 }
 
-// Entries returns a copy of every valid entry without touching LRU state,
-// counters, or residency — the read-only snapshot a durable controller
-// persists at shutdown. The Block slices are shared with the cache.
+// Entries returns a deep copy of every valid entry without touching LRU
+// state, counters, or residency — the snapshot a durable controller
+// persists. The Block payloads are copied: the frontend remaps leaves (and
+// PMMAC counters) inside cached blocks on every hit, so a snapshot that
+// aliased live cache memory would serialize mutations made after the copy.
 func (p *PLB) Entries() []Entry {
 	var out []Entry
 	for i := range p.data {
 		if p.data[i].valid {
 			e := p.data[i]
 			e.valid = false // callers treat it as a plain value
+			block := make([]byte, len(e.Block))
+			copy(block, e.Block)
+			e.Block = block
 			out = append(out, e)
 		}
 	}

@@ -1,11 +1,17 @@
 // Package stash implements the Path ORAM stash: a small trusted memory that
 // temporarily holds data blocks between a path read and the eviction that
 // writes them back (§3.1). Capacity follows [26]: 200 blocks by default.
+//
+// The stash sits on the per-access hot path, so it is built to run
+// allocation-free in steady state: a sorted address index is maintained
+// incrementally on Put/Remove (instead of re-sorting every eviction),
+// removed Block structs are recycled through a free list, and EvictForPath
+// reuses its per-level result slices across calls.
 package stash
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Block is a stash-resident ORAM block: its logical address, the leaf it is
@@ -22,6 +28,10 @@ type Block struct {
 type Stash struct {
 	capacity  int
 	blocks    map[uint64]*Block
+	sorted    []uint64 // resident addresses, kept sorted incrementally
+	free      []*Block // recycled Block structs, so Put rarely allocates
+	evictOut  [][]Block
+	evictIter []uint64
 	maxSeen   int
 	overflows int
 }
@@ -47,20 +57,62 @@ func (s *Stash) MaxSeen() int { return s.maxSeen }
 // Overflows returns how many times Note() observed occupancy > capacity.
 func (s *Stash) Overflows() int { return s.overflows }
 
-// Put inserts or replaces a block. The stash owns the Block value.
-func (s *Stash) Put(b Block) {
-	copyOf := b
-	s.blocks[b.Addr] = &copyOf
+// insertAddr adds addr to the sorted index (must not already be present).
+func (s *Stash) insertAddr(addr uint64) {
+	i, _ := slices.BinarySearch(s.sorted, addr)
+	s.sorted = append(s.sorted, 0)
+	copy(s.sorted[i+1:], s.sorted[i:])
+	s.sorted[i] = addr
 }
 
-// Get returns the block with the given address, or nil.
+// removeAddr deletes addr from the sorted index (must be present).
+func (s *Stash) removeAddr(addr uint64) {
+	i, _ := slices.BinarySearch(s.sorted, addr)
+	copy(s.sorted[i:], s.sorted[i+1:])
+	s.sorted = s.sorted[:len(s.sorted)-1]
+}
+
+// recycle returns a removed Block struct to the free list.
+func (s *Stash) recycle(b *Block) {
+	b.Data = nil // drop the payload reference; the caller owns it now
+	s.free = append(s.free, b)
+}
+
+// Put inserts or replaces a block. The stash takes ownership of b.Data.
+func (s *Stash) Put(b Block) {
+	if old, ok := s.blocks[b.Addr]; ok {
+		*old = b
+		return
+	}
+	var nb *Block
+	if n := len(s.free); n > 0 {
+		nb = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		nb = new(Block)
+	}
+	*nb = b
+	s.blocks[b.Addr] = nb
+	s.insertAddr(b.Addr)
+}
+
+// Get returns the live block with the given address, or nil. Mutating the
+// returned block's fields updates the stash in place (Addr must not be
+// changed); the pointer is only valid until the block is removed or evicted.
 func (s *Stash) Get(addr uint64) *Block { return s.blocks[addr] }
 
-// Remove deletes and returns the block with the given address, or nil.
+// Remove deletes the block with the given address and returns its recycled
+// storage, or nil. The returned Block is only valid until the next Put on
+// this stash, and its Data field is cleared — the payload buffer's ownership
+// transfers to whoever holds it, so callers that need the payload must Get
+// the block and capture Data before removing.
 func (s *Stash) Remove(addr uint64) *Block {
 	b := s.blocks[addr]
 	if b != nil {
 		delete(s.blocks, addr)
+		s.removeAddr(addr)
+		s.recycle(b)
 	}
 	return b
 }
@@ -85,22 +137,25 @@ func (s *Stash) Note() {
 //
 // canReside(blockLeaf, level) must report path-intersection legality; z is
 // the bucket capacity.
+//
+// The returned slices (and the Blocks in them) are reusable scratch, valid
+// only until the next EvictForPath call; the Data slices are the payload
+// buffers the stash owned, now owned by the caller. Candidates are visited
+// in ascending address order, so eviction stays deterministic.
 func (s *Stash) EvictForPath(pathLeaf uint64, levels, z int,
 	canReside func(blockLeaf uint64, level int) bool) [][]Block {
 
-	out := make([][]Block, levels+1)
-
-	// Deterministic iteration: sort candidate addresses. The map iteration
-	// order would otherwise make simulations non-reproducible.
-	addrs := make([]uint64, 0, len(s.blocks))
-	for a := range s.blocks {
-		addrs = append(addrs, a)
+	for len(s.evictOut) < levels+1 {
+		s.evictOut = append(s.evictOut, nil)
 	}
-	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	out := s.evictOut[:levels+1]
+
+	// Snapshot the sorted index: eviction deletes from it mid-iteration.
+	s.evictIter = append(s.evictIter[:0], s.sorted...)
 
 	for lev := levels; lev >= 0; lev-- {
 		bucket := out[lev][:0]
-		for _, a := range addrs {
+		for _, a := range s.evictIter {
 			b, ok := s.blocks[a]
 			if !ok {
 				continue // already evicted to a deeper level
@@ -108,6 +163,8 @@ func (s *Stash) EvictForPath(pathLeaf uint64, levels, z int,
 			if canReside(b.Leaf, lev) {
 				bucket = append(bucket, *b)
 				delete(s.blocks, a)
+				s.removeAddr(a)
+				s.recycle(b)
 				if len(bucket) == z {
 					break
 				}
@@ -118,14 +175,19 @@ func (s *Stash) EvictForPath(pathLeaf uint64, levels, z int,
 	return out
 }
 
-// Blocks returns a copy of every resident block, sorted by address. The
-// Data slices are shared with the stash, so serialize (or discard the
-// stash) before mutating it again — this is the snapshot a durable
-// controller persists at shutdown.
+// Blocks returns a deep copy of every resident block, sorted by address —
+// the snapshot a durable controller persists. The Data payloads are copied:
+// the stash mutates blocks in place as accesses continue, so a snapshot that
+// aliased live stash memory would serialize whatever the controller did
+// AFTER the copy, corrupting the restored state.
 func (s *Stash) Blocks() []Block {
 	out := make([]Block, 0, len(s.blocks))
-	for _, a := range s.Addresses() {
-		out = append(out, *s.blocks[a])
+	for _, a := range s.sorted {
+		b := *s.blocks[a]
+		data := make([]byte, len(b.Data))
+		copy(data, b.Data)
+		b.Data = data
+		out = append(out, b)
 	}
 	return out
 }
@@ -133,12 +195,7 @@ func (s *Stash) Blocks() []Block {
 // Addresses returns the sorted addresses currently in the stash (testing
 // and debugging aid).
 func (s *Stash) Addresses() []uint64 {
-	addrs := make([]uint64, 0, len(s.blocks))
-	for a := range s.blocks {
-		addrs = append(addrs, a)
-	}
-	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
-	return addrs
+	return slices.Clone(s.sorted)
 }
 
 // String summarizes occupancy.

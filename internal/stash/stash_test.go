@@ -156,6 +156,110 @@ func TestEvictDeterministic(t *testing.T) {
 	}
 }
 
+// TestBlocksDeepCopy is the snapshot-aliasing regression: Blocks() must
+// return payload copies, because a durable snapshot can be serialized while
+// the controller keeps mutating stash blocks in place.
+func TestBlocksDeepCopy(t *testing.T) {
+	s := New(0)
+	s.Put(Block{Addr: 1, Leaf: 2, Data: []byte{0xAA, 0xBB}})
+	snap := s.Blocks()
+	if len(snap) != 1 || snap[0].Data[0] != 0xAA {
+		t.Fatal("snapshot wrong before mutation")
+	}
+	// Controller keeps running: the live block is mutated in place.
+	s.Get(1).Data[0] = 0x00
+	if snap[0].Data[0] != 0xAA {
+		t.Fatal("snapshot aliases live stash memory")
+	}
+	// And the other direction: scribbling on the snapshot must not reach
+	// the stash.
+	snap[0].Data[1] = 0x00
+	if s.Get(1).Data[1] != 0xBB {
+		t.Fatal("stash aliases snapshot memory")
+	}
+}
+
+// TestSortedIndexConsistent: the incrementally maintained address index must
+// match the map contents through arbitrary Put/Remove/Evict interleavings.
+func TestSortedIndexConsistent(t *testing.T) {
+	g, _ := tree.NewGeometry(5, 2, 8)
+	rng := rand.New(rand.NewPCG(3, 3))
+	s := New(0)
+	live := map[uint64]bool{}
+	for i := 0; i < 3000; i++ {
+		switch rng.IntN(5) {
+		case 0, 1, 2:
+			a := rng.Uint64() % 64
+			s.Put(Block{Addr: a, Leaf: rng.Uint64() % g.Leaves()})
+			live[a] = true
+		case 3:
+			a := rng.Uint64() % 64
+			s.Remove(a)
+			delete(live, a)
+		case 4:
+			leaf := rng.Uint64() % g.Leaves()
+			for _, bucket := range evictAll(s, g, leaf) {
+				for _, b := range bucket {
+					delete(live, b.Addr)
+				}
+			}
+		}
+		addrs := s.Addresses()
+		if len(addrs) != len(live) || s.Len() != len(live) {
+			t.Fatalf("op %d: index has %d addrs, map %d, want %d", i, len(addrs), s.Len(), len(live))
+		}
+		for j, a := range addrs {
+			if !live[a] {
+				t.Fatalf("op %d: index holds dead address %#x", i, a)
+			}
+			if j > 0 && addrs[j-1] >= a {
+				t.Fatalf("op %d: index not sorted at %d", i, j)
+			}
+		}
+	}
+}
+
+// TestSteadyStateAllocs: the per-access stash work — path blocks in, target
+// block updated, eviction out — must not allocate once warm.
+func TestSteadyStateAllocs(t *testing.T) {
+	g, _ := tree.NewGeometry(6, 4, 16)
+	rng := rand.New(rand.NewPCG(9, 9))
+	s := New(0)
+	bufs := make([][]byte, 64)
+	for i := range bufs {
+		bufs[i] = make([]byte, 16)
+	}
+	step := func() {
+		// Model one access: a few blocks enter, one is updated, a path is
+		// evicted. Payload buffers recirculate like the backend's free list.
+		n := 0
+		for i := 0; i < 8; i++ {
+			a := rng.Uint64() % 48
+			if s.Get(a) == nil && n < len(bufs) {
+				s.Put(Block{Addr: a, Leaf: rng.Uint64() % g.Leaves(), Data: bufs[n]})
+				n++
+			}
+		}
+		leaf := rng.Uint64() % g.Leaves()
+		n = 0
+		for _, bucket := range evictAll(s, g, leaf) {
+			for _, b := range bucket {
+				if n < len(bufs) {
+					bufs[n] = b.Data
+					n++
+				}
+			}
+		}
+		s.Note()
+	}
+	for i := 0; i < 200; i++ {
+		step() // warm the free lists and scratch
+	}
+	if n := testing.AllocsPerRun(200, step); n > 0.1 {
+		t.Fatalf("steady-state stash work allocates %.2f/op, want 0", n)
+	}
+}
+
 func TestString(t *testing.T) {
 	s := New(5)
 	s.Put(Block{Addr: 1})

@@ -12,7 +12,7 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/store/... ./internal/httpapi/... ./client/... ./cmd/oramstore/...
+	go test -race ./internal/store/... ./internal/httpapi/... ./internal/frame/... ./internal/frameserver/... ./client/... ./cmd/oramstore/...
 
 bench:
 	go test -run=NONE -bench=. -benchtime=1x .
@@ -27,8 +27,9 @@ bench-all:
 bench-hotpath:
 	./scripts/bench_hotpath.sh
 
-# Over-the-wire single-block vs batched-client comparison (the CI
-# network-smoke job); writes BENCH_network.json.
+# Over-the-wire transport comparison — legacy single-block vs JSON batch
+# vs binary streaming frames at batch sizes 1 and 16 (the CI network-smoke
+# job); writes BENCH_network.json.
 bench-network:
 	./scripts/bench_network.sh
 

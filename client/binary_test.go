@@ -1,0 +1,350 @@
+package client_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"freecursive"
+	"freecursive/client"
+	"freecursive/internal/frameserver"
+	"freecursive/internal/store"
+)
+
+// binaryServer is the binary-transport analogue of realServer: a frame
+// server over the same small store, on a loopback port.
+func binaryServer(t *testing.T) (*store.Store, string) {
+	t.Helper()
+	st, err := store.New(store.Config{
+		Shards: 4,
+		Blocks: 1 << 10,
+		ORAM:   freecursive.Config{Scheme: freecursive.PLB, BlockBytes: 16, Seed: 11},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	srv := frameserver.New(st)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return st, ln.Addr().String()
+}
+
+func newBinaryClient(t *testing.T, addr string, cfg client.Config) *client.Client {
+	t.Helper()
+	cfg.Transport = client.Binary(addr)
+	c, err := client.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestBinaryGetPutRoundTrip(t *testing.T) {
+	st, addr := binaryServer(t)
+	c := newBinaryClient(t, addr, client.Config{})
+	want := bytes.Repeat([]byte{0x5A}, st.BlockBytes())
+	if err := c.Put(42, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("Get(42) = %x, want %x", got, want)
+	}
+	zeros, err := c.Get(43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(zeros, make([]byte, st.BlockBytes())) {
+		t.Fatalf("never-written Get = %x, want zeros", zeros)
+	}
+}
+
+// TestBinaryPerOpErrors: the per-op status contract is the same one the
+// JSON transport surfaces — same *Error shape, same codes — so callers
+// switch transports without touching error handling.
+func TestBinaryPerOpErrors(t *testing.T) {
+	st, addr := binaryServer(t)
+	c := newBinaryClient(t, addr, client.Config{MaxRetries: -1})
+
+	if _, err := c.Get(st.Blocks() + 7); client.AsError(err) == nil ||
+		client.AsError(err).Status != http.StatusBadRequest {
+		t.Fatalf("out-of-range Get: %v, want *Error 400", err)
+	}
+	if err := c.Put(1, make([]byte, st.BlockBytes()+1)); client.AsError(err) == nil ||
+		client.AsError(err).Status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized Put: %v, want *Error 413", err)
+	}
+
+	const victim = 3
+	if err := st.Quarantine(victim, nil); err != nil {
+		t.Fatal(err)
+	}
+	var addr2 uint64
+	for st.ShardOf(addr2) != victim {
+		addr2++
+	}
+	_, err := c.Get(addr2)
+	e := client.AsError(err)
+	if e == nil || e.Status != http.StatusServiceUnavailable || !e.Temporary() || e.RetryAfter <= 0 {
+		t.Fatalf("quarantined Get: %v, want temporary *Error 503 with Retry-After", err)
+	}
+}
+
+// TestBinaryDoMixedBatch: explicit batches preserve index alignment across
+// the wire, including per-op failures sandwiched between successes.
+func TestBinaryDoMixedBatch(t *testing.T) {
+	st, addr := binaryServer(t)
+	c := newBinaryClient(t, addr, client.Config{})
+	payload := bytes.Repeat([]byte{9}, st.BlockBytes())
+	results, err := c.Do([]client.BatchOp{
+		{Op: client.OpPut, Addr: 5, Data: payload},
+		{Op: client.OpGet, Addr: 5},
+		{Op: client.OpGet, Addr: st.Blocks() + 1},
+		{Op: client.OpGet, Addr: 6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("got %d results, want 4", len(results))
+	}
+	if results[0].Status != http.StatusNoContent ||
+		results[1].Status != http.StatusOK || !bytes.Equal(results[1].Data, payload) ||
+		results[2].Status != http.StatusBadRequest || results[2].Error == "" ||
+		results[3].Status != http.StatusOK {
+		t.Fatalf("unexpected results: %+v", results)
+	}
+}
+
+// TestBinaryReconnect: a server restart fails the in-flight session; the
+// transport's next round-trip redials and the Client's retry loop hides
+// the blip from the caller entirely.
+func TestBinaryReconnect(t *testing.T) {
+	st, err := store.New(store.Config{
+		Shards: 2,
+		Blocks: 1 << 8,
+		ORAM:   freecursive.Config{Scheme: freecursive.PLB, BlockBytes: 16, Seed: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	srv := frameserver.New(st)
+	go srv.Serve(ln)
+
+	c := newBinaryClient(t, addr, client.Config{
+		MaxRetries:   8,
+		MaxRetryWait: 100 * time.Millisecond,
+	})
+	want := bytes.Repeat([]byte{0xC3}, st.BlockBytes())
+	if err := c.Put(1, want); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the server: the client's live session dies with it.
+	srv.Close()
+
+	// Restart on the same port. The first Get may burn retries on dial
+	// refusals while the port rebinds, but must succeed within the retry
+	// budget — the caller never sees the restart.
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := frameserver.New(st)
+	go srv2.Serve(ln2)
+	t.Cleanup(func() { srv2.Close() })
+
+	got, err := c.Get(1)
+	if err != nil {
+		t.Fatalf("Get after server restart: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("Get after restart = %x, want %x", got, want)
+	}
+}
+
+// TestBinaryServerDownIsTransient: with nobody listening, the failure is
+// transient (the Client retries it) and, once retries are spent, is the
+// dial error — not a panic, not a hang.
+func TestBinaryServerDownIsTransient(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // nothing listening here anymore
+
+	c := newBinaryClient(t, addr, client.Config{
+		MaxRetries:   2,
+		MaxRetryWait: 10 * time.Millisecond,
+	})
+	if _, err := c.Get(1); err == nil {
+		t.Fatal("Get with no server succeeded")
+	}
+}
+
+// TestBinaryDrainingRetriesLikeJSON: a draining store answers frame-level
+// 503s; the transport surfaces them as Temporary *Errors so the Client
+// retries, then reports the 503 — the same contract as the JSON path.
+func TestBinaryDrainingRetriesLikeJSON(t *testing.T) {
+	st, addr := binaryServer(t)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c := newBinaryClient(t, addr, client.Config{
+		MaxRetries:   2,
+		MaxRetryWait: 10 * time.Millisecond,
+	})
+	_, err := c.Get(1)
+	e := client.AsError(err)
+	if e == nil || e.Status != http.StatusServiceUnavailable || e.RetryAfter <= 0 {
+		t.Fatalf("draining store Get: %v, want *Error 503 with Retry-After", err)
+	}
+}
+
+// TestBinaryConcurrentStress drives many goroutines through one Client
+// (micro-batching on, several pooled connections) — the -race workout for
+// the whole client-side pipeline: collector, transport pool, session
+// reader, response demux.
+func TestBinaryConcurrentStress(t *testing.T) {
+	st, addr := binaryServer(t)
+	tr := client.Binary(addr)
+	tr.Conns = 3
+	c, err := client.New(client.Config{
+		Transport:     tr,
+		MaxBatch:      8,
+		FlushInterval: 200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	const (
+		workers = 16
+		rounds  = 32
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				addr := uint64(w*rounds+r) % st.Blocks()
+				want := bytes.Repeat([]byte{byte(w + 1)}, st.BlockBytes())
+				if err := c.Put(addr, want); err != nil {
+					t.Errorf("worker %d round %d put: %v", w, r, err)
+					return
+				}
+				got, err := c.Get(addr)
+				if err != nil {
+					t.Errorf("worker %d round %d get: %v", w, r, err)
+					return
+				}
+				if !bytes.Equal(got, want) {
+					t.Errorf("worker %d round %d: got %x, want %x", w, r, got, want)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestBinaryTransportContextCancel: a canceled context abandons the wait
+// without wedging the session — later round-trips on the same transport
+// still work.
+func TestBinaryTransportContextCancel(t *testing.T) {
+	_, addr := binaryServer(t)
+	tr := client.Binary(addr)
+	t.Cleanup(func() { tr.Close() })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := tr.RoundTrip(ctx, []client.BatchOp{{Op: client.OpGet, Addr: 1}}); err == nil {
+		t.Fatal("round-trip with canceled context succeeded")
+	}
+	results, err := tr.RoundTrip(context.Background(), []client.BatchOp{{Op: client.OpGet, Addr: 1}})
+	if err != nil {
+		t.Fatalf("round-trip after cancellation: %v", err)
+	}
+	if len(results) != 1 || results[0].Status != http.StatusOK {
+		t.Fatalf("unexpected results after cancellation: %+v", results)
+	}
+}
+
+func TestConfigTransportValidation(t *testing.T) {
+	if _, err := client.New(client.Config{}); err == nil {
+		t.Fatal("New with neither Transport nor BaseURL succeeded")
+	}
+	if _, err := client.New(client.Config{
+		Transport: client.JSON("http://localhost:8080"),
+		BaseURL:   "http://localhost:8080",
+	}); err == nil {
+		t.Fatal("New with both Transport and BaseURL succeeded")
+	}
+	if _, err := client.New(client.Config{Transport: client.Binary("")}); err == nil {
+		t.Fatal("New with empty binary address succeeded")
+	}
+	if _, err := client.New(client.Config{Transport: &client.BinaryTransport{
+		Addr: "127.0.0.1:1", Conns: 65,
+	}}); err == nil {
+		t.Fatal("New with oversized pool succeeded")
+	}
+}
+
+// TestBinaryClosedClient: operations after Close fail with ErrClosed and
+// the transport refuses further round-trips.
+func TestBinaryClosedClient(t *testing.T) {
+	_, addr := binaryServer(t)
+	tr := client.Binary(addr)
+	c, err := client.New(client.Config{Transport: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(1); err == nil {
+		t.Fatal("Get on closed client succeeded")
+	}
+	if _, err := tr.RoundTrip(context.Background(), []client.BatchOp{{Op: client.OpGet, Addr: 1}}); err == nil {
+		t.Fatal("RoundTrip on closed transport succeeded")
+	}
+}
+
+// TestBinaryUnknownOp: a malformed BatchOp is a caller bug — terminal,
+// never sent, never retried.
+func TestBinaryUnknownOp(t *testing.T) {
+	_, addr := binaryServer(t)
+	tr := client.Binary(addr)
+	t.Cleanup(func() { tr.Close() })
+	_, err := tr.RoundTrip(context.Background(), []client.BatchOp{{Op: "munge", Addr: 1}})
+	if err == nil {
+		t.Fatal("unknown op round-tripped")
+	}
+	if fmt.Sprint(err) == "" {
+		t.Fatal("empty error")
+	}
+}

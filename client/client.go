@@ -1,26 +1,32 @@
 package client
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
-	"strconv"
 	"sync"
 	"time"
 )
 
-// Config parameterizes a Client. Only BaseURL is required.
+// Config parameterizes a Client. Exactly one of Transport and BaseURL is
+// required.
 type Config struct {
-	// BaseURL locates the server, e.g. "http://localhost:8080". Trailing
-	// slashes are trimmed.
+	// Transport moves batches to the server: client.JSON(baseURL) for the
+	// HTTP POST /batch path, client.Binary(addr) for the streaming binary
+	// frame protocol, or any custom Transport. The Client owns it after
+	// New and closes it on Close.
+	Transport Transport
+	// BaseURL locates the server, e.g. "http://localhost:8080".
+	//
+	// Deprecated: BaseURL is an alias for Transport: JSON(BaseURL), kept
+	// for callers that predate the Transport API. Set Transport instead.
 	BaseURL string
-	// HTTPClient, if non-nil, overrides the transport. The default is a
-	// dedicated keep-alive pooled client with a 30s request timeout;
-	// connection reuse matters more than usual here because every batch is
-	// one POST to the same host.
+	// HTTPClient, if non-nil, overrides the underlying *http.Client of
+	// the BaseURL alias.
+	//
+	// Deprecated: honored only together with BaseURL. Set the HTTPClient
+	// field of a JSONTransport instead.
 	HTTPClient *http.Client
 	// MaxBatch flushes the pending batch when it reaches this many
 	// operations (default 16, capped at MaxOps). 1 disables cross-caller
@@ -83,8 +89,8 @@ type outcome struct {
 // Client is a concurrency-safe oramstore client. See the package
 // documentation for batching and retry behavior.
 type Client struct {
-	cfg  Config
-	http *http.Client
+	cfg Config
+	tr  Transport
 
 	mu     sync.Mutex
 	pend   []*pending
@@ -92,13 +98,23 @@ type Client struct {
 	closed bool
 }
 
-// New validates cfg and returns a Client. It does not contact the server.
+// New validates cfg and returns a Client. It does not contact the server
+// (the binary transport dials lazily on first use).
 func New(cfg Config) (*Client, error) {
-	if cfg.BaseURL == "" {
-		return nil, errors.New("client: Config.BaseURL is required")
+	switch {
+	case cfg.Transport == nil && cfg.BaseURL == "":
+		return nil, errors.New("client: Config.Transport (or the deprecated BaseURL alias) is required")
+	case cfg.Transport != nil && cfg.BaseURL != "":
+		return nil, errors.New("client: set Config.Transport or the deprecated BaseURL alias, not both")
+	case cfg.Transport == nil:
+		cfg.Transport = &JSONTransport{BaseURL: cfg.BaseURL, HTTPClient: cfg.HTTPClient}
 	}
-	for len(cfg.BaseURL) > 0 && cfg.BaseURL[len(cfg.BaseURL)-1] == '/' {
-		cfg.BaseURL = cfg.BaseURL[:len(cfg.BaseURL)-1]
+	// The built-in transports validate their own configuration eagerly so
+	// a typo fails at New, not at the first operation.
+	if t, ok := cfg.Transport.(interface{ init() error }); ok {
+		if err := t.init(); err != nil {
+			return nil, err
+		}
 	}
 	if cfg.MaxBatch == 0 {
 		cfg.MaxBatch = 16
@@ -121,18 +137,7 @@ func New(cfg Config) (*Client, error) {
 	if cfg.MaxRetryWait == 0 {
 		cfg.MaxRetryWait = 2 * time.Second
 	}
-	hc := cfg.HTTPClient
-	if hc == nil {
-		hc = &http.Client{
-			Timeout: 30 * time.Second,
-			Transport: &http.Transport{
-				MaxIdleConns:        64,
-				MaxIdleConnsPerHost: 64,
-				IdleConnTimeout:     90 * time.Second,
-			},
-		}
-	}
-	return &Client{cfg: cfg, http: hc}, nil
+	return &Client{cfg: cfg, tr: cfg.Transport}, nil
 }
 
 // Get returns the contents of the block at addr (never-written blocks read
@@ -164,7 +169,7 @@ func (c *Client) Do(ops []BatchOp) ([]OpResult, error) {
 	if closed {
 		return nil, fmt.Errorf("client: %w", ErrClosed)
 	}
-	return c.post(BatchRequest{Ops: ops})
+	return c.roundTrip(ops)
 }
 
 // Flush sends any operations waiting in the collector now, without waiting
@@ -188,8 +193,7 @@ func (c *Client) Close() error {
 	batch := c.take()
 	c.mu.Unlock()
 	c.send(batch)
-	c.http.CloseIdleConnections()
-	return nil
+	return c.tr.Close()
 }
 
 // submit runs one operation through the collector and waits for its
@@ -241,11 +245,11 @@ func (c *Client) send(batch []*pending) {
 	if len(batch) == 0 {
 		return
 	}
-	req := BatchRequest{Ops: make([]BatchOp, len(batch))}
+	ops := make([]BatchOp, len(batch))
 	for i, p := range batch {
-		req.Ops[i] = p.op
+		ops[i] = p.op
 	}
-	results, err := c.post(req)
+	results, err := c.roundTrip(ops)
 	if err != nil {
 		for _, p := range batch {
 			p.done <- outcome{err: err}
@@ -266,60 +270,33 @@ func (c *Client) send(batch []*pending) {
 	}
 }
 
-// post performs the POST /batch round-trip with transport-level retries:
-// network errors and whole-response 503s retry up to MaxRetries times,
-// honoring Retry-After up to MaxRetryWait. Responses other than 200/207
-// become whole-request errors.
-func (c *Client) post(req BatchRequest) ([]OpResult, error) {
-	body, err := json.Marshal(req)
-	if err != nil {
-		return nil, fmt.Errorf("client: encoding batch: %w", err)
-	}
+// roundTrip runs one batch through the transport with transport-level
+// retries: Transient failures (connection errors) and Temporary *Errors
+// (whole-response 503s — the server answers one when the store is
+// draining) retry up to MaxRetries times, honoring Retry-After up to
+// MaxRetryWait. Everything else — and a server whose result count does
+// not match the batch — is terminal.
+func (c *Client) roundTrip(ops []BatchOp) ([]OpResult, error) {
 	var lastErr error
 	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
 		if attempt > 0 {
 			time.Sleep(c.backoff(attempt, lastErr))
 		}
-		resp, err := c.http.Post(c.cfg.BaseURL+"/batch", "application/json",
-			bytes.NewReader(body))
+		results, err := c.tr.RoundTrip(context.Background(), ops)
 		if err != nil {
-			lastErr = fmt.Errorf("client: %w", err)
-			continue
-		}
-		switch resp.StatusCode {
-		case http.StatusOK, http.StatusMultiStatus:
-			var out BatchResponse
-			err := json.NewDecoder(resp.Body).Decode(&out)
-			resp.Body.Close()
-			if err != nil {
-				return nil, fmt.Errorf("client: decoding batch response: %w", err)
+			if retryable(err) {
+				lastErr = err
+				continue
 			}
-			if len(out.Results) != len(req.Ops) {
-				return nil, fmt.Errorf("client: server returned %d results for %d ops",
-					len(out.Results), len(req.Ops))
-			}
-			return out.Results, nil
-		case http.StatusServiceUnavailable:
-			lastErr = responseError(resp)
-			continue // whole store unavailable (draining): worth retrying
-		default:
-			err := responseError(resp)
 			return nil, err
 		}
+		if len(results) != len(ops) {
+			return nil, fmt.Errorf("client: server returned %d results for %d ops",
+				len(results), len(ops))
+		}
+		return results, nil
 	}
 	return nil, lastErr
-}
-
-// responseError drains a non-2xx response into an *Error, capturing
-// Retry-After when present. It closes the body.
-func responseError(resp *http.Response) error {
-	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
-	resp.Body.Close()
-	e := &Error{Status: resp.StatusCode, Msg: string(bytes.TrimSpace(msg))}
-	if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s >= 0 {
-		e.RetryAfter = time.Duration(s) * time.Second
-	}
-	return e
 }
 
 // backoff picks the wait before retry attempt n (n >= 1): the server's

@@ -1,14 +1,41 @@
 // Package client is the native Go client for an oramstore server — the
-// HTTP frontend over the sharded oblivious block store (see
+// network frontend over the sharded oblivious block store (see
 // cmd/oramstore). It speaks the single-block endpoints' semantics through
-// the mixed-operation POST /batch API, pooling connections and batching
-// requests so the server's per-shard pipelines see bulk arrivals (which is
-// what makes duplicate-read coalescing and shard parallelism pay off over
-// the wire).
+// mixed-operation batches, pooling connections and batching requests so
+// the server's per-shard pipelines see bulk arrivals (which is what makes
+// duplicate-read coalescing and shard parallelism pay off over the wire).
+//
+// # Transports
+//
+// The Client moves batches through a pluggable Transport. Two are built
+// in, selected by Config.Transport:
+//
+//   - client.JSON(baseURL) — the JSON POST /batch API over HTTP. One
+//     request per batch, ordinary HTTP semantics, easy to proxy, inspect,
+//     and load-balance. The right default for modest throughput and for
+//     anything that must traverse HTTP middleware.
+//
+//   - client.Binary(addr) — length-prefixed binary frames over a small
+//     pool of long-lived TCP connections to a server started with
+//     `oramstore -listen-binary`. Batches are pipelined: many in flight
+//     per connection, correlated by frame ID, answered in completion
+//     order. No per-request HTTP or JSON overhead, near-zero-copy
+//     encoding — the choice when the client is the throughput bottleneck.
+//
+// Both transports surface identical semantics — same status codes, same
+// *Error values, same retry classification — so switching is a one-line
+// Config change:
+//
+//	c, err := client.New(client.Config{Transport: client.JSON("http://localhost:8080")})
+//	c, err := client.New(client.Config{Transport: client.Binary("localhost:8081")})
+//
+// The deprecated Config.BaseURL field is an alias for
+// Transport: client.JSON(BaseURL), kept so pre-Transport callers compile
+// unchanged.
 //
 // # Basic use
 //
-//	c, err := client.New(client.Config{BaseURL: "http://localhost:8080"})
+//	c, err := client.New(client.Config{Transport: client.Binary("localhost:8081")})
 //	if err != nil { ... }
 //	defer c.Close()
 //
@@ -20,13 +47,13 @@
 //
 // # Micro-batching
 //
-// Concurrent Get/Put calls do not each pay an HTTP round-trip. Operations
-// gather in a pending batch that is flushed as one POST /batch when it
+// Concurrent Get/Put calls do not each pay a wire round-trip. Operations
+// gather in a pending batch that is flushed as one request when it
 // reaches Config.MaxBatch operations or when Config.FlushInterval elapses
 // after the first pending op, whichever comes first. Each call still
 // blocks until its own operation resolves, so per-call semantics are
 // unchanged; only the wire traffic is reshaped. Set MaxBatch to 1 to
-// disable batching (every op becomes its own POST).
+// disable batching (every op becomes its own request).
 //
 // Callers that already hold a batch can skip the collector and send it
 // directly with Do, which also exposes per-operation outcomes instead of
@@ -34,16 +61,17 @@
 //
 // # Errors and retries
 //
-// Transport-level failures — a connection error, or a whole-response 503
+// Transport-level failures — a connection error, or a whole-batch 503
 // (the server answers one when the store is draining and the entire batch
-// failed for it) — are retried up to Config.MaxRetries times, honoring
-// the server's Retry-After header (capped at Config.MaxRetryWait).
+// failed for it; an HTTP 503 response on the JSON transport, a frame-level
+// 503 on the binary one) — are retried up to Config.MaxRetries times,
+// honoring the server's Retry-After hint (capped at Config.MaxRetryWait).
 // Retrying is safe because both operations are idempotent: a put replaces
-// the block's contents. Per-operation failures inside a 207 response are
-// NOT retried automatically: a 503 there means the address's shard is
-// quarantined after an integrity violation, which an operator has to
-// resolve — the client surfaces it as an *Error with Status 503 and the
-// server's RetryAfter hint, and the caller decides.
+// the block's contents. Per-operation failures are NOT retried
+// automatically: a 503 there means the address's shard is quarantined
+// after an integrity violation, which an operator has to resolve — the
+// client surfaces it as an *Error with Status 503 and the server's
+// RetryAfter hint, and the caller decides.
 //
 // Failed operations return an *Error carrying the per-op status code of
 // the wire schema (see OpResult): 400 caller mistake, 413 payload too
@@ -53,13 +81,19 @@
 //		// back off for e.RetryAfter, alert on the shard, ...
 //	}
 //
+// Custom Transport implementations participate in the same retry loop by
+// wrapping connection-level failures with Transient and returning
+// *Error values for server-reported failures.
+//
 // # Trust model
 //
 // The oramstore server IS the trusted ORAM controller: it hides access
 // patterns and verifies integrity against its own untrusted storage, not
-// against its HTTP clients. This client therefore sends addresses and
+// against its network clients. This client therefore sends addresses and
 // plaintext blocks over the wire like any KV client would — deploy it
 // inside the trust boundary (same host or a private, authenticated,
 // TLS-terminated network), because anyone observing this traffic sees
-// exactly what the ORAM exists to hide from the storage adversary.
+// exactly what the ORAM exists to hide from the storage adversary. The
+// binary framing adds no confidentiality: it is an efficiency format, not
+// an envelope.
 package client

@@ -30,24 +30,40 @@
 // (no clean snapshot), PMMAC-enabled schemes refuse blocks whose on-disk
 // state diverged instead of serving them.
 //
+// With -listen-binary the server additionally speaks the binary streaming
+// transport on a second TCP listener: length-prefixed request/response
+// frames (freecursive/internal/frame) over long-lived pipelined
+// connections, dispatched straight into the store's batch pipeline with
+// no HTTP layer — the fast wire for freecursive/client's Binary
+// transport. /metrics then exposes the frame server's connection, byte,
+// and in-flight gauges under oramstore_transport_*.
+//
 // Load mode hammers a store with concurrent random reads and writes —
 // uniformly or Zipf-skewed (-dist zipf), the latter showing off the
 // pipeline's duplicate-read coalescing — and reports throughput and
-// latency percentiles. One harness, three transports:
+// latency percentiles. One harness; -transport picks how ops travel:
 //
-//	-url       legacy single-block HTTP (one GET/PUT per op)
-//	-target    batched network mode through the freecursive/client
-//	           micro-batching client (-batch, -flush-interval)
-//	-inprocess no HTTP at all: builds a store in this process and drives
-//	           it directly (the serving ceiling for the same workload)
+//	-transport json       POST /batch through the micro-batching client
+//	                      (-addr is the base URL; -batch, -flush-interval)
+//	-transport binary     the streaming frame protocol through the same
+//	                      client (-addr is the -listen-binary host:port)
+//	-transport inprocess  no network at all: builds a store in this
+//	                      process and drives it directly (the serving
+//	                      ceiling for the same workload)
+//
+// The legacy -inprocess/-url/-target flags are deprecated aliases:
+// -inprocess maps to -transport inprocess, -target URL to -transport
+// json -addr URL, and -url keeps its one-GET/PUT-per-op single-block
+// behavior for baseline comparisons.
 //
 // Examples:
 //
 //	oramstore -addr :8080 -shards 16 -blocks 20 -lightweight
+//	oramstore -addr :8080 -listen-binary :8081 -shards 16 -lightweight
 //	oramstore -addr :8080 -shards 4 -blocks 18 -data-dir /var/lib/oramstore
-//	oramstore load -url http://localhost:8080 -workers 32 -duration 10s
-//	oramstore load -target http://localhost:8080 -dist zipf -batch 16
-//	oramstore load -inprocess -shards 16 -lightweight -dist zipf -json
+//	oramstore load -transport json -addr http://localhost:8080 -dist zipf -batch 16
+//	oramstore load -transport binary -addr localhost:8081 -dist zipf -batch 16
+//	oramstore load -transport inprocess -shards 16 -lightweight -dist zipf -json
 package main
 
 import (
@@ -57,6 +73,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -65,6 +82,7 @@ import (
 
 	"freecursive"
 	"freecursive/client"
+	"freecursive/internal/frameserver"
 	"freecursive/internal/httpapi"
 	"freecursive/internal/store"
 )
@@ -88,7 +106,8 @@ var schemes = map[string]freecursive.Scheme{
 
 func runServe(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
-	addr := fs.String("addr", ":8080", "listen address")
+	addr := fs.String("addr", ":8080", "HTTP listen address")
+	listenBin := fs.String("listen-binary", "", "also serve the binary frame protocol on this TCP address (e.g. :8081)")
 	shards := fs.Int("shards", 8, "ORAM shard count (rounded up to a power of two)")
 	logBlocks := fs.Int("blocks", 16, "log2 of total capacity in blocks")
 	blockB := fs.Int("block", 64, "block size in bytes")
@@ -136,10 +155,29 @@ func runServe(args []string) {
 	log.Printf("serving %d blocks x %d B across %d shards (%s, %s) on %s",
 		st.Blocks(), st.BlockBytes(), st.Shards(), *scheme, mode, *addr)
 
-	srv := &http.Server{Addr: *addr, Handler: httpapi.New(st)}
+	// The binary frame server shares the store (and the /metrics endpoint,
+	// via the TransportSource hook) with the HTTP handler.
+	var fsrv *frameserver.Server
+	var sources []httpapi.TransportSource
+	errCh := make(chan error, 2)
+	if *listenBin != "" {
+		fsrv = frameserver.New(st)
+		sources = append(sources, fsrv)
+		ln, err := net.Listen("tcp", *listenBin)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("binary frame protocol on %s", ln.Addr())
+		go func() {
+			if err := fsrv.Serve(ln); err != nil {
+				errCh <- err
+			}
+		}()
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: httpapi.New(st, sources...)}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	if *snapEvery > 0 {
 		go snapshotTicker(ctx, st, *snapEvery)
@@ -155,6 +193,9 @@ func runServe(args []string) {
 	defer cancel()
 	if err := srv.Shutdown(sctx); err != nil {
 		log.Printf("drain: %v", err)
+	}
+	if fsrv != nil {
+		fsrv.Close()
 	}
 	if err := shutdownStore(st, *dataDir != ""); err != nil {
 		log.Fatal(err)
@@ -200,11 +241,14 @@ func shutdownStore(st *store.Store, durable bool) error {
 
 func runLoad(args []string) {
 	fs := flag.NewFlagSet("load", flag.ExitOnError)
-	url := fs.String("url", "http://localhost:8080", "target server for legacy single-block mode (one GET/PUT per op)")
-	target := fs.String("target", "", "target server for batched network mode through the client package (overrides -url)")
-	inproc := fs.Bool("inprocess", false, "no HTTP: build a store in this process and drive it directly")
+	transport := fs.String("transport", "json", "how ops reach the store: inprocess | json | binary")
+	addrFlag := fs.String("addr", "", `target address: base URL for json (default "http://localhost:8080"), host:port for binary (default "127.0.0.1:8081")`)
+	url := fs.String("url", "http://localhost:8080", "deprecated: legacy single-block mode against this server (one GET/PUT per op)")
+	target := fs.String("target", "", "deprecated: alias for -transport json -addr TARGET")
+	inproc := fs.Bool("inprocess", false, "deprecated: alias for -transport inprocess")
 	batch := fs.Int("batch", 16, "network mode: client micro-batch size (1 disables batching)")
 	flushInt := fs.Duration("flush-interval", 2*time.Millisecond, "network mode: client micro-batch flush interval")
+	conns := fs.Int("conns", 0, "binary mode: connection pool size (0: transport default)")
 	workers := fs.Int("workers", 16, "concurrent workers")
 	duration := fs.Duration("duration", 5*time.Second, "run length")
 	logBlocks := fs.Int("blocks", 16, "log2 of address range to hit")
@@ -236,12 +280,37 @@ func runLoad(args []string) {
 		seed:      *seed,
 	}
 
-	var (
-		exec executor
-		mode string
-	)
+	// The -inprocess/-url/-target trio predates -transport/-addr; each
+	// legacy flag still works as an alias for its new spelling, with a
+	// warning. An explicit -transport wins over all of them.
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	mode, addr := *transport, *addrFlag
 	switch {
+	case set["transport"]:
+		if set["inprocess"] || set["url"] || set["target"] {
+			log.Print("warning: -inprocess/-url/-target are ignored when -transport is set")
+		}
 	case *inproc:
+		log.Print("warning: -inprocess is deprecated; use -transport inprocess")
+		mode = "inprocess"
+	case set["target"]:
+		log.Printf("warning: -target is deprecated; use -transport json -addr %s", *target)
+		mode = "json"
+		if !set["addr"] {
+			addr = *target
+		}
+	case set["url"]:
+		log.Printf("warning: -url is deprecated; use -transport json -addr %s (batched) — keeping legacy single-block mode", *url)
+		mode = "network-single"
+		if !set["addr"] {
+			addr = *url
+		}
+	}
+
+	var exec executor
+	switch mode {
+	case "inprocess":
 		sc, ok := schemes[*scheme]
 		if !ok {
 			log.Fatalf("unknown scheme %q", *scheme)
@@ -260,11 +329,26 @@ func runLoad(args []string) {
 			log.Fatal(err)
 		}
 		defer st.Close()
-		exec, mode = storeExec{st}, "inprocess"
-	case *target != "":
-		checkHealth(*target)
+		exec = storeExec{st}
+	case "json", "binary":
+		var tr client.Transport
+		if mode == "json" {
+			if addr == "" {
+				addr = "http://localhost:8080"
+			}
+			checkHealth(addr)
+			tr = client.JSON(addr)
+		} else {
+			if addr == "" {
+				addr = "127.0.0.1:8081"
+			}
+			checkBinaryHealth(addr)
+			bt := client.Binary(addr)
+			bt.Conns = *conns
+			tr = bt
+		}
 		c, err := client.New(client.Config{
-			BaseURL:       *target,
+			Transport:     tr,
 			MaxBatch:      *batch,
 			FlushInterval: *flushInt,
 		})
@@ -272,10 +356,12 @@ func runLoad(args []string) {
 			log.Fatal(err)
 		}
 		defer c.Close()
-		exec, mode = clientExec{c}, "network-batch"
+		exec = clientExec{c}
+	case "network-single":
+		checkHealth(addr)
+		exec = newHTTPExec(addr)
 	default:
-		checkHealth(*url)
-		exec, mode = newHTTPExec(*url), "network-single"
+		log.Fatalf("unknown -transport %q (want inprocess, json, or binary)", mode)
 	}
 
 	rep := runWorkers(exec, opts)
@@ -307,4 +393,15 @@ func checkHealth(base string) {
 	if resp.StatusCode != http.StatusOK {
 		log.Fatalf("target unhealthy: /healthz status %d", resp.StatusCode)
 	}
+}
+
+// checkBinaryHealth probes the frame listener: a TCP connect is the
+// protocol's liveness check (the server speaks only framed batches, so
+// there is no /healthz to hit).
+func checkBinaryHealth(addr string) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		log.Fatalf("binary target not reachable: %v", err)
+	}
+	conn.Close()
 }

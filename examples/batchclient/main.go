@@ -10,10 +10,15 @@
 //     (watch the server's coalesced-read counter move under a hot-key
 //     workload),
 //  3. a quarantined shard failing only its slice of a batch — per-op 503s
-//     with a Retry-After hint while the rest of the batch completes.
+//     with a Retry-After hint while the rest of the batch completes,
+//  4. the same semantics over the binary streaming transport
+//     (client.Binary against a frame listener, as started by
+//     `oramstore serve -listen-binary`) — switching transports is one
+//     line in the client Config.
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"log"
 	"net"
@@ -22,6 +27,7 @@ import (
 
 	"freecursive"
 	"freecursive/client"
+	"freecursive/internal/frameserver"
 	"freecursive/internal/httpapi"
 	"freecursive/internal/store"
 )
@@ -49,7 +55,7 @@ func main() {
 	base := "http://" + ln.Addr().String()
 	fmt.Printf("server: %s (PIC, %d shards)\n\n", base, st.Shards())
 
-	c, err := client.New(client.Config{BaseURL: base})
+	c, err := client.New(client.Config{Transport: client.JSON(base)})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -119,4 +125,35 @@ func main() {
 			log.Fatalf("healthy-shard op failed: %d %s", res.Status, res.Error)
 		}
 	}
+
+	// 4. The binary streaming transport: same store, same semantics, no
+	// HTTP — length-prefixed frames pipelined over long-lived TCP. Only
+	// the Transport line of the client Config changes.
+	fsrv := frameserver.New(st)
+	fln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go fsrv.Serve(fln)
+	defer fsrv.Close()
+
+	bc, err := client.New(client.Config{Transport: client.Binary(fln.Addr().String())})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer bc.Close()
+
+	if err := bc.Put(1, []byte("gamma")); err != nil {
+		log.Fatal(err)
+	}
+	got, err := bc.Get(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !bytes.HasPrefix(got, []byte("gamma")) {
+		log.Fatalf("binary transport read back %.5q", got)
+	}
+	ts := fsrv.TransportStats()
+	fmt.Printf("\nbinary transport: read back %.5q over %d framed connection(s), %d bytes on the wire\n",
+		got, ts.ConnsTotal, ts.BytesRead+ts.BytesWritten)
 }

@@ -1,0 +1,246 @@
+package frame
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func encodeRequest(t *testing.T, id uint64, ops []Op) []byte {
+	t.Helper()
+	var e Encoder
+	out, err := e.Request(id, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.Clone(out)
+}
+
+func encodeResponse(t *testing.T, id uint64, r Response) []byte {
+	t.Helper()
+	var e Encoder
+	out, err := e.Response(id, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.Clone(out)
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	ops := []Op{
+		{Addr: 7},
+		{Put: true, Addr: 9, Data: []byte("hello")},
+		{Addr: 1<<60 + 3},
+		{Put: true, Addr: 0, Data: nil},
+		{Put: true, Addr: 12, Data: bytes.Repeat([]byte{0xAB}, 300)},
+	}
+	framed := encodeRequest(t, 42, ops)
+
+	var d Decoder
+	id, got, err := d.Request(framed[prefixLen:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 42 {
+		t.Fatalf("id = %d, want 42", id)
+	}
+	if len(got) != len(ops) {
+		t.Fatalf("decoded %d ops, want %d", len(got), len(ops))
+	}
+	for i, op := range ops {
+		if got[i].Put != op.Put || got[i].Addr != op.Addr || !bytes.Equal(got[i].Data, op.Data) {
+			t.Fatalf("op %d = %+v, want %+v", i, got[i], op)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	resp := Response{Results: []Result{
+		{Status: 200, Data: []byte("payload")},
+		{Status: 204},
+		{Status: 503, RetryAfterSeconds: 30, Err: "shard quarantined"},
+		{Status: 400, Err: "address out of range"},
+	}}
+	framed := encodeResponse(t, 77, resp)
+
+	var d Decoder
+	id, got, err := d.Response(framed[prefixLen:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 77 || got.Status != 0 {
+		t.Fatalf("id=%d status=%d, want 77/0", id, got.Status)
+	}
+	for i, want := range resp.Results {
+		g := got.Results[i]
+		if g.Status != want.Status || g.RetryAfterSeconds != want.RetryAfterSeconds ||
+			!bytes.Equal(g.Data, want.Data) || g.Err != want.Err {
+			t.Fatalf("result %d = %+v, want %+v", i, g, want)
+		}
+	}
+}
+
+func TestWholeBatchFailureFrame(t *testing.T) {
+	framed := encodeResponse(t, 5, Response{Status: 503, RetryAfterSeconds: 30})
+	var d Decoder
+	_, got, err := d.Response(framed[prefixLen:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != 503 || got.RetryAfterSeconds != 30 || len(got.Results) != 0 {
+		t.Fatalf("whole-batch frame decoded to %+v", got)
+	}
+
+	var e Encoder
+	if _, err := e.Response(5, Response{Status: 503, Results: []Result{{Status: 200}}}); err == nil {
+		t.Fatal("whole-batch status with results encoded without error")
+	}
+}
+
+// TestDecodeErrors: every way a frame can be structurally wrong must
+// error (never panic) with a useful sentinel.
+func TestDecodeErrors(t *testing.T) {
+	valid := encodeRequest(t, 1, []Op{{Put: true, Addr: 3, Data: []byte("abcd")}})[prefixLen:]
+	var d Decoder
+
+	mutate := func(name string, f func(p []byte) []byte, want error) {
+		t.Helper()
+		p := f(bytes.Clone(valid))
+		if _, _, err := d.Request(p); !errors.Is(err, want) {
+			t.Fatalf("%s: err = %v, want %v", name, err, want)
+		}
+	}
+	mutate("empty", func(p []byte) []byte { return nil }, ErrMalformed)
+	mutate("truncated header", func(p []byte) []byte { return p[:8] }, ErrMalformed)
+	mutate("bad magic", func(p []byte) []byte { p[0] = 'X'; return p }, ErrMalformed)
+	mutate("future version", func(p []byte) []byte { p[4] = 99; return p }, ErrVersion)
+	mutate("wrong kind", func(p []byte) []byte { p[5] = KindResponse; return p }, ErrMalformed)
+	mutate("reserved bits", func(p []byte) []byte { p[6] = 1; return p }, ErrMalformed)
+	mutate("truncated payload", func(p []byte) []byte { return p[:len(p)-1] }, ErrMalformed)
+	mutate("trailing garbage", func(p []byte) []byte { return append(p, 0) }, ErrMalformed)
+	mutate("op count over cap", func(p []byte) []byte {
+		binary.LittleEndian.PutUint32(p[headerLen:], MaxOps+1)
+		return p
+	}, ErrTooLarge)
+	mutate("op count over frame", func(p []byte) []byte {
+		binary.LittleEndian.PutUint32(p[headerLen:], 4000)
+		return p
+	}, ErrMalformed)
+	mutate("unknown op code", func(p []byte) []byte { p[headerLen+4] = 9; return p }, ErrMalformed)
+	mutate("get with payload", func(p []byte) []byte {
+		p[headerLen+4] = opGet
+		return p
+	}, ErrMalformed)
+	mutate("payload length overrun", func(p []byte) []byte {
+		binary.LittleEndian.PutUint32(p[headerLen+4+9:], 1<<30)
+		return p
+	}, ErrMalformed)
+
+	// Response-side structural errors.
+	vresp := encodeResponse(t, 2, Response{Results: []Result{{Status: 200, Data: []byte("xy")}}})[prefixLen:]
+	if _, _, err := d.Response(vresp[:headerLen+2]); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("truncated response header: %v", err)
+	}
+	bad := bytes.Clone(vresp)
+	binary.LittleEndian.PutUint32(bad[headerLen+respHeaderLen+4:], 1<<29) // result dataLen overrun
+	if _, _, err := d.Response(bad); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("result payload overrun: %v", err)
+	}
+	bad = bytes.Clone(vresp)
+	binary.LittleEndian.PutUint16(bad[headerLen:], 503) // nonzero status + results
+	if _, _, err := d.Response(bad); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("whole-batch status with results: %v", err)
+	}
+}
+
+// TestDecodeNeverOverAllocates: a hostile header declaring a huge op
+// count on a tiny frame must be rejected before any count-sized
+// allocation happens. The decoder's scratch is reused, so steady-state
+// decoding of valid frames allocates nothing at all.
+func TestDecodeNeverOverAllocates(t *testing.T) {
+	hostile := encodeRequest(t, 1, nil)[prefixLen:]
+	binary.LittleEndian.PutUint32(hostile[headerLen:], MaxOps) // 4096 ops, zero bytes for them
+	var d Decoder
+	// The handful of allocations building the error value are fine; what
+	// must not happen is an allocation sized by the hostile count.
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, _, err := d.Request(hostile); err == nil {
+			t.Fatal("hostile op count decoded")
+		}
+	}); allocs > 8 {
+		t.Fatalf("hostile decode allocated %.0f times per run", allocs)
+	}
+
+	valid := encodeRequest(t, 2, []Op{
+		{Addr: 1}, {Put: true, Addr: 2, Data: bytes.Repeat([]byte{7}, 256)},
+	})[prefixLen:]
+	d.Request(valid) // warm the scratch
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, _, err := d.Request(valid); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > 0 {
+		t.Fatalf("steady-state request decode allocated %.0f times per run", allocs)
+	}
+}
+
+func TestEncoderCaps(t *testing.T) {
+	var e Encoder
+	if _, err := e.Request(1, make([]Op, MaxOps+1)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized op slice: %v", err)
+	}
+	if _, err := e.Response(1, Response{Results: make([]Result, MaxOps+1)}); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized result slice: %v", err)
+	}
+}
+
+func TestReadFrame(t *testing.T) {
+	framed := encodeRequest(t, 9, []Op{{Addr: 4}})
+	var buf []byte
+
+	payload, buf, err := ReadFrame(bytes.NewReader(framed), buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(payload, framed[prefixLen:]) {
+		t.Fatal("ReadFrame returned different payload bytes")
+	}
+
+	// Clean EOF between frames vs torn mid-frame.
+	if _, _, err := ReadFrame(strings.NewReader(""), buf); !errors.Is(err, io.EOF) {
+		t.Fatalf("empty stream: %v, want io.EOF", err)
+	}
+	if _, _, err := ReadFrame(bytes.NewReader(framed[:2]), buf); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("torn prefix: %v, want ErrUnexpectedEOF", err)
+	}
+	if _, _, err := ReadFrame(bytes.NewReader(framed[:len(framed)-1]), buf); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("torn payload: %v, want ErrUnexpectedEOF", err)
+	}
+
+	// A declared length beyond protocol bounds is rejected before any
+	// allocation.
+	huge := binary.LittleEndian.AppendUint32(nil, MaxFrameBytes+1)
+	if _, _, err := ReadFrame(bytes.NewReader(huge), nil); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("huge declared length: %v, want ErrTooLarge", err)
+	}
+}
+
+// TestDecodedDataAliasesFrame pins the ownership contract: decoded
+// payloads alias the input buffer (zero-copy), so callers who keep them
+// past the next frame must copy.
+func TestDecodedDataAliasesFrame(t *testing.T) {
+	framed := encodeRequest(t, 3, []Op{{Put: true, Addr: 1, Data: []byte("aaaa")}})
+	payload := framed[prefixLen:]
+	var d Decoder
+	_, ops, err := d.Request(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload[len(payload)-1] = 'z'
+	if string(ops[0].Data) != "aaaz" {
+		t.Fatalf("decoded data does not alias the frame: %q", ops[0].Data)
+	}
+}

@@ -30,21 +30,47 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 
 	"freecursive"
 	"freecursive/client"
 	"freecursive/internal/store"
 )
 
-// retryAfterSeconds is the Retry-After hint on 503s (header on the
-// single-block endpoints, retry_after_seconds per op in /batch).
-// Quarantine needs an operator (or a restart against intact storage), so
-// the hint is a polling cadence, not a recovery estimate.
-const retryAfterSeconds = 30
+// RetryAfterSeconds is the Retry-After hint on 503s (header on the
+// single-block endpoints, retry_after_seconds per op in /batch, the
+// retryAfter field of binary response frames). Quarantine needs an
+// operator (or a restart against intact storage), so the hint is a
+// polling cadence, not a recovery estimate.
+const RetryAfterSeconds = 30
+
+// TransportStats is a point-in-time snapshot of one serving transport's
+// counters, rendered by /metrics under the oramstore_transport_* families
+// with a transport label. The HTTP transport's own row is maintained by
+// this package; other transports (the binary frame server) implement
+// TransportSource and are passed to New.
+type TransportStats struct {
+	Transport    string // label value, e.g. "binary"
+	ConnsOpen    uint64 // currently open connections
+	ConnsTotal   uint64 // connections accepted since start
+	BytesRead    uint64 // wire bytes read
+	BytesWritten uint64 // wire bytes written
+	InFlight     uint64 // batches submitted but not yet answered
+	Batches      uint64 // batches served since start
+}
+
+// TransportSource is a serving transport that can snapshot its counters
+// for /metrics.
+type TransportSource interface {
+	TransportStats() TransportStats
+}
 
 // New builds the HTTP handler over a store. The handler is safe for
-// concurrent use, like the store itself.
-func New(st *store.Store) http.Handler {
+// concurrent use, like the store itself. Additional serving transports
+// (the binary frame server) may be passed so /metrics exposes their
+// connection and traffic gauges next to the HTTP transport's.
+func New(st *store.Store, transports ...TransportSource) http.Handler {
+	var httpBatches atomic.Uint64
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "ok\n")
@@ -70,7 +96,11 @@ func New(st *store.Store) http.Handler {
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		writeMetrics(w, st)
+		stats := []TransportStats{{Transport: "http", Batches: httpBatches.Load()}}
+		for _, t := range transports {
+			stats = append(stats, t.TransportStats())
+		}
+		writeMetrics(w, st, stats)
 	})
 	mux.HandleFunc("GET /block/{addr}", func(w http.ResponseWriter, r *http.Request) {
 		addr, ok := parseAddr(w, r)
@@ -107,6 +137,7 @@ func New(st *store.Store) http.Handler {
 		w.WriteHeader(http.StatusNoContent)
 	})
 	mux.HandleFunc("POST /batch", func(w http.ResponseWriter, r *http.Request) {
+		httpBatches.Add(1)
 		serveBatch(w, r, st)
 	})
 	return mux
@@ -178,9 +209,9 @@ func serveBatch(w http.ResponseWriter, r *http.Request, st *store.Store) {
 			if errors.Is(err, store.ErrClosed) {
 				closed++
 			}
-			res := client.OpResult{Status: storeStatus(err), Error: err.Error()}
+			res := client.OpResult{Status: StoreStatus(err), Error: err.Error()}
 			if res.Status == http.StatusServiceUnavailable {
-				res.RetryAfterSeconds = retryAfterSeconds
+				res.RetryAfterSeconds = RetryAfterSeconds
 			}
 			results[i] = res
 			failed = true
@@ -197,7 +228,7 @@ func serveBatch(w http.ResponseWriter, r *http.Request, st *store.Store) {
 	// included) treats it like any other unavailable server, distinct from
 	// the per-op 503s of a quarantined shard inside a 207.
 	if len(futs) > 0 && closed == len(futs) {
-		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		w.Header().Set("Retry-After", strconv.Itoa(RetryAfterSeconds))
 		http.Error(w, "store draining", http.StatusServiceUnavailable)
 		return
 	}
@@ -211,13 +242,16 @@ func serveBatch(w http.ResponseWriter, r *http.Request, st *store.Store) {
 	json.NewEncoder(w).Encode(client.BatchResponse{Results: results})
 }
 
-// storeStatus separates caller mistakes (bad address: 400) from
-// unavailability (quarantined shard, store shutting down: 503) from true
-// internal errors (500), so monitoring can tell a misbehaving client, a
-// poisoned shard, and a broken server apart. A quarantined shard answers
-// 503 rather than 500 because only its slice of the address space is down
-// — the client's next request for another address will likely succeed.
-func storeStatus(err error) int {
+// StoreStatus maps a store error to the HTTP-class status code both
+// serving transports share (the JSON API uses it per op and per response,
+// internal/frameserver puts the same codes in binary result headers). It
+// separates caller mistakes (bad address: 400) from unavailability
+// (quarantined shard, store shutting down: 503) from true internal errors
+// (500), so monitoring can tell a misbehaving client, a poisoned shard,
+// and a broken server apart. A quarantined shard answers 503 rather than
+// 500 because only its slice of the address space is down — the client's
+// next request for another address will likely succeed.
+func StoreStatus(err error) int {
 	switch {
 	case errors.Is(err, store.ErrOutOfRange):
 		return http.StatusBadRequest
@@ -231,9 +265,9 @@ func storeStatus(err error) int {
 // writeStoreError renders a store error with its mapped status, attaching
 // Retry-After to 503s.
 func writeStoreError(w http.ResponseWriter, err error) {
-	code := storeStatus(err)
+	code := StoreStatus(err)
 	if code == http.StatusServiceUnavailable {
-		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		w.Header().Set("Retry-After", strconv.Itoa(RetryAfterSeconds))
 	}
 	http.Error(w, err.Error(), code)
 }

@@ -35,8 +35,9 @@ func gaugef(v float64) string { return fmt.Sprintf("%g", v) }
 
 // writeMetrics renders every exported series. Aggregate series carry no
 // labels; per-shard series carry {shard="i"}; shard lifecycle is one 0/1
-// series per (shard, state) pair, the Prometheus idiom for enums.
-func writeMetrics(w io.Writer, st *store.Store) {
+// series per (shard, state) pair, the Prometheus idiom for enums; serving
+// transports carry {transport="http"|"binary"}.
+func writeMetrics(w io.Writer, st *store.Store, transports []TransportStats) {
 	per := st.ShardStats()
 	agg := store.Aggregate(per)
 	infos := st.ShardInfos()
@@ -118,6 +119,42 @@ func writeMetrics(w io.Writer, st *store.Store) {
 	}
 	metric(w, "oramstore_shard_state", "gauge",
 		"Shard lifecycle state (1 for the current state, 0 otherwise).", states...)
+
+	// Serving-transport series. Every transport reports batches; the
+	// connection-oriented ones (binary frames) also report connection and
+	// byte counters — the HTTP side's conns belong to net/http's pool and
+	// are not tracked here.
+	batches := make([]sample, 0, len(transports))
+	conns := make([]sample, 0, len(transports))
+	connsTotal := make([]sample, 0, len(transports))
+	inFlight := make([]sample, 0, len(transports))
+	bytes := make([]sample, 0, 2*len(transports))
+	for _, t := range transports {
+		l := func(extra string) string {
+			return fmt.Sprintf(`{transport=%q%s}`, t.Transport, extra)
+		}
+		batches = append(batches, sample{l(""), count(t.Batches)})
+		if t.Transport == "http" {
+			continue
+		}
+		conns = append(conns, sample{l(""), count(t.ConnsOpen)})
+		connsTotal = append(connsTotal, sample{l(""), count(t.ConnsTotal)})
+		inFlight = append(inFlight, sample{l(""), count(t.InFlight)})
+		bytes = append(bytes,
+			sample{l(`,direction="read"`), count(t.BytesRead)},
+			sample{l(`,direction="written"`), count(t.BytesWritten)})
+	}
+	metric(w, "oramstore_transport_batches_total", "counter",
+		"Batches served, by serving transport.", batches...)
+	metric(w, "oramstore_transport_connections", "gauge",
+		"Open connections, by serving transport.", conns...)
+	metric(w, "oramstore_transport_connections_total", "counter",
+		"Connections accepted since start, by serving transport.", connsTotal...)
+	metric(w, "oramstore_transport_in_flight_batches", "gauge",
+		"Batches submitted to the shard pipelines but not yet answered, by serving transport.",
+		inFlight...)
+	metric(w, "oramstore_transport_bytes_total", "counter",
+		"Wire bytes moved, by serving transport and direction.", bytes...)
 }
 
 func shardLabel(i int) string { return fmt.Sprintf(`{shard="%d"}`, i) }

@@ -1,7 +1,7 @@
 # Targets mirror the CI jobs in .github/workflows/ci.yml so local runs and
 # CI stay in lockstep.
 
-.PHONY: all build test race bench bench-all bench-hotpath bench-network bins lint fmt
+.PHONY: all build test race bench bench-all bench-hotpath bench-network bench-remote bins lint fmt
 
 all: build lint test
 
@@ -12,7 +12,7 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/store/... ./internal/httpapi/... ./internal/frame/... ./internal/frameserver/... ./client/... ./cmd/oramstore/...
+	go test -race ./internal/store/... ./internal/httpapi/... ./internal/frame/... ./internal/frameserver/... ./internal/mem/... ./internal/bucketwire/... ./internal/bucketd/... ./internal/backend/... ./client/... ./cmd/oramstore/...
 
 bench:
 	go test -run=NONE -bench=. -benchtime=1x .
@@ -32,6 +32,12 @@ bench-hotpath:
 # job); writes BENCH_network.json.
 bench-network:
 	./scripts/bench_network.sh
+
+# Remote-memory RTT ladder — batched path I/O vs the -serial-path loops
+# against a live bucketd at 0/1/10/50 ms (the CI remote-smoke job); writes
+# BENCH_remote.json and gates on a 4x speedup at 10 ms.
+bench-remote:
+	./scripts/bench_remote.sh
 
 # Link every cmd/ and examples/ binary (the CI bins job).
 bins:

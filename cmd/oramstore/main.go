@@ -115,6 +115,10 @@ func runServe(args []string) {
 	lightweight := fs.Bool("lightweight", false, "bandwidth-accounting backend (no real data)")
 	seed := fs.Uint64("seed", 1, "deterministic seed")
 	dataDir := fs.String("data-dir", "", "durable mode: per-shard bucket files + trusted-state snapshots under this directory")
+	memKind := fs.String("mem", "map", "untrusted bucket memory: map (in-process) | remote (bucketd server)")
+	memAddr := fs.String("mem-addr", "", "remote mode: bucketd TCP address (host:port)")
+	memNS := fs.String("mem-namespace", "", "remote mode: bucketd namespace prefix (default \"store\")")
+	serialPath := fs.Bool("serial-path", false, "disable batched path I/O (serial per-bucket baseline)")
 	readLat := fs.Duration("read-latency", 0, "injected delay per untrusted-memory bucket read")
 	writeLat := fs.Duration("write-latency", 0, "injected delay per untrusted-memory bucket write")
 	queueDepth := fs.Int("queue-depth", 0, "per-shard request queue bound (0: store default)")
@@ -131,15 +135,36 @@ func runServe(args []string) {
 	if *snapEvery != 0 && *dataDir == "" {
 		log.Fatal("-snapshot-interval needs -data-dir")
 	}
+	switch *memKind {
+	case "map":
+		if *memAddr != "" {
+			log.Fatal("-mem-addr needs -mem remote")
+		}
+	case "remote":
+		if *memAddr == "" {
+			log.Fatal("-mem remote needs -mem-addr (the bucketd address)")
+		}
+		if *dataDir != "" {
+			log.Fatal("-mem remote and -data-dir are mutually exclusive")
+		}
+		if *lightweight {
+			log.Fatal("-mem remote needs real buckets; drop -lightweight")
+		}
+	default:
+		log.Fatalf("unknown -mem %q (want map or remote)", *memKind)
+	}
 	st, err := store.New(store.Config{
-		Shards:     *shards,
-		Blocks:     1 << uint(*logBlocks),
-		DataDir:    *dataDir,
-		QueueDepth: *queueDepth,
+		Shards:       *shards,
+		Blocks:       1 << uint(*logBlocks),
+		DataDir:      *dataDir,
+		MemAddr:      *memAddr,
+		MemNamespace: *memNS,
+		QueueDepth:   *queueDepth,
 		ORAM: freecursive.Config{
 			Scheme:       sc,
 			BlockBytes:   *blockB,
 			Lightweight:  *lightweight,
+			SerialPathIO: *serialPath,
 			Seed:         *seed,
 			ReadLatency:  *readLat,
 			WriteLatency: *writeLat,
@@ -151,6 +176,9 @@ func runServe(args []string) {
 	mode := "in-memory"
 	if *dataDir != "" {
 		mode = "durable in " + *dataDir
+	}
+	if *memAddr != "" {
+		mode = "remote buckets at " + *memAddr
 	}
 	log.Printf("serving %d blocks x %d B across %d shards (%s, %s) on %s",
 		st.Blocks(), st.BlockBytes(), st.Shards(), *scheme, mode, *addr)
@@ -260,6 +288,9 @@ func runLoad(args []string) {
 	shards := fs.Int("shards", 8, "in-process mode: shard count")
 	scheme := fs.String("scheme", "PIC", "in-process mode: R | P | PC | PI | PIC")
 	lightweight := fs.Bool("lightweight", false, "in-process mode: bandwidth-accounting backend")
+	memKind := fs.String("mem", "map", "in-process mode: untrusted bucket memory, map | remote")
+	memAddr := fs.String("mem-addr", "", "in-process mode: bucketd TCP address for -mem remote")
+	serialPath := fs.Bool("serial-path", false, "in-process mode: disable batched path I/O (serial baseline)")
 	jsonOut := fs.Bool("json", false, "emit one machine-readable JSON line instead of text")
 	fs.Parse(args)
 	if *dist != "uniform" && *dist != "zipf" {
@@ -315,14 +346,29 @@ func runLoad(args []string) {
 		if !ok {
 			log.Fatalf("unknown scheme %q", *scheme)
 		}
+		switch *memKind {
+		case "map":
+		case "remote":
+			if *memAddr == "" {
+				log.Fatal("-mem remote needs -mem-addr")
+			}
+			if *lightweight {
+				log.Fatal("-mem remote needs real buckets; drop -lightweight")
+			}
+			checkBinaryHealth(*memAddr)
+		default:
+			log.Fatalf("unknown -mem %q (want map or remote)", *memKind)
+		}
 		st, err := store.New(store.Config{
-			Shards: *shards,
-			Blocks: opts.addrs,
+			Shards:  *shards,
+			Blocks:  opts.addrs,
+			MemAddr: *memAddr,
 			ORAM: freecursive.Config{
-				Scheme:      sc,
-				BlockBytes:  *blockB,
-				Lightweight: *lightweight,
-				Seed:        *seed,
+				Scheme:       sc,
+				BlockBytes:   *blockB,
+				Lightweight:  *lightweight,
+				SerialPathIO: *serialPath,
+				Seed:         *seed,
 			},
 		})
 		if err != nil {

@@ -43,6 +43,7 @@ import (
 
 	"freecursive/internal/core"
 	"freecursive/internal/crypt"
+	"freecursive/internal/mem"
 )
 
 // Scheme selects the frontend configuration, using the paper's names.
@@ -103,6 +104,21 @@ type Config struct {
 	// and Resume to also carry the trusted controller state across runs.
 	// Incompatible with Lightweight.
 	DataDir string
+	// MemAddr, if non-empty, stores the sealed bucket trees on a remote
+	// bucketd server at this TCP address: the paper's untrusted memory as a
+	// literally separate failure domain. Path reads batch into one round
+	// trip and path write-backs pipeline behind the next access; a server
+	// fault or lost connection surfaces as an error wrapping ErrStorage
+	// (fail-stop), while tampering on the server is detected by PMMAC
+	// exactly as for local memory. Incompatible with Lightweight and
+	// DataDir.
+	MemAddr string
+	// MemNamespace isolates this ORAM's buckets on a shared bucketd server
+	// (default derived from Seed). Two live ORAMs must not share one.
+	MemNamespace string
+	// SerialPathIO disables batched path I/O, forcing the per-bucket
+	// read/write loops — the honest serial baseline for benchmarks.
+	SerialPathIO bool
 	// ReadLatency and WriteLatency inject a fixed delay into every
 	// untrusted-memory bucket operation, simulating remote or disk-class
 	// storage. Incompatible with Lightweight.
@@ -165,6 +181,9 @@ func New(cfg Config) (*ORAM, error) {
 		EncScheme:         enc,
 		Seed:              cfg.Seed,
 		DataDir:           cfg.DataDir,
+		MemAddr:           cfg.MemAddr,
+		MemNamespace:      cfg.MemNamespace,
+		SerialPathIO:      cfg.SerialPathIO,
 		ReadDelay:         cfg.ReadLatency,
 		WriteDelay:        cfg.WriteLatency,
 	})
@@ -276,6 +295,14 @@ func Resume(cfg Config, r io.Reader) (*ORAM, error) {
 
 // ErrIntegrity is returned (wrapped) once PMMAC detects tampering.
 var ErrIntegrity = core.ErrIntegrity
+
+// ErrStorage is matched (errors.Is) by errors caused by real untrusted-
+// memory I/O faults — a failed page file, an unreachable or faulting
+// bucketd, a connection lost with write-backs in flight. It is disjoint
+// from ErrIntegrity: storage faults are fail-stop infrastructure problems,
+// tampering is an attack detected by PMMAC. Serving layers quarantine on
+// either, but the distinction matters for operators (restart vs forensics).
+var ErrStorage = mem.ErrIO
 
 // System exposes the underlying construction for experiments and tests that
 // need the adversary's view (untrusted store, counters, backends).

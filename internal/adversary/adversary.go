@@ -9,10 +9,69 @@ package adversary
 import (
 	"bytes"
 	"math/rand/v2"
+	"sync"
 
 	"freecursive/internal/crypt"
 	"freecursive/internal/mem"
 )
+
+// IndexTrace records the sequence of bucket indices untrusted memory is
+// asked to touch — the adversary's wiretap. It serves two vantage points:
+// Hook taps a mem.Backend in-process (the bus probe), and Note can be wired
+// to a bucketd server's Trace callback (the network tap). It is safe for
+// concurrent use; bucketd invokes Trace from connection goroutines.
+//
+// The obliviousness argument (§2) is exactly that this trace is
+// distributed independently of the access pattern; tests also use it to
+// pin protocol equivalences, e.g. that a batched path request touches the
+// same bucket multiset as the serial loop it replaced.
+type IndexTrace struct {
+	mu   sync.Mutex
+	idxs []uint64
+}
+
+// Note records one touched bucket index.
+func (t *IndexTrace) Note(idx uint64) {
+	t.mu.Lock()
+	t.idxs = append(t.idxs, idx)
+	t.mu.Unlock()
+}
+
+// Hook returns a read- or write-hook that records each index and passes
+// the data through untouched (install with SetOnRead/SetOnWrite).
+func (t *IndexTrace) Hook() mem.TamperFunc {
+	return func(idx uint64, data []byte) []byte {
+		t.Note(idx)
+		return data
+	}
+}
+
+// Indices returns a copy of the recorded sequence.
+func (t *IndexTrace) Indices() []uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]uint64, len(t.idxs))
+	copy(out, t.idxs)
+	return out
+}
+
+// Multiset returns how many times each index was touched.
+func (t *IndexTrace) Multiset() map[uint64]int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	m := make(map[uint64]int, len(t.idxs))
+	for _, idx := range t.idxs {
+		m[idx]++
+	}
+	return m
+}
+
+// Reset clears the trace.
+func (t *IndexTrace) Reset() {
+	t.mu.Lock()
+	t.idxs = t.idxs[:0]
+	t.mu.Unlock()
+}
 
 // BitFlipper corrupts stored buckets in place.
 type BitFlipper struct {

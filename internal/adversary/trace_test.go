@@ -1,0 +1,110 @@
+package adversary
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"testing"
+
+	"freecursive/internal/backend"
+	"freecursive/internal/bucketd"
+	"freecursive/internal/crypt"
+	"freecursive/internal/mem"
+	"freecursive/internal/tree"
+)
+
+// tracedORAM builds a PathORAM over the given store with a fixed cipher key
+// so that two instances fed the same request stream stay in lockstep.
+func tracedORAM(t *testing.T, st mem.Backend, serial bool) *backend.PathORAM {
+	t.Helper()
+	g, err := tree.NewGeometry(6, 4, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := crypt.NewBucketCipher([]byte("0123456789abcdef"), crypt.SeedGlobal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := backend.NewPathORAM(backend.Config{
+		Geometry: g, Store: st, Cipher: c, SerialPathIO: serial,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestBatchedPathSameIndexMultiset is the protocol-equivalence half of the
+// obliviousness argument for the remote transport: what the network
+// adversary observes from a batched path request must be exactly what it
+// would have observed from the serial per-bucket loop. One controller runs
+// serially over a local store wiretapped with Hook(); its twin runs batched
+// over a live bucketd whose Trace callback is the network tap. After every
+// access the two bucket-index multisets must match.
+func TestBatchedPathSameIndexMultiset(t *testing.T) {
+	// Serial reference: in-process bus probe on both read and write hooks.
+	busTap := &IndexTrace{}
+	stSerial := mem.NewStore()
+	stSerial.SetOnRead(busTap.Hook())
+	stSerial.SetOnWrite(busTap.Hook())
+	serial := tracedORAM(t, stSerial, true)
+
+	// Batched twin: network tap on the untrusted server itself.
+	netTap := &IndexTrace{}
+	srv := bucketd.New(bucketd.Config{
+		Trace: func(op byte, space, idx uint64) { netTap.Note(idx) },
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+	rem, err := mem.DialRemote(mem.RemoteConfig{
+		Addr: ln.Addr().String(), Namespace: "adversary/multiset",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rem.Close()
+	batched := tracedORAM(t, rem, false)
+
+	g := serial.Geometry()
+	rng := rand.New(rand.NewPCG(11, 7))
+	leaf := map[uint64]uint64{}
+	for i := 0; i < 150; i++ {
+		addr := rng.Uint64() % 48
+		cur, ok := leaf[addr]
+		if !ok {
+			cur = rng.Uint64() % g.Leaves()
+		}
+		nl := rng.Uint64() % g.Leaves()
+		leaf[addr] = nl
+		req := backend.Request{Op: backend.OpRead, Addr: addr, Leaf: cur, NewLeaf: nl}
+		if rng.IntN(2) == 0 {
+			req.Op = backend.OpWrite
+			req.Data = make([]byte, g.BlockBytes)
+			binary.BigEndian.PutUint64(req.Data, rng.Uint64())
+		}
+		if _, err := serial.Access(req); err != nil {
+			t.Fatalf("step %d serial: %v", i, err)
+		}
+		if _, err := batched.Access(req); err != nil {
+			t.Fatalf("step %d batched: %v", i, err)
+		}
+
+		// The write-back is pipelined, so force it to the server before
+		// reading the tap: Stats is an ordered round trip that drains every
+		// pending ack and is itself untraced.
+		rem.Stats()
+		if got, want := fmt.Sprint(netTap.Multiset()), fmt.Sprint(busTap.Multiset()); got != want {
+			t.Fatalf("step %d: network multiset %v, serial multiset %v", i, got, want)
+		}
+		if got, want := len(netTap.Indices()), len(busTap.Indices()); got != want {
+			t.Fatalf("step %d: trace lengths diverge: %d vs %d", i, got, want)
+		}
+		busTap.Reset()
+		netTap.Reset()
+	}
+}

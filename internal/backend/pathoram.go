@@ -31,15 +31,29 @@ type PathORAM struct {
 	stash *stash.Stash
 	ctr   *stats.Counters
 
+	// pr/pw are the store's batched path interfaces, captured once at
+	// construction (nil when absent or when Config.SerialPathIO forces the
+	// per-bucket loops). With a remote store the batch is the whole game:
+	// the path read collapses from logN round trips to one, and the path
+	// write-back pipelines behind the next access.
+	pr mem.PathReader
+	pw mem.PathWriter
+
 	// Scratch buffers reused across accesses.
 	pathIdx []uint64
 	// seeds of buckets read this access, for per-bucket reseal.
 	pathSeeds []uint64
 	bodyBuf   []byte        // decrypted bucket body (path read)
 	encBuf    []byte        // plaintext bucket body (path write)
-	sealedBuf []byte        // sealed bucket (path write)
+	sealedBuf []byte        // sealed bucket (serial path write)
 	incoming  []stash.Block // blocks decoded from one bucket
 	resultBuf []byte        // Result.Data backing store
+	// Batched path I/O scratch: per-level receive slots for ReadPath and
+	// per-level sealed buckets for WritePath (each level needs its own
+	// buffer because the whole path is in flight at once).
+	pathBufs   [][]byte
+	sealedBufs [][]byte
+	wireBufs   [][]byte
 	// freeData recycles block payload buffers (BlockBytes each): decoded
 	// path blocks take one, evicted/removed blocks give theirs back.
 	freeData [][]byte
@@ -52,6 +66,10 @@ type Config struct {
 	Cipher        *crypt.BucketCipher // nil: plaintext
 	StashCapacity int                 // 0: stash.DefaultCapacity
 	Counters      *stats.Counters     // nil: fresh counters
+	// SerialPathIO forces the per-bucket read/write loops even when the
+	// store implements mem.PathReader/PathWriter — the honest baseline for
+	// latency benchmarks and batched-vs-serial equivalence tests.
+	SerialPathIO bool
 }
 
 // NewPathORAM builds a functional backend.
@@ -77,6 +95,10 @@ func NewPathORAM(cfg Config) (*PathORAM, error) {
 		ciph:  cfg.Cipher,
 		stash: stash.New(cap),
 		ctr:   ctr,
+	}
+	if !cfg.SerialPathIO {
+		p.pr, _ = st.(mem.PathReader)
+		p.pw, _ = st.(mem.PathWriter)
 	}
 	p.bodyBuf = make([]byte, 0, p.bodyBytes())
 	p.encBuf = make([]byte, p.bodyBytes())
@@ -245,40 +267,29 @@ func (p *PathORAM) access(req Request) (Result, error) {
 	}
 	p.pathSeeds = p.pathSeeds[:len(p.pathIdx)]
 
-	for i, idx := range p.pathIdx {
-		sealed, err := p.store.Read(idx)
-		if err != nil {
-			return Result{}, fmt.Errorf("backend: bucket %d: %w", idx, err)
+	if p.pr != nil {
+		// Batched: the whole path in one store operation (one round trip on
+		// a remote store). The PathReader contract keeps every level's
+		// bucket simultaneously valid while we absorb them in path order,
+		// so the observable effects — hook invocations, read counts, stash
+		// contents — match the serial loop bucket for bucket.
+		for len(p.pathBufs) < len(p.pathIdx) {
+			p.pathBufs = append(p.pathBufs, nil)
 		}
-		p.pathSeeds[i] = 0
-		if sealed == nil {
-			continue // never-written bucket: all dummies
+		bufs := p.pathBufs[:len(p.pathIdx)]
+		if err := p.pr.ReadPath(p.pathIdx, bufs); err != nil {
+			return Result{}, fmt.Errorf("backend: path read (leaf %d): %w", req.Leaf, err)
 		}
-		body := sealed
-		if p.ciph != nil {
-			var seed uint64
-			var err error
-			body, seed, err = p.ciph.OpenTo(p.bodyBuf[:0], idx, sealed)
+		for i, idx := range p.pathIdx {
+			p.absorbBucket(i, idx, bufs[i])
+		}
+	} else {
+		for i, idx := range p.pathIdx {
+			sealed, err := p.store.Read(idx)
 			if err != nil {
-				// Structurally undecryptable (torn or truncated by the
-				// adversary): the bucket contributes nothing, like any
-				// other garbage decode. Integrity layers above notice the
-				// missing blocks; errors are reserved for real I/O faults.
-				continue
+				return Result{}, fmt.Errorf("backend: bucket %d: %w", idx, err)
 			}
-			p.bodyBuf = body // keep any grown capacity for the next bucket
-			p.pathSeeds[i] = seed
-		}
-		p.incoming = p.decodeBucket(body, p.incoming[:0])
-		for _, b := range p.incoming {
-			// A tampered bucket can decode garbage; never let it displace a
-			// block already in the trusted stash, and drop blocks whose leaf
-			// is not even a valid label.
-			if !p.geom.ValidLeaf(b.Leaf) || p.stash.Get(b.Addr) != nil {
-				p.recycleBlockBuf(b.Data)
-				continue
-			}
-			p.stash.Put(b)
+			p.absorbBucket(i, idx, sealed)
 		}
 	}
 
@@ -343,11 +354,48 @@ func (p *PathORAM) access(req Request) (Result, error) {
 	return res, nil
 }
 
+// absorbBucket feeds one sealed bucket (level i, bucket index idx) through
+// decryption and decoding into the stash. A nil sealed bucket was never
+// written (all dummies); an undecryptable one contributes nothing —
+// structural garbage is the adversary's doing and is handled by the
+// integrity layers above, while errors stay reserved for real I/O faults.
+func (p *PathORAM) absorbBucket(i int, idx uint64, sealed []byte) {
+	p.pathSeeds[i] = 0
+	if sealed == nil {
+		return
+	}
+	body := sealed
+	if p.ciph != nil {
+		var seed uint64
+		var err error
+		body, seed, err = p.ciph.OpenTo(p.bodyBuf[:0], idx, sealed)
+		if err != nil {
+			return
+		}
+		p.bodyBuf = body // keep any grown capacity for the next bucket
+		p.pathSeeds[i] = seed
+	}
+	p.incoming = p.decodeBucket(body, p.incoming[:0])
+	for _, b := range p.incoming {
+		// A tampered bucket can decode garbage; never let it displace a
+		// block already in the trusted stash, and drop blocks whose leaf
+		// is not even a valid label.
+		if !p.geom.ValidLeaf(b.Leaf) || p.stash.Get(b.Addr) != nil {
+			p.recycleBlockBuf(b.Data)
+			continue
+		}
+		p.stash.Put(b)
+	}
+}
+
 func (p *PathORAM) writePath(leaf uint64) error {
 	perLevel := p.stash.EvictForPath(leaf, p.geom.L, p.geom.Z,
 		func(blockLeaf uint64, level int) bool {
 			return p.geom.CanReside(blockLeaf, leaf, level)
 		})
+	if p.pw != nil {
+		return p.writePathBatched(perLevel)
+	}
 	for lev, blocks := range perLevel {
 		idx := p.pathIdx[lev]
 		body := p.encodeBucket(blocks)
@@ -363,6 +411,40 @@ func (p *PathORAM) writePath(leaf uint64) error {
 		for _, b := range blocks {
 			p.recycleBlockBuf(b.Data)
 		}
+	}
+	return nil
+}
+
+// writePathBatched seals every level into its own scratch buffer and hands
+// the whole path to the store in one WritePath. Each level needs a private
+// sealed copy (encodeBucket reuses one body buffer, and the store may not
+// retain our slices but does read them all within the call); a PathWriter
+// is allowed to pipeline the write-back behind the next access, in which
+// case a deferred failure surfaces from a later store operation wrapping
+// mem.ErrIO.
+func (p *PathORAM) writePathBatched(perLevel [][]stash.Block) error {
+	for len(p.sealedBufs) < len(perLevel) {
+		p.sealedBufs = append(p.sealedBufs, nil)
+	}
+	for len(p.wireBufs) < len(perLevel) {
+		p.wireBufs = append(p.wireBufs, nil)
+	}
+	wire := p.wireBufs[:len(perLevel)]
+	for lev, blocks := range perLevel {
+		idx := p.pathIdx[lev]
+		body := p.encodeBucket(blocks)
+		if p.ciph != nil {
+			p.sealedBufs[lev] = p.ciph.SealTo(p.sealedBufs[lev][:0], idx, p.pathSeeds[lev], body)
+		} else {
+			p.sealedBufs[lev] = append(p.sealedBufs[lev][:0], body...)
+		}
+		wire[lev] = p.sealedBufs[lev]
+		for _, b := range blocks {
+			p.recycleBlockBuf(b.Data)
+		}
+	}
+	if err := p.pw.WritePath(p.pathIdx[:len(perLevel)], wire); err != nil {
+		return fmt.Errorf("backend: path write: %w", err)
 	}
 	return nil
 }

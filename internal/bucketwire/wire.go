@@ -1,0 +1,530 @@
+// Package bucketwire is the binary wire codec of the remote untrusted
+// bucket store: length-prefixed request/response frames carried over a
+// long-lived TCP connection between mem.Remote (the client side of the
+// trust boundary) and bucketd (the untrusted server). Both sides import
+// this package, so the two cannot drift.
+//
+// The protocol carries the mem.Backend operation set — read, write, peek,
+// poke, stats — plus the two batched path operations (readpath, writepath)
+// that let an ORAM controller pay ~1 round trip per access instead of
+// ~log N. Every bucket operation names a SPACE, a 64-bit namespace
+// identifier, so one bucketd serves many ORAM trees (per shard, per
+// recursion level) without their indices colliding.
+//
+// # Frame layout
+//
+// Every frame is a 4-byte little-endian length prefix followed by that many
+// payload bytes (internal/frame.ReadFrame reads one):
+//
+//	uint32   length     bytes after this field (≤ MaxFrameBytes)
+//	[4]byte  magic      "ORMB"
+//	uint8    version    Version (1); unknown versions are rejected
+//	uint8    kind       KindRequest (1) or KindResponse (2)
+//	[2]byte  reserved   must be zero (room for future flags)
+//	uint64   id         frame ID, correlates a response to its request
+//
+// then a kind-specific body. Requests:
+//
+//	uint8    op         OpRead … OpStats
+//	uint64   space      namespace identifier
+//	op-specific:
+//	  read, peek:       uint64 idx
+//	  write, poke:      uint64 idx, uint32 dataLen (NilLen: no payload,
+//	                    nil data — poke-delete), payload
+//	  readpath:         uint32 count (≤ MaxPathBuckets), count × uint64 idx
+//	  writepath:        uint32 count, count × (uint64 idx, uint32 dataLen),
+//	                    payloads concatenated in idx order (NilLen: absent)
+//	  stats:            empty
+//
+// Responses echo the request op, then:
+//
+//	uint16   status     0: success, payload follows; nonzero: an error
+//	                    class (HTTP-style), no payload
+//	uint32   errLen     error message length (0 when status is 0)
+//	bytes    err
+//	success payload:
+//	  read, peek:       uint32 dataLen (NilLen: absent bucket), payload
+//	  readpath:         uint32 count, count × uint32 dataLen, payloads
+//	                    (NilLen: absent bucket, no payload bytes)
+//	  write, poke, writepath: empty
+//	  stats:            uint64 buckets, uint64 bytes
+//
+// All integers are little-endian. As in internal/frame, a frame's declared
+// lengths must account for its bytes exactly: truncated frames, oversized
+// frames, counts that outrun the bytes present, and trailing garbage are
+// all errors (wrapping ErrMalformed), never panics, and no declared count
+// or length sizes an allocation before it is validated against the bytes
+// actually present. A framing error means the stream position can no longer
+// be trusted, so both sides drop the connection on any decode error.
+//
+// # Buffer ownership
+//
+// The codec recycles its scratch, matching the repo's hot-path ownership
+// contracts: an Encoder's returned frame is valid only until its next call,
+// and a Decoder's returned Request/Response — whose Data/Bufs fields alias
+// the input frame — is valid only until the caller reuses the frame buffer.
+// That aliasing is what lets mem.Remote satisfy the PathReader contract
+// with zero copies: the decoded readpath payloads ARE the frame buffer,
+// valid until the next operation reuses it.
+package bucketwire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Version is the protocol generation this package speaks.
+const Version = 1
+
+// magic opens every frame payload: "ORMB" (ORAM Memory Bucket), distinct
+// from internal/frame's "ORMF" so a bucketd accidentally pointed at an
+// oramstore binary listener (or vice versa) fails loudly on frame one.
+var magic = [4]byte{'O', 'R', 'M', 'B'}
+
+// Frame kinds.
+const (
+	KindRequest  = 1
+	KindResponse = 2
+)
+
+// Operations. Zero is deliberately invalid so an all-zero frame cannot
+// decode as a request.
+const (
+	OpRead byte = iota + 1
+	OpWrite
+	OpReadPath
+	OpWritePath
+	OpPeek
+	OpPoke
+	OpStats
+)
+
+// MaxFrameBytes caps a frame's declared payload length, matching
+// internal/frame's bound (64 MiB): a full path of MaxPathBuckets buckets
+// at MaxBucketBytes could exceed any single frame, but real sealed buckets
+// are kilobytes and real paths tens of buckets.
+const MaxFrameBytes = 1 << 26
+
+// MaxPathBuckets caps the bucket count of a readpath/writepath: a path
+// holds L+1 buckets and L is ~log2 of the tree, so 1024 is astronomically
+// beyond any real geometry while keeping a hostile count harmless.
+const MaxPathBuckets = 1024
+
+// MaxBucketBytes caps one sealed bucket's declared length (4 MiB; real
+// buckets are seed + Z slots, kilobytes).
+const MaxBucketBytes = 1 << 22
+
+// NilLen is the length sentinel distinguishing an absent (nil) bucket from
+// an empty one: reads of never-written buckets and poke-deletes both carry
+// nil, and the distinction is part of the mem.Backend contract.
+const NilLen = ^uint32(0)
+
+// Decode errors, mirroring internal/frame's split: ErrMalformed wraps every
+// structural failure, ErrVersion names deploy skew, ErrTooLarge a peer
+// exceeding protocol bounds.
+var (
+	ErrMalformed = errors.New("malformed bucket frame")
+	ErrVersion   = errors.New("unsupported bucket frame version")
+	ErrTooLarge  = errors.New("bucket frame exceeds protocol bounds")
+)
+
+// Request is one decoded request. Which fields are meaningful depends on
+// Op; decoded Data and Bufs entries alias the frame buffer.
+type Request struct {
+	Op    byte
+	Space uint64
+	Idx   uint64   // read, write, peek, poke
+	Data  []byte   // write, poke payload; nil deletes on poke
+	Idxs  []uint64 // readpath, writepath
+	Bufs  [][]byte // writepath payloads, parallel to Idxs
+}
+
+// Response is one decoded response. Status 0 is success; nonzero carries an
+// HTTP-class error code with the message in Err and no payload. Decoded
+// Data and Bufs entries alias the frame buffer.
+type Response struct {
+	Op      byte
+	Status  uint16
+	Err     string
+	Data    []byte   // read, peek (nil: absent bucket)
+	Bufs    [][]byte // readpath (nil entries: absent buckets)
+	Buckets uint64   // stats
+	Bytes   uint64   // stats
+}
+
+// Fixed sizes (bytes).
+const (
+	prefixLen = 4                 // the uint32 length prefix
+	headerLen = 4 + 1 + 1 + 2 + 8 // magic, version, kind, reserved, id
+)
+
+// Encoder builds frames into a reusable buffer. The zero value is ready to
+// use; an Encoder is not safe for concurrent use. Returned frames include
+// the length prefix and are valid only until the next call.
+type Encoder struct {
+	buf []byte
+}
+
+func (e *Encoder) header(kind byte, id uint64) {
+	e.buf = append(e.buf[:0], 0, 0, 0, 0) // length prefix, patched last
+	e.buf = append(e.buf, magic[:]...)
+	e.buf = append(e.buf, Version, kind, 0, 0)
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, id)
+}
+
+func (e *Encoder) finish() ([]byte, error) {
+	payload := len(e.buf) - prefixLen
+	if payload > MaxFrameBytes {
+		return nil, fmt.Errorf("bucketwire: %w: %d-byte payload", ErrTooLarge, payload)
+	}
+	binary.LittleEndian.PutUint32(e.buf[:prefixLen], uint32(payload))
+	return e.buf, nil
+}
+
+// appendLen appends a payload-length field, encoding nil as NilLen.
+func (e *Encoder) appendLen(data []byte) error {
+	if data == nil {
+		e.buf = binary.LittleEndian.AppendUint32(e.buf, NilLen)
+		return nil
+	}
+	if len(data) > MaxBucketBytes {
+		return fmt.Errorf("bucketwire: %w: %d-byte bucket (cap %d)", ErrTooLarge, len(data), MaxBucketBytes)
+	}
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, uint32(len(data)))
+	return nil
+}
+
+// Request encodes one request frame. The returned slice is owned by the
+// Encoder and valid until its next call.
+func (e *Encoder) Request(id uint64, req Request) ([]byte, error) {
+	e.header(KindRequest, id)
+	e.buf = append(e.buf, req.Op)
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, req.Space)
+	switch req.Op {
+	case OpRead, OpPeek:
+		e.buf = binary.LittleEndian.AppendUint64(e.buf, req.Idx)
+	case OpWrite, OpPoke:
+		e.buf = binary.LittleEndian.AppendUint64(e.buf, req.Idx)
+		if err := e.appendLen(req.Data); err != nil {
+			return nil, err
+		}
+		e.buf = append(e.buf, req.Data...)
+	case OpReadPath:
+		if len(req.Idxs) > MaxPathBuckets {
+			return nil, fmt.Errorf("bucketwire: %w: %d path buckets (cap %d)", ErrTooLarge, len(req.Idxs), MaxPathBuckets)
+		}
+		e.buf = binary.LittleEndian.AppendUint32(e.buf, uint32(len(req.Idxs)))
+		for _, idx := range req.Idxs {
+			e.buf = binary.LittleEndian.AppendUint64(e.buf, idx)
+		}
+	case OpWritePath:
+		if len(req.Idxs) != len(req.Bufs) {
+			return nil, fmt.Errorf("bucketwire: writepath has %d idxs but %d buffers", len(req.Idxs), len(req.Bufs))
+		}
+		if len(req.Idxs) > MaxPathBuckets {
+			return nil, fmt.Errorf("bucketwire: %w: %d path buckets (cap %d)", ErrTooLarge, len(req.Idxs), MaxPathBuckets)
+		}
+		e.buf = binary.LittleEndian.AppendUint32(e.buf, uint32(len(req.Idxs)))
+		for i, idx := range req.Idxs {
+			e.buf = binary.LittleEndian.AppendUint64(e.buf, idx)
+			if err := e.appendLen(req.Bufs[i]); err != nil {
+				return nil, err
+			}
+		}
+		for _, b := range req.Bufs {
+			e.buf = append(e.buf, b...)
+		}
+	case OpStats:
+		// no operands
+	default:
+		return nil, fmt.Errorf("bucketwire: %w: unknown op %d", ErrMalformed, req.Op)
+	}
+	return e.finish()
+}
+
+// Response encodes one response frame. A nonzero Status carries only the
+// error message; a success carries the op-specific payload. The returned
+// slice is owned by the Encoder and valid until its next call.
+func (e *Encoder) Response(id uint64, resp Response) ([]byte, error) {
+	e.header(KindResponse, id)
+	e.buf = append(e.buf, resp.Op)
+	e.buf = binary.LittleEndian.AppendUint16(e.buf, resp.Status)
+	if resp.Status != 0 {
+		e.buf = binary.LittleEndian.AppendUint32(e.buf, uint32(len(resp.Err)))
+		e.buf = append(e.buf, resp.Err...)
+		return e.finish()
+	}
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, 0) // errLen
+	switch resp.Op {
+	case OpRead, OpPeek:
+		if err := e.appendLen(resp.Data); err != nil {
+			return nil, err
+		}
+		e.buf = append(e.buf, resp.Data...)
+	case OpWrite, OpPoke, OpWritePath:
+		// no payload
+	case OpReadPath:
+		if len(resp.Bufs) > MaxPathBuckets {
+			return nil, fmt.Errorf("bucketwire: %w: %d path buckets (cap %d)", ErrTooLarge, len(resp.Bufs), MaxPathBuckets)
+		}
+		e.buf = binary.LittleEndian.AppendUint32(e.buf, uint32(len(resp.Bufs)))
+		for _, b := range resp.Bufs {
+			if err := e.appendLen(b); err != nil {
+				return nil, err
+			}
+		}
+		for _, b := range resp.Bufs {
+			e.buf = append(e.buf, b...)
+		}
+	case OpStats:
+		e.buf = binary.LittleEndian.AppendUint64(e.buf, resp.Buckets)
+		e.buf = binary.LittleEndian.AppendUint64(e.buf, resp.Bytes)
+	default:
+		return nil, fmt.Errorf("bucketwire: %w: unknown op %d", ErrMalformed, resp.Op)
+	}
+	return e.finish()
+}
+
+// Decoder parses frame payloads into reusable scratch. The zero value is
+// ready to use; a Decoder is not safe for concurrent use. Returned
+// Request/Response slices are valid until the next call and alias the input
+// frame.
+type Decoder struct {
+	idxs []uint64
+	bufs [][]byte
+}
+
+// common validates the shared frame header and returns the frame ID and the
+// body after it.
+func common(p []byte, kind byte) (uint64, []byte, error) {
+	if len(p) < headerLen {
+		return 0, nil, fmt.Errorf("bucketwire: %w: %d-byte header", ErrMalformed, len(p))
+	}
+	if [4]byte(p[:4]) != magic {
+		return 0, nil, fmt.Errorf("bucketwire: %w: bad magic %q", ErrMalformed, p[:4])
+	}
+	if p[4] != Version {
+		return 0, nil, fmt.Errorf("bucketwire: %w: got %d, speak %d", ErrVersion, p[4], Version)
+	}
+	if p[5] != kind {
+		return 0, nil, fmt.Errorf("bucketwire: %w: kind %d, want %d", ErrMalformed, p[5], kind)
+	}
+	if p[6] != 0 || p[7] != 0 {
+		return 0, nil, fmt.Errorf("bucketwire: %w: nonzero reserved bytes", ErrMalformed)
+	}
+	return binary.LittleEndian.Uint64(p[8:16]), p[headerLen:], nil
+}
+
+// sliceLen interprets one decoded length field: how many payload bytes it
+// consumes (0 for NilLen) and whether the bucket is present.
+func sliceLen(v uint32) (n int, present bool, err error) {
+	if v == NilLen {
+		return 0, false, nil
+	}
+	if v > MaxBucketBytes {
+		return 0, false, fmt.Errorf("bucketwire: %w: %d-byte bucket (cap %d)", ErrTooLarge, v, MaxBucketBytes)
+	}
+	return int(v), true, nil
+}
+
+// take returns data[:n] (nil when the length field said absent) and the
+// rest, never allocating: a decoded payload aliases the frame.
+func take(data []byte, n int, present bool) ([]byte, []byte) {
+	if !present {
+		return nil, data
+	}
+	return data[:n:n], data[n:]
+}
+
+// pathCount validates a readpath/writepath bucket count against the cap and
+// the bytes present for its fixed-width headers.
+func pathCount(body []byte, width int) (int, error) {
+	if len(body) < 4 {
+		return 0, fmt.Errorf("bucketwire: %w: truncated before path count", ErrMalformed)
+	}
+	n := int(binary.LittleEndian.Uint32(body[:4]))
+	if n > MaxPathBuckets {
+		return 0, fmt.Errorf("bucketwire: %w: %d path buckets (cap %d)", ErrTooLarge, n, MaxPathBuckets)
+	}
+	if len(body)-4 < n*width {
+		return 0, fmt.Errorf("bucketwire: %w: %d path buckets but %d header bytes", ErrMalformed, n, len(body)-4)
+	}
+	return n, nil
+}
+
+// Request decodes one request frame payload (after the length prefix).
+func (d *Decoder) Request(p []byte) (id uint64, req Request, err error) {
+	id, body, err := common(p, KindRequest)
+	if err != nil {
+		return 0, Request{}, err
+	}
+	if len(body) < 9 {
+		return 0, Request{}, fmt.Errorf("bucketwire: %w: truncated request header", ErrMalformed)
+	}
+	req.Op = body[0]
+	req.Space = binary.LittleEndian.Uint64(body[1:9])
+	rest := body[9:]
+	switch req.Op {
+	case OpRead, OpPeek:
+		if len(rest) != 8 {
+			return 0, Request{}, fmt.Errorf("bucketwire: %w: read operand is %d bytes", ErrMalformed, len(rest))
+		}
+		req.Idx = binary.LittleEndian.Uint64(rest)
+	case OpWrite, OpPoke:
+		if len(rest) < 12 {
+			return 0, Request{}, fmt.Errorf("bucketwire: %w: truncated write operand", ErrMalformed)
+		}
+		req.Idx = binary.LittleEndian.Uint64(rest[:8])
+		n, present, err := sliceLen(binary.LittleEndian.Uint32(rest[8:12]))
+		if err != nil {
+			return 0, Request{}, err
+		}
+		if len(rest)-12 != n {
+			return 0, Request{}, fmt.Errorf("bucketwire: %w: write declares %d payload bytes, has %d", ErrMalformed, n, len(rest)-12)
+		}
+		req.Data, _ = take(rest[12:], n, present)
+	case OpReadPath:
+		n, err := pathCount(rest, 8)
+		if err != nil {
+			return 0, Request{}, err
+		}
+		if len(rest) != 4+8*n {
+			return 0, Request{}, fmt.Errorf("bucketwire: %w: %d trailing bytes after readpath", ErrMalformed, len(rest)-4-8*n)
+		}
+		d.idxs = d.idxs[:0]
+		for i := 0; i < n; i++ {
+			d.idxs = append(d.idxs, binary.LittleEndian.Uint64(rest[4+8*i:]))
+		}
+		req.Idxs = d.idxs
+	case OpWritePath:
+		n, err := pathCount(rest, 12)
+		if err != nil {
+			return 0, Request{}, err
+		}
+		d.idxs = d.idxs[:0]
+		d.bufs = d.bufs[:0]
+		payloads := 0
+		for i := 0; i < n; i++ {
+			h := rest[4+12*i:]
+			d.idxs = append(d.idxs, binary.LittleEndian.Uint64(h[:8]))
+			m, present, err := sliceLen(binary.LittleEndian.Uint32(h[8:12]))
+			if err != nil {
+				return 0, Request{}, err
+			}
+			if !present {
+				m = -1 // marker for the slicing pass below
+			}
+			if m > 0 && m > len(rest)-4-12*n-payloads {
+				return 0, Request{}, fmt.Errorf("bucketwire: %w: writepath bucket %d overruns frame", ErrMalformed, i)
+			}
+			if m > 0 {
+				payloads += m
+			}
+			d.bufs = append(d.bufs, nil)
+		}
+		if 4+12*n+payloads != len(rest) {
+			return 0, Request{}, fmt.Errorf("bucketwire: %w: %d trailing bytes after writepath", ErrMalformed, len(rest)-4-12*n-payloads)
+		}
+		pay := rest[4+12*n:]
+		for i := 0; i < n; i++ {
+			v := binary.LittleEndian.Uint32(rest[4+12*i+8:])
+			m, present, _ := sliceLen(v)
+			d.bufs[i], pay = take(pay, m, present)
+		}
+		req.Idxs = d.idxs
+		req.Bufs = d.bufs
+	case OpStats:
+		if len(rest) != 0 {
+			return 0, Request{}, fmt.Errorf("bucketwire: %w: %d trailing bytes after stats", ErrMalformed, len(rest))
+		}
+	default:
+		return 0, Request{}, fmt.Errorf("bucketwire: %w: unknown op %d", ErrMalformed, req.Op)
+	}
+	return id, req, nil
+}
+
+// Response decodes one response frame payload (after the length prefix).
+func (d *Decoder) Response(p []byte) (id uint64, resp Response, err error) {
+	id, body, err := common(p, KindResponse)
+	if err != nil {
+		return 0, Response{}, err
+	}
+	if len(body) < 7 {
+		return 0, Response{}, fmt.Errorf("bucketwire: %w: truncated response header", ErrMalformed)
+	}
+	resp.Op = body[0]
+	resp.Status = binary.LittleEndian.Uint16(body[1:3])
+	errLen := int(binary.LittleEndian.Uint32(body[3:7]))
+	rest := body[7:]
+	if errLen > len(rest) {
+		return 0, Response{}, fmt.Errorf("bucketwire: %w: error message overruns frame", ErrMalformed)
+	}
+	if resp.Status == 0 && errLen != 0 {
+		return 0, Response{}, fmt.Errorf("bucketwire: %w: success carries an error message", ErrMalformed)
+	}
+	resp.Err = string(rest[:errLen])
+	rest = rest[errLen:]
+	if resp.Status != 0 {
+		if len(rest) != 0 {
+			return 0, Response{}, fmt.Errorf("bucketwire: %w: %d payload bytes on an error response", ErrMalformed, len(rest))
+		}
+		return id, resp, nil
+	}
+	switch resp.Op {
+	case OpRead, OpPeek:
+		if len(rest) < 4 {
+			return 0, Response{}, fmt.Errorf("bucketwire: %w: truncated read length", ErrMalformed)
+		}
+		n, present, err := sliceLen(binary.LittleEndian.Uint32(rest[:4]))
+		if err != nil {
+			return 0, Response{}, err
+		}
+		if len(rest)-4 != n {
+			return 0, Response{}, fmt.Errorf("bucketwire: %w: read declares %d payload bytes, has %d", ErrMalformed, n, len(rest)-4)
+		}
+		resp.Data, _ = take(rest[4:], n, present)
+	case OpWrite, OpPoke, OpWritePath:
+		if len(rest) != 0 {
+			return 0, Response{}, fmt.Errorf("bucketwire: %w: %d trailing bytes after ack", ErrMalformed, len(rest))
+		}
+	case OpReadPath:
+		n, err := pathCount(rest, 4)
+		if err != nil {
+			return 0, Response{}, err
+		}
+		d.bufs = d.bufs[:0]
+		payloads := 0
+		for i := 0; i < n; i++ {
+			m, present, err := sliceLen(binary.LittleEndian.Uint32(rest[4+4*i:]))
+			if err != nil {
+				return 0, Response{}, err
+			}
+			if present && m > len(rest)-4-4*n-payloads {
+				return 0, Response{}, fmt.Errorf("bucketwire: %w: readpath bucket %d overruns frame", ErrMalformed, i)
+			}
+			if present {
+				payloads += m
+			}
+			d.bufs = append(d.bufs, nil)
+		}
+		if 4+4*n+payloads != len(rest) {
+			return 0, Response{}, fmt.Errorf("bucketwire: %w: %d trailing bytes after readpath", ErrMalformed, len(rest)-4-4*n-payloads)
+		}
+		pay := rest[4+4*n:]
+		for i := 0; i < n; i++ {
+			m, present, _ := sliceLen(binary.LittleEndian.Uint32(rest[4+4*i:]))
+			d.bufs[i], pay = take(pay, m, present)
+		}
+		resp.Bufs = d.bufs
+	case OpStats:
+		if len(rest) != 16 {
+			return 0, Response{}, fmt.Errorf("bucketwire: %w: stats payload is %d bytes", ErrMalformed, len(rest))
+		}
+		resp.Buckets = binary.LittleEndian.Uint64(rest[:8])
+		resp.Bytes = binary.LittleEndian.Uint64(rest[8:16])
+	default:
+		return 0, Response{}, fmt.Errorf("bucketwire: %w: unknown op %d", ErrMalformed, resp.Op)
+	}
+	return id, resp, nil
+}

@@ -48,9 +48,22 @@ type Params struct {
 	// store (tree-<i>.oram under the directory, created if needed) so
 	// sealed buckets survive process restarts. Requires Functional.
 	DataDir string
+	// MemAddr, if non-empty, backs every tree with a remote bucketd server
+	// at this TCP address instead of in-process memory: the paper's
+	// untrusted memory as a separate failure domain. Requires Functional;
+	// mutually exclusive with DataDir. Tree i lives in bucketd namespace
+	// "<MemNamespace>/tree-<i>".
+	MemAddr string
+	// MemNamespace isolates this system's buckets on a shared bucketd
+	// (default "seed-<Seed>"). Two live systems MUST NOT share a namespace.
+	MemNamespace string
+	// SerialPathIO forces per-bucket loops even when the bucket store
+	// batches paths natively — the honest baseline for latency benchmarks.
+	SerialPathIO bool
 	// ReadDelay and WriteDelay, if positive, wrap each tree's bucket store
 	// in a latency injector (mem.WithLatency), simulating remote or
-	// disk-class untrusted memory. Requires Functional.
+	// disk-class untrusted memory. The delay is charged once per operation,
+	// so a batched path read pays it once. Requires Functional.
 	ReadDelay  time.Duration
 	WriteDelay time.Duration
 }
@@ -160,21 +173,30 @@ func (s *System) Close() error {
 }
 
 // newMemFactory returns the constructor for per-tree untrusted memory:
-// tree i gets DataDir/tree-<i>.oram when durable, an in-process map
-// otherwise, either one behind a latency injector when delays are set.
+// tree i gets DataDir/tree-<i>.oram when durable, a bucketd namespace
+// "<ns>/tree-<i>" when remote, an in-process map otherwise — any of them
+// behind a latency injector when delays are set.
 func newMemFactory(p Params) (func(g tree.Geometry) (mem.Backend, error), error) {
-	if !p.Functional && (p.DataDir != "" || p.ReadDelay > 0 || p.WriteDelay > 0) {
-		return nil, fmt.Errorf("core: durable or latency-injected untrusted memory requires the functional backend")
+	if !p.Functional && (p.DataDir != "" || p.MemAddr != "" || p.ReadDelay > 0 || p.WriteDelay > 0) {
+		return nil, fmt.Errorf("core: durable, remote, or latency-injected untrusted memory requires the functional backend")
+	}
+	if p.DataDir != "" && p.MemAddr != "" {
+		return nil, fmt.Errorf("core: durable (DataDir) and remote (MemAddr) untrusted memory are mutually exclusive")
 	}
 	if p.DataDir != "" {
 		if err := os.MkdirAll(p.DataDir, 0o755); err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}
 	}
+	ns := p.MemNamespace
+	if ns == "" {
+		ns = fmt.Sprintf("seed-%016x", p.Seed)
+	}
 	treeIdx := 0
 	return func(g tree.Geometry) (mem.Backend, error) {
 		var m mem.Backend = mem.NewStore()
-		if p.DataDir != "" {
+		switch {
+		case p.DataDir != "":
 			fs, err := mem.OpenFile(mem.FileConfig{
 				Path:      filepath.Join(p.DataDir, fmt.Sprintf("tree-%d.oram", treeIdx)),
 				Geometry:  g,
@@ -184,6 +206,15 @@ func newMemFactory(p Params) (func(g tree.Geometry) (mem.Backend, error), error)
 				return nil, err
 			}
 			m = fs
+		case p.MemAddr != "":
+			r, err := mem.DialRemote(mem.RemoteConfig{
+				Addr:      p.MemAddr,
+				Namespace: fmt.Sprintf("%s/tree-%d", ns, treeIdx),
+			})
+			if err != nil {
+				return nil, err
+			}
+			m = r
 		}
 		treeIdx++
 		return mem.WithLatency(m, p.ReadDelay, p.WriteDelay), nil
@@ -248,6 +279,7 @@ func Build(p Params) (*System, error) {
 			Cipher:        ciph,
 			StashCapacity: p.StashCap,
 			Counters:      ctr,
+			SerialPathIO:  p.SerialPathIO,
 		})
 	}
 

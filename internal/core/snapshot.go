@@ -76,6 +76,9 @@ const snapshotVersion = 1
 // restored into the same logical ORAM at a different path or latency.
 func comparableParams(p Params) Params {
 	p.DataDir = ""
+	p.MemAddr = ""
+	p.MemNamespace = ""
+	p.SerialPathIO = false
 	p.ReadDelay = 0
 	p.WriteDelay = 0
 	return p

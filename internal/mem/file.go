@@ -55,6 +55,10 @@ type FileStore struct {
 	// corrupt the in-flight slot image.
 	readBuf  []byte
 	writeBuf []byte
+	// pathBufs are the per-level buffers behind ReadPath: every bucket of a
+	// path must stay valid simultaneously, so each level loads into its own
+	// slot-sized buffer (grown to path length on first use, then reused).
+	pathBufs [][]byte
 }
 
 // FileConfig parameterizes OpenFile.
@@ -261,16 +265,21 @@ func (s *FileStore) slotOff(idx uint64) int64 {
 // returned slice aliases readBuf and is only valid until the next load; nil
 // means absent.
 func (s *FileStore) load(idx uint64) ([]byte, error) {
+	return s.loadInto(idx, s.readBuf)
+}
+
+// loadInto is load with an explicit slot-sized destination buffer, so
+// ReadPath can keep every level of a path alive at once.
+func (s *FileStore) loadInto(idx uint64, buf []byte) ([]byte, error) {
 	if idx >= s.buckets {
 		return nil, fmt.Errorf("mem: bucket %d out of range [0,%d)", idx, s.buckets)
 	}
-	buf := s.readBuf
 	n, err := s.f.ReadAt(buf, s.slotOff(idx))
 	if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
 		// A real I/O fault (not a torn tail) must surface as an error, per
 		// the Backend contract — never as a garbage bucket that would latch
 		// a permanent PMMAC violation upstream.
-		return nil, fmt.Errorf("mem: bucket %d: %w", idx, err)
+		return nil, fmt.Errorf("mem: bucket %d: %w: %w", idx, ErrIO, err)
 	}
 	if n < slotLenBytes {
 		return nil, nil // torn file: slot absent
@@ -298,7 +307,7 @@ func (s *FileStore) store(idx uint64, data []byte) error {
 	binary.BigEndian.PutUint32(buf[:slotLenBytes], uint32(len(data)))
 	copy(buf[slotLenBytes:], data)
 	if _, err := s.f.WriteAt(buf, s.slotOff(idx)); err != nil {
-		return fmt.Errorf("mem: bucket %d: %w", idx, err)
+		return fmt.Errorf("mem: bucket %d: %w: %w", idx, ErrIO, err)
 	}
 	s.mark(idx, data != nil && len(data) > 0)
 	return nil

@@ -2,22 +2,29 @@ package mem
 
 import "time"
 
-// Latency wraps a Backend and injects a fixed delay into every Read and
-// Write, simulating remote or disk-class untrusted memory (the trusted
-// processor / untrusted storage split of The Pyramid Scheme). Peek and Poke
-// stay instant — the adversary inspects memory at rest, not over the wire —
-// and hooks are delegated so tamper ordering is unchanged. The wrapper adds
-// no copying: it inherits the inner backend's buffer-ownership semantics
-// (Read may return inner scratch; Write does not retain the slice).
+// Latency wraps a Backend and injects a fixed delay into every operation,
+// simulating remote or disk-class untrusted memory (the trusted processor /
+// untrusted storage split of The Pyramid Scheme). The delay is per
+// OPERATION, not per bucket: a batched ReadPath or WritePath pays one delay
+// for the whole path, which is exactly the economics that make batched path
+// I/O worth modeling. Peek and Poke stay instant — the adversary inspects
+// memory at rest, not over the wire — and hooks are delegated so tamper
+// ordering is unchanged. The wrapper adds no copying: it inherits the inner
+// backend's buffer-ownership semantics (Read may return inner scratch;
+// Write does not retain the slice).
 type Latency struct {
 	Backend
 	readDelay  time.Duration
 	writeDelay time.Duration
+	// pathBufs back the ReadPath fallback when the inner backend has no
+	// PathReader: each level gets a private copy so all levels stay valid
+	// simultaneously, as the PathReader contract requires.
+	pathBufs [][]byte
 }
 
-// WithLatency wraps inner so every Read sleeps readDelay and every Write
-// sleeps writeDelay before the operation reaches inner. Zero delays are
-// returned unwrapped.
+// WithLatency wraps inner so every read operation sleeps readDelay and
+// every write operation sleeps writeDelay before reaching inner. Zero
+// delays are returned unwrapped.
 func WithLatency(inner Backend, readDelay, writeDelay time.Duration) Backend {
 	if readDelay <= 0 && writeDelay <= 0 {
 		return inner
@@ -41,7 +48,58 @@ func (l *Latency) Write(idx uint64, data []byte) error {
 	return l.Backend.Write(idx, data)
 }
 
+// ReadPath implements PathReader: one read delay for the whole path. When
+// the inner backend batches natively the call is delegated; otherwise each
+// bucket is read serially (with no further delay) and copied into per-level
+// scratch so the results are simultaneously valid.
+func (l *Latency) ReadPath(idxs []uint64, out [][]byte) error {
+	if l.readDelay > 0 {
+		time.Sleep(l.readDelay)
+	}
+	if pr, ok := l.Backend.(PathReader); ok {
+		return pr.ReadPath(idxs, out)
+	}
+	for len(l.pathBufs) < len(idxs) {
+		l.pathBufs = append(l.pathBufs, nil)
+	}
+	for i, idx := range idxs {
+		data, err := l.Backend.Read(idx)
+		if err != nil {
+			return err
+		}
+		if data == nil {
+			out[i] = nil
+			continue
+		}
+		l.pathBufs[i] = append(l.pathBufs[i][:0], data...)
+		out[i] = l.pathBufs[i]
+	}
+	return nil
+}
+
+// WritePath implements PathWriter: one write delay for the whole path,
+// delegated to the inner backend's PathWriter when present and unrolled
+// into serial Writes (no further delay) otherwise.
+func (l *Latency) WritePath(idxs []uint64, data [][]byte) error {
+	if l.writeDelay > 0 {
+		time.Sleep(l.writeDelay)
+	}
+	if pw, ok := l.Backend.(PathWriter); ok {
+		return pw.WritePath(idxs, data)
+	}
+	for i, idx := range idxs {
+		if err := l.Backend.Write(idx, data[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Inner returns the wrapped backend.
 func (l *Latency) Inner() Backend { return l.Backend }
 
-var _ Backend = (*Latency)(nil)
+var (
+	_ Backend    = (*Latency)(nil)
+	_ PathReader = (*Latency)(nil)
+	_ PathWriter = (*Latency)(nil)
+)

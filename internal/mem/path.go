@@ -1,0 +1,90 @@
+package mem
+
+import "errors"
+
+// ErrIO marks real I/O faults in untrusted memory: a dead connection, a
+// failing disk, a server answering errors — anything that prevents the
+// backend from serving sealed bytes at all. It is distinct from tampering
+// (torn or garbage bucket contents are served as-is for decryption and
+// PMMAC to judge): an I/O fault mid-access leaves the controller's state
+// unverifiable, so the layers above treat it as fail-stop, like an
+// integrity violation but with an operational cause. Backends wrap ErrIO
+// into every fault they surface so serving layers can detect the class
+// with errors.Is.
+var ErrIO = errors.New("untrusted memory I/O fault")
+
+// PathReader is the batched read capability a Backend may additionally
+// implement: read every bucket of one tree path in a single operation.
+//
+// ReadPath fills out[i] with the sealed bucket at idxs[i] (nil for a
+// never-written bucket); idxs and out have equal length. Unlike Backend.Read
+// — whose result is valid only until the next operation — ALL returned
+// slices are simultaneously valid until the next operation on the backend,
+// so the controller can absorb the whole path before touching memory again.
+// The slices are still backend-owned scratch: read-only, not to be retained
+// past the next operation.
+//
+// Semantics match a serial loop of Reads in idxs order exactly: one read is
+// counted and the OnRead hook runs once per bucket, in order. The point of
+// the interface is cost, not behavior — a remote backend serves the whole
+// path in one round trip instead of len(idxs) sequential ones.
+type PathReader interface {
+	ReadPath(idxs []uint64, out [][]byte) error
+}
+
+// PathWriter is the batched write capability a Backend may additionally
+// implement: write every bucket of one tree path in a single operation.
+//
+// WritePath stores data[i] at idxs[i]; like Backend.Write it does NOT
+// retain the slices — the caller may reuse them as soon as it returns.
+// Semantics match a serial loop of Writes in idxs order (one write counted
+// and OnWrite run per bucket, in order), but an implementation may pipeline
+// the operation: return before the data is acknowledged remotely, and
+// surface a failed acknowledgement (wrapping ErrIO) from a LATER operation
+// on the backend. The controller treats any access-loop error as fail-stop,
+// so deferred failure detection costs nothing in safety and hides a full
+// round trip per access.
+type PathWriter interface {
+	WritePath(idxs []uint64, data [][]byte) error
+}
+
+// ReadPath implements PathReader with a loop over Read. The map store's
+// Read returns live bucket slices, which all remain valid while no write
+// happens — exactly the simultaneous-validity guarantee ReadPath adds.
+func (s *Store) ReadPath(idxs []uint64, out [][]byte) error {
+	for i, idx := range idxs {
+		data, err := s.Read(idx)
+		if err != nil {
+			return err
+		}
+		out[i] = data
+	}
+	return nil
+}
+
+// ReadPath implements PathReader. Each bucket is loaded into its own
+// per-level scratch buffer (grown once, then reused across paths), because
+// FileStore.Read's single scratch would alias every level to the last one
+// read.
+func (s *FileStore) ReadPath(idxs []uint64, out [][]byte) error {
+	for len(s.pathBufs) < len(idxs) {
+		s.pathBufs = append(s.pathBufs, make([]byte, slotLenBytes+s.slotBytes))
+	}
+	for i, idx := range idxs {
+		s.reads++
+		data, err := s.loadInto(idx, s.pathBufs[i])
+		if err != nil {
+			return err
+		}
+		if s.onRead != nil {
+			data = s.onRead(idx, data)
+		}
+		out[i] = data
+	}
+	return nil
+}
+
+var (
+	_ PathReader = (*Store)(nil)
+	_ PathReader = (*FileStore)(nil)
+)

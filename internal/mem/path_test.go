@@ -1,0 +1,108 @@
+package mem
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// pathBackends builds each PathReader-implementing local backend over a
+// few materialized buckets.
+func pathBackends(t *testing.T) map[string]Backend {
+	t.Helper()
+	mk := func(b Backend) Backend {
+		for idx := uint64(0); idx < 6; idx += 2 { // 0, 2, 4 present; odd absent
+			if err := b.Write(idx, []byte{byte('a' + idx), byte('a' + idx)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return b
+	}
+	fs, err := OpenFile(FileConfig{
+		Path:      t.TempDir() + "/path.oram",
+		Geometry:  testGeom(t),
+		SlotBytes: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fs.Close() })
+	return map[string]Backend{
+		"store": mk(NewStore()),
+		"file":  mk(fs),
+	}
+}
+
+// TestReadPathMatchesSerialLoop pins the PathReader contract on the local
+// backends: same data, same nil-for-absent semantics, one read counted and
+// one OnRead fired per bucket in path order, and every level's buffer
+// simultaneously valid.
+func TestReadPathMatchesSerialLoop(t *testing.T) {
+	for name, b := range pathBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			pr, ok := b.(PathReader)
+			if !ok {
+				t.Fatalf("%T does not implement PathReader", b)
+			}
+			idxs := []uint64{4, 1, 0, 2} // unsorted, with an absent bucket
+			var hookOrder []uint64
+			b.SetOnRead(func(idx uint64, data []byte) []byte {
+				hookOrder = append(hookOrder, idx)
+				return data
+			})
+			defer b.SetOnRead(nil)
+
+			before := b.Stats().Reads
+			out := make([][]byte, len(idxs))
+			if err := pr.ReadPath(idxs, out); err != nil {
+				t.Fatal(err)
+			}
+			if got := b.Stats().Reads - before; got != uint64(len(idxs)) {
+				t.Errorf("counted %d reads, want %d", got, len(idxs))
+			}
+			for i, idx := range idxs {
+				if idx%2 == 1 {
+					if out[i] != nil {
+						t.Errorf("absent bucket %d read as %q", idx, out[i])
+					}
+					continue
+				}
+				want := []byte{byte('a' + idx), byte('a' + idx)}
+				if !bytes.Equal(out[i], want) {
+					t.Errorf("bucket %d: got %q, want %q (simultaneous validity violated?)", idx, out[i], want)
+				}
+			}
+			if fmt.Sprint(hookOrder) != fmt.Sprint(idxs) {
+				t.Errorf("OnRead order %v, want %v", hookOrder, idxs)
+			}
+		})
+	}
+}
+
+// TestFileStoreReadPathWrapsErrIO pins that a real I/O-class failure from
+// the file backend is marked with ErrIO (out-of-range indices are caller
+// bugs, not I/O faults, and stay unmarked).
+func TestFileStoreReadPathWrapsErrIO(t *testing.T) {
+	fs, err := OpenFile(FileConfig{
+		Path:      t.TempDir() + "/errio.oram",
+		Geometry:  testGeom(t),
+		SlotBytes: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Write(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// Closing the page file out from under the store turns the next load
+	// into a real I/O fault.
+	fs.f.Close()
+	out := make([][]byte, 1)
+	if err := fs.ReadPath([]uint64{1}, out); !errors.Is(err, ErrIO) {
+		t.Errorf("ReadPath on closed file: %v, want ErrIO", err)
+	}
+	if err := fs.Write(1, []byte("y")); !errors.Is(err, ErrIO) {
+		t.Errorf("Write on closed file: %v, want ErrIO", err)
+	}
+}

@@ -1,0 +1,333 @@
+package mem
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"freecursive/internal/bucketd"
+)
+
+// startBucketd runs an in-process bucketd on an ephemeral port and returns
+// its address.
+func startBucketd(t *testing.T, cfg bucketd.Config) (string, *bucketd.Server) {
+	t.Helper()
+	srv := bucketd.New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return ln.Addr().String(), srv
+}
+
+func dialTest(t *testing.T, addr, namespace string) *Remote {
+	t.Helper()
+	r, err := DialRemote(RemoteConfig{
+		Addr:      addr,
+		Namespace: namespace,
+		RedialMin: time.Millisecond,
+		RedialMax: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r
+}
+
+// TestRemoteRoundTrip exercises the full Backend contract over a live
+// bucketd: data round trips, nil-for-absent, Peek/Poke bypassing hooks and
+// counters, client-side hook application, and Stats.
+func TestRemoteRoundTrip(t *testing.T) {
+	addr, _ := startBucketd(t, bucketd.Config{})
+	r := dialTest(t, addr, "t/roundtrip")
+
+	if got, err := r.Read(5); err != nil || got != nil {
+		t.Fatalf("fresh read: %q, %v", got, err)
+	}
+	if err := r.Write(5, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Read(5)
+	if err != nil || !bytes.Equal(got, []byte("hello")) {
+		t.Fatalf("read back: %q, %v", got, err)
+	}
+
+	// Hooks run client-side; Peek/Poke bypass them and the counters.
+	hookCalls := 0
+	r.SetOnRead(func(idx uint64, data []byte) []byte {
+		hookCalls++
+		return data
+	})
+	st := r.Stats()
+	if raw := r.Peek(5); !bytes.Equal(raw, []byte("hello")) {
+		t.Fatalf("peek: %q", raw)
+	}
+	r.Poke(6, []byte("planted"))
+	if hookCalls != 0 {
+		t.Errorf("peek fired the read hook")
+	}
+	if after := r.Stats(); after.Reads != st.Reads || after.Writes != st.Writes {
+		t.Errorf("peek/poke moved counters: %+v -> %+v", st, after)
+	}
+	if got, err := r.Read(6); err != nil || !bytes.Equal(got, []byte("planted")) {
+		t.Fatalf("read of poked bucket: %q, %v", got, err)
+	}
+	if hookCalls != 1 {
+		t.Errorf("read hook fired %d times, want 1", hookCalls)
+	}
+	r.SetOnRead(nil)
+
+	// Poke nil deletes; the server's footprint reflects it.
+	r.Poke(6, nil)
+	if got, _ := r.Read(6); got != nil {
+		t.Fatalf("deleted bucket reads as %q", got)
+	}
+	if st := r.Stats(); st.Buckets != 1 || st.Bytes != 5 {
+		t.Errorf("server footprint %+v, want 1 bucket / 5 bytes", st)
+	}
+}
+
+// TestRemoteNamespaces pins that distinct namespaces are disjoint bucket
+// spaces on a shared server and identical namespaces share one.
+func TestRemoteNamespaces(t *testing.T) {
+	addr, _ := startBucketd(t, bucketd.Config{})
+	a := dialTest(t, addr, "t/ns-a")
+	b := dialTest(t, addr, "t/ns-b")
+	a2 := dialTest(t, addr, "t/ns-a")
+
+	if err := a.Write(1, []byte("A")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := b.Read(1); got != nil {
+		t.Fatalf("namespace leak: %q", got)
+	}
+	if got, _ := a2.Read(1); !bytes.Equal(got, []byte("A")) {
+		t.Fatalf("same namespace, different view: %q", got)
+	}
+}
+
+// TestRemotePathOps pins the batched path operations: ReadPath's buffers
+// are simultaneously valid (the PathReader contract), hooks and counters
+// fire per bucket, and a pipelined WritePath lands before the next read.
+func TestRemotePathOps(t *testing.T) {
+	addr, _ := startBucketd(t, bucketd.Config{})
+	r := dialTest(t, addr, "t/path")
+
+	idxs := []uint64{0, 1, 2, 3}
+	bufs := [][]byte{[]byte("root"), nil, []byte("mid"), []byte("leaf")}
+	var wrote []uint64
+	r.SetOnWrite(func(idx uint64, data []byte) []byte {
+		wrote = append(wrote, idx)
+		return data
+	})
+	if err := r.WritePath(idxs, bufs); err != nil {
+		t.Fatal(err)
+	}
+	r.SetOnWrite(nil)
+	if len(wrote) != 4 {
+		t.Fatalf("write hooks fired for %v", wrote)
+	}
+
+	// The write-back is pipelined; the subsequent ReadPath must observe it
+	// (the connection is the ordering domain).
+	out := make([][]byte, 4)
+	if err := r.ReadPath(idxs, out); err != nil {
+		t.Fatal(err)
+	}
+	for i := range bufs {
+		if (out[i] == nil) != (bufs[i] == nil) || !bytes.Equal(out[i], bufs[i]) {
+			t.Errorf("bucket %d: got %q, want %q", idxs[i], out[i], bufs[i])
+		}
+	}
+	if st := r.Stats(); st.Reads != 4 || st.Writes != 4 {
+		t.Errorf("counters %+v, want 4 reads / 4 writes", st)
+	}
+}
+
+// TestRemoteBounceRedial pins connection-loss recovery: after a clean
+// Bounce the next operation transparently redials and the buckets are
+// still there (the server, not the connection, owns the data).
+func TestRemoteBounceRedial(t *testing.T) {
+	addr, _ := startBucketd(t, bucketd.Config{})
+	r := dialTest(t, addr, "t/bounce")
+	if err := r.Write(9, []byte("sticky")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := r.Bounce(); err != nil {
+			t.Fatalf("bounce %d: %v", i, err)
+		}
+		got, err := r.Read(9)
+		if err != nil || !bytes.Equal(got, []byte("sticky")) {
+			t.Fatalf("after bounce %d: %q, %v", i, got, err)
+		}
+	}
+}
+
+// TestRemoteDialFailure pins that an unreachable server fails fast with an
+// error wrapping ErrIO, both at construction and after the server dies.
+func TestRemoteDialFailure(t *testing.T) {
+	// A listener we immediately close gives us an address nobody serves.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	_, err = DialRemote(RemoteConfig{
+		Addr:         addr,
+		Namespace:    "t/dead",
+		DialAttempts: 2,
+		RedialMin:    time.Millisecond,
+		RedialMax:    2 * time.Millisecond,
+	})
+	if !errors.Is(err, ErrIO) {
+		t.Fatalf("dial to dead server: %v, want ErrIO", err)
+	}
+}
+
+// TestRemoteServerShutdownMidUse pins that losing the server surfaces
+// ErrIO (not a hang, not a panic) on the next operation.
+func TestRemoteServerShutdownMidUse(t *testing.T) {
+	addr, srv := startBucketd(t, bucketd.Config{})
+	r, err := DialRemote(RemoteConfig{
+		Addr:         addr,
+		Namespace:    "t/shutdown",
+		DialAttempts: 2,
+		RedialMin:    time.Millisecond,
+		RedialMax:    2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.Write(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	if _, err := r.Read(1); !errors.Is(err, ErrIO) {
+		t.Fatalf("read after server death: %v, want ErrIO", err)
+	}
+}
+
+// TestRemoteInjectedFault pins the server-side fault path: a status-500
+// answer surfaces as ErrIO, is NOT latched (the stream stays in sync), and
+// the connection keeps serving.
+func TestRemoteInjectedFault(t *testing.T) {
+	addr, _ := startBucketd(t, bucketd.Config{FailEvery: 3})
+	r := dialTest(t, addr, "t/fault")
+	var failures int
+	for op := 1; op <= 9; op++ {
+		err := r.Write(uint64(op), []byte{byte(op)})
+		if err != nil {
+			if !errors.Is(err, ErrIO) {
+				t.Fatalf("op %d: %v, want ErrIO", op, err)
+			}
+			failures++
+		}
+	}
+	if failures != 3 {
+		t.Fatalf("%d failures over 9 ops with FailEvery=3", failures)
+	}
+}
+
+// TestRemotePipelinedWriteFaultLatches pins the deferred-acknowledgement
+// contract: a WritePath whose ack reports failure surfaces from the NEXT
+// operation as ErrIO, and the fault latches — once remote state is
+// unverifiable every subsequent operation must fail (fail-stop).
+func TestRemotePipelinedWriteFaultLatches(t *testing.T) {
+	addr, _ := startBucketd(t, bucketd.Config{FailEvery: 1}) // every data op fails
+	r := dialTest(t, addr, "t/wb-fault")
+
+	// The pipelined send itself succeeds locally…
+	if err := r.WritePath([]uint64{0, 1}, [][]byte{[]byte("a"), []byte("b")}); err != nil {
+		t.Fatalf("pipelined send failed synchronously: %v", err)
+	}
+	// …the failure surfaces from the next op, wrapping ErrIO.
+	_, err := r.Read(0)
+	if !errors.Is(err, ErrIO) || !strings.Contains(err.Error(), "write-back") {
+		t.Fatalf("deferred fault: %v, want ErrIO mentioning write-back", err)
+	}
+	// And it latches: the remote tree diverged, so no recovery.
+	if _, err := r.Read(0); !errors.Is(err, ErrIO) {
+		t.Fatalf("latched fault did not stick: %v", err)
+	}
+	if err := r.Write(0, []byte("z")); !errors.Is(err, ErrIO) {
+		t.Fatalf("latched fault did not stick for writes: %v", err)
+	}
+}
+
+// TestRemoteConnLossWithPendingWriteLatches pins the harsher variant: the
+// connection dies with an unacknowledged pipelined write in flight. The
+// outcome of that write is unknowable, so the Remote must latch.
+func TestRemoteConnLossWithPendingWriteLatches(t *testing.T) {
+	addr, srv := startBucketd(t, bucketd.Config{RTT: 50 * time.Millisecond})
+	r, err := DialRemote(RemoteConfig{
+		Addr:         addr,
+		Namespace:    "t/wb-loss",
+		DialAttempts: 1,
+		RedialMin:    time.Millisecond,
+		RedialMax:    2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	// The ack is delayed 50ms by the injected RTT; kill the server before
+	// it arrives.
+	if err := r.WritePath([]uint64{0}, [][]byte{[]byte("doomed")}); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	if _, err := r.Read(0); !errors.Is(err, ErrIO) {
+		t.Fatalf("read after conn loss with pending write: %v, want ErrIO", err)
+	}
+	// Latched: even though a new bucketd could be dialed, the lost ack
+	// makes the tree unverifiable.
+	if _, err := r.Read(0); !errors.Is(err, ErrIO) {
+		t.Fatalf("fault did not latch: %v", err)
+	}
+}
+
+// TestRemotePipelineOverlapsRTT pins the performance property the batched
+// protocol exists for: under injected RTT, a path access (one ReadPath +
+// one pipelined WritePath) costs ~1 RTT, not ~2·buckets·RTT.
+func TestRemotePipelineOverlapsRTT(t *testing.T) {
+	const rtt = 20 * time.Millisecond
+	addr, _ := startBucketd(t, bucketd.Config{RTT: rtt})
+	r := dialTest(t, addr, "t/rtt")
+
+	idxs := []uint64{0, 1, 2, 3, 4, 5, 6, 7}
+	bufs := make([][]byte, len(idxs))
+	for i := range bufs {
+		bufs[i] = []byte("bucket")
+	}
+	out := make([][]byte, len(idxs))
+
+	start := time.Now()
+	const rounds = 3
+	for i := 0; i < rounds; i++ {
+		if err := r.ReadPath(idxs, out); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.WritePath(idxs, bufs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	// Serial per-bucket I/O would cost 2*8 RTTs per round = 960ms; batched
+	// with a pipelined write-back costs ~2 RTTs per round = 120ms. Allow
+	// generous slack for scheduling: anything under half the serial cost
+	// proves batching.
+	serial := time.Duration(rounds) * 2 * time.Duration(len(idxs)) * rtt
+	if elapsed > serial/2 {
+		t.Errorf("batched path I/O took %v; serial estimate is %v — batching broken?", elapsed, serial)
+	}
+}

@@ -245,13 +245,20 @@ func (sh *shard) process(batch []request, cache map[uint64][]byte) {
 	}
 }
 
-// noteError inspects an ORAM error: an integrity violation quarantines the
-// shard (fail-stop, matching the controller's own latch) and is rewrapped
-// so callers see both ErrQuarantined and the PMMAC cause; anything else —
-// an I/O error from durable untrusted memory, say — passes through as an
+// noteError inspects an ORAM error: an integrity violation or an untrusted-
+// memory I/O fault quarantines the shard (fail-stop, matching the
+// controller's own latch) and is rewrapped so callers see both
+// ErrQuarantined and the cause; anything else passes through as an
 // ordinary internal error.
+//
+// Storage faults quarantine for the same reason integrity violations do:
+// after a failed page-file write or a bucketd connection lost with
+// write-backs in flight, the controller's trusted state and remote memory
+// may have diverged unverifiably, and a shard that kept retrying would
+// wedge every caller behind its queue. Quarantine keeps the failure to one
+// slice of the address space — every other shard keeps serving.
 func (sh *shard) noteError(err error) error {
-	if errors.Is(err, freecursive.ErrIntegrity) {
+	if errors.Is(err, freecursive.ErrIntegrity) || errors.Is(err, freecursive.ErrStorage) {
 		sh.health.quarantine(err)
 		return sh.health.err()
 	}

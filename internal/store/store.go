@@ -83,6 +83,17 @@ type Config struct {
 	// place DataDir on storage the adversary cannot read or roll back
 	// wholesale; the bucket files alone may be exposed.
 	DataDir string
+	// MemAddr, if non-empty, places every shard's sealed bucket trees on a
+	// remote bucketd server at this TCP address (see freecursive.Config.
+	// MemAddr). Shard i uses bucketd namespace "<MemNamespace>/shard-<i>".
+	// A remote I/O fault — server fault, lost connection — quarantines the
+	// affected shard (fail-stop for its slice of the address space) while
+	// the rest keep serving. Incompatible with DataDir. Overrides
+	// ORAM.MemAddr.
+	MemAddr string
+	// MemNamespace isolates this store's buckets on a shared bucketd
+	// (default "store"). Two live stores must not share a namespace.
+	MemNamespace string
 }
 
 // stateFile is the per-shard trusted-state snapshot written by Snapshot.
@@ -174,10 +185,21 @@ func New(cfg Config) (*Store, error) {
 	if base == 0 {
 		base = 1
 	}
+	if cfg.MemAddr != "" && cfg.DataDir != "" {
+		return nil, fmt.Errorf("store: remote (MemAddr) and durable (DataDir) memory are mutually exclusive")
+	}
+	ns := cfg.MemNamespace
+	if ns == "" {
+		ns = "store"
+	}
 	for i := range s.shards {
 		ocfg := cfg.ORAM
 		ocfg.Blocks = perShard
 		ocfg.Seed = shardSeed(base, uint64(i))
+		if cfg.MemAddr != "" {
+			ocfg.MemAddr = cfg.MemAddr
+			ocfg.MemNamespace = fmt.Sprintf("%s/shard-%04d", ns, i)
+		}
 		o, err := openShard(i, ocfg, cfg.DataDir)
 		if err != nil {
 			s.Close()

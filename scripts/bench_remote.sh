@@ -1,0 +1,118 @@
+#!/usr/bin/env bash
+# Remote-memory RTT ladder, emitting BENCH_remote.json.
+#
+# For each simulated network round-trip time (0, 1, 10, 50 ms) this starts
+# a fresh bucketd with that -rtt, then drives the SAME in-process workload
+# over it twice:
+#
+#   batched: one ReadPath round trip per access, write-back pipelined
+#            behind the next access (the default remote path)
+#   serial:  -serial-path, the per-bucket read/write loops the refactor
+#            replaced — 2·(L+1) sequential round trips per access
+#
+# A fresh bucketd per run matters: its store is in-memory and namespaced,
+# and a new controller must never resume over a dead controller's sealed
+# buckets.
+#
+# The gate is the point of the exercise: at 10 ms RTT the batched protocol
+# must beat the serial loop by at least BENCH_MIN_REMOTE_SPEEDUP (default
+# 4.0). The serial loop pays ~18 round trips per access on this geometry,
+# the batched one pays 1-2, so an honest implementation clears 4x with a
+# wide margin; a regression that sneaks per-bucket round trips back into
+# the access path fails here, per-PR.
+#
+# Usage: scripts/bench_remote.sh [oramstore-binary] [out.json]
+# Env:   BENCH_DURATION (default 3s), BENCH_MIN_REMOTE_SPEEDUP (4.0),
+#        BUCKETD_ADDR (127.0.0.1:19200)
+set -euo pipefail
+
+BIN=${1:-}
+OUT=${2:-BENCH_remote.json}
+ADDR=${BUCKETD_ADDR:-127.0.0.1:19200}
+DURATION=${BENCH_DURATION:-3s}
+MIN_SPEEDUP=${BENCH_MIN_REMOTE_SPEEDUP:-4.0}
+
+if [ -z "$BIN" ]; then
+  dir=$(mktemp -d)
+  BIN="$dir/oramstore"
+  go build -o "$BIN" ./cmd/oramstore
+  go build -o "$dir/bucketd" ./cmd/bucketd
+  BUCKETD="$dir/bucketd"
+else
+  BUCKETD=${BUCKETD:-$(dirname "$BIN")/bucketd}
+fi
+
+SRV=""
+stop_bucketd() {
+  if [ -n "$SRV" ]; then
+    kill "$SRV" 2>/dev/null || true
+    wait "$SRV" 2>/dev/null || true
+    SRV=""
+  fi
+}
+trap stop_bucketd EXIT
+
+start_bucketd() { # start_bucketd RTT
+  stop_bucketd
+  "$BUCKETD" -addr "$ADDR" -rtt "$1" &
+  SRV=$!
+  local host=${ADDR%:*} port=${ADDR##*:} up=0
+  for _ in $(seq 1 50); do
+    if (exec 3<>"/dev/tcp/$host/$port") 2>/dev/null; then exec 3>&- 3<&-; up=1; break; fi
+    sleep 0.1
+  done
+  [ "$up" = 1 ] || { echo "bucketd never came up on $ADDR" >&2; exit 1; }
+}
+
+run() { # run LABEL EXTRA-FLAGS...
+  local label=$1; shift
+  echo "== $label ==" >&2
+  "$BIN" load -transport inprocess -mem remote -mem-addr "$ADDR" \
+    -shards 1 -blocks 10 -scheme PIC -workers 1 \
+    -duration "$DURATION" -json "$@"
+}
+
+# field NAME JSON -> numeric value of "NAME":<v>
+field() {
+  printf '%s\n' "$2" | sed -n "s/.*\"$1\":\([0-9.eE+-]*\).*/\1/p"
+}
+
+check() { # check LABEL JSON -> fails on failed or zero completed ops
+  local ops fails
+  ops=$(field ops "$2"); fails=$(field failures "$2")
+  if [ "${fails%.*}" -ne 0 ]; then
+    echo "FAIL: $1 had $fails failed ops" >&2; exit 1
+  fi
+  if [ "${ops%.*}" -le 0 ]; then
+    echo "FAIL: $1 completed no ops" >&2; exit 1
+  fi
+}
+
+rungs=""
+speedup_10ms=""
+for rtt in 0ms 1ms 10ms 50ms; do
+  start_bucketd "$rtt"
+  batched=$(run "rtt $rtt, batched")
+  check "rtt $rtt batched" "$batched"
+
+  start_bucketd "$rtt"
+  serial=$(run "rtt $rtt, serial" -serial-path)
+  check "rtt $rtt serial" "$serial"
+
+  speedup=$(awk -v b="$(field ops_per_sec "$batched")" \
+                -v s="$(field ops_per_sec "$serial")" 'BEGIN { printf "%.2f", b / s }')
+  [ "$rtt" = 10ms ] && speedup_10ms=$speedup
+  echo "rtt $rtt: batched is ${speedup}x serial" >&2
+  rung=$(printf '{"rtt": "%s", "batched": %s, "serial": %s, "batched_speedup": %s}' \
+         "$rtt" "$batched" "$serial" "$speedup")
+  rungs="$rungs${rungs:+,\n    }$rung"
+done
+stop_bucketd
+
+printf '{\n  "workload": "uniform, 1 worker, %s, 1 shard, 2^10 blocks, PIC over bucketd",\n  "rungs": [\n    %b\n  ],\n  "speedup_10ms": %s\n}\n' \
+  "$DURATION" "$rungs" "$speedup_10ms" > "$OUT"
+cat "$OUT"
+
+awk -v sp="$speedup_10ms" -v min="$MIN_SPEEDUP" 'BEGIN { exit !(sp >= min) }' ||
+  { echo "FAIL: batched path I/O is ${speedup_10ms}x serial at 10ms RTT, below required ${MIN_SPEEDUP}x" >&2; exit 1; }
+echo "OK: batched path I/O is ${speedup_10ms}x serial at 10ms RTT"

@@ -1,7 +1,11 @@
 # Targets mirror the CI jobs in .github/workflows/ci.yml so local runs and
 # CI stay in lockstep.
 
-.PHONY: all build test race bench bench-all bench-hotpath bench-network bench-remote bins lint fmt
+# The one authoritative staticcheck pin. CI installs exactly this via
+# `make staticcheck-version`; the workflow must not carry its own copy.
+STATICCHECK_VERSION := 2025.1
+
+.PHONY: all build test race bench bench-all bench-hotpath bench-network bench-remote bins lint oramlint staticcheck-version fuzz-smoke fmt
 
 all: build lint test
 
@@ -11,8 +15,12 @@ build:
 test:
 	go test ./...
 
+# Race coverage is derived from `go list` (see scripts/race_pkgs.sh): every
+# package whose source or tests import a concurrency-bearing stdlib package
+# is in, so a new concurrent package cannot silently drop out the way the
+# old hand-maintained list allowed.
 race:
-	go test -race ./internal/store/... ./internal/httpapi/... ./internal/frame/... ./internal/frameserver/... ./internal/mem/... ./internal/bucketwire/... ./internal/bucketd/... ./internal/backend/... ./client/... ./cmd/oramstore/...
+	go test -race $$(./scripts/race_pkgs.sh)
 
 bench:
 	go test -run=NONE -bench=. -benchtime=1x .
@@ -47,10 +55,41 @@ bins:
 		go build -o "bin/$$(basename $$d)" "$$d" || exit 1; \
 	done
 
-lint:
+# The full static gate: stock vet, the repo's own analyzer suite (both
+# standalone over non-test files and as a vettool so _test.go files are
+# covered), gofmt with simplification, and staticcheck. staticcheck is
+# skipped with a warning when not installed locally, but is mandatory under
+# CI — the workflow installs the pinned version first.
+lint: oramlint
 	go vet ./...
-	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
-		echo "files need gofmt:"; echo "$$out"; exit 1; fi
+	@out="$$(gofmt -s -l .)"; if [ -n "$$out" ]; then \
+		echo "files need gofmt -s:"; echo "$$out"; exit 1; fi
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	elif [ -n "$$CI" ]; then \
+		echo "staticcheck is required in CI but not installed (want $(STATICCHECK_VERSION))"; exit 1; \
+	else \
+		echo "staticcheck not installed; skipping (CI pins $(STATICCHECK_VERSION))"; fi
+
+# The custom analyzer suite (internal/lint): security and hot-path
+# invariants as findings. Suppressions need //oramlint:allow with a reason.
+oramlint:
+	@mkdir -p bin
+	go build -o bin/oramlint ./cmd/oramlint
+	./bin/oramlint ./...
+	go vet -vettool=$$(pwd)/bin/oramlint ./...
+
+# CI reads the staticcheck pin from here so it lives in exactly one place.
+staticcheck-version:
+	@echo $(STATICCHECK_VERSION)
+
+# Short coverage-guided runs of every codec fuzz target, seeded from the
+# committed corpora under testdata/fuzz/ (the CI fuzz-smoke job).
+fuzz-smoke:
+	go test ./internal/frame -run='^$$' -fuzz='^FuzzDecodeRequest$$' -fuzztime=30s
+	go test ./internal/frame -run='^$$' -fuzz='^FuzzDecodeResponse$$' -fuzztime=30s
+	go test ./internal/bucketwire -run='^$$' -fuzz='^FuzzDecodeRequest$$' -fuzztime=30s
+	go test ./internal/bucketwire -run='^$$' -fuzz='^FuzzDecodeResponse$$' -fuzztime=30s
 
 fmt:
-	gofmt -w .
+	gofmt -s -w .

@@ -462,6 +462,7 @@ func (m *mutexShardedStore) BatchGet(addrs []uint64) ([][]byte, error) {
 					errs <- err
 					return
 				}
+				//oramlint:allow bufferown ORAM.Read returns a caller-owned copy per the Frontend contract, not backend scratch
 				out[o.idx] = v
 			}
 		}(sh, ops)

@@ -130,6 +130,8 @@ func (p *PathORAM) Close() error { return p.store.Close() }
 
 // newBlockBuf returns a BlockBytes payload buffer with arbitrary contents,
 // reusing a recycled one when available.
+//
+//oram:hotpath
 func (p *PathORAM) newBlockBuf() []byte {
 	if n := len(p.freeData); n > 0 {
 		buf := p.freeData[n-1]
@@ -137,11 +139,14 @@ func (p *PathORAM) newBlockBuf() []byte {
 		p.freeData = p.freeData[:n-1]
 		return buf
 	}
+	//oramlint:allow hotpathalloc free-list miss; steady state recycles buffers and the AllocsPerRun gates pin the budget
 	return make([]byte, p.geom.BlockBytes)
 }
 
 // recycleBlockBuf returns a payload buffer to the free list. Foreign-sized
 // buffers (e.g. handed in by a snapshot restore) are dropped.
+//
+//oram:hotpath
 func (p *PathORAM) recycleBlockBuf(buf []byte) {
 	if len(buf) == p.geom.BlockBytes {
 		p.freeData = append(p.freeData, buf)
@@ -150,6 +155,8 @@ func (p *PathORAM) recycleBlockBuf(buf []byte) {
 
 // fillBlockBuf copies src into dst, zero-padding the tail (shorter writes
 // are zero-extended to the block size, as the Request contract promises).
+//
+//oram:hotpath
 func fillBlockBuf(dst, src []byte) {
 	n := copy(dst, src)
 	clear(dst[n:])
@@ -182,6 +189,8 @@ func SealedBucketBytes(g tree.Geometry) int {
 
 // encodeBucket serializes blocks into the reusable encode scratch and
 // returns it; the result is valid until the next encodeBucket call.
+//
+//oram:hotpath
 func (p *PathORAM) encodeBucket(blocks []stash.Block) []byte {
 	body := p.encBuf
 	clear(body) // dummy slots must read as all zeros
@@ -198,6 +207,8 @@ func (p *PathORAM) encodeBucket(blocks []stash.Block) []byte {
 // decodeBucket appends the real blocks found in body to dst. Each decoded
 // block's Data is a free-list buffer owned by the caller (return it with
 // recycleBlockBuf or hand it to the stash).
+//
+//oram:hotpath
 func (p *PathORAM) decodeBucket(body []byte, dst []stash.Block) []stash.Block {
 	if len(body) != p.bodyBytes() {
 		return dst // tampered to a wrong size: nothing decodable
@@ -224,6 +235,8 @@ func (p *PathORAM) decodeBucket(body []byte, dst []stash.Block) []stash.Block {
 // semantics. The returned Result.Data is reusable scratch owned by the
 // backend: it is only valid until the next Access, and callers that retain
 // the payload must copy it.
+//
+//oram:hotpath
 func (p *PathORAM) Access(req Request) (Result, error) {
 	switch req.Op {
 	case OpAppend:
@@ -251,6 +264,8 @@ func (p *PathORAM) append(req Request) (Result, error) {
 	return Result{Found: true}, nil
 }
 
+//
+//oram:hotpath
 func (p *PathORAM) access(req Request) (Result, error) {
 	if !p.geom.ValidLeaf(req.Leaf) {
 		return Result{}, fmt.Errorf("backend: leaf %d out of range (L=%d)", req.Leaf, p.geom.L)
@@ -263,6 +278,7 @@ func (p *PathORAM) access(req Request) (Result, error) {
 	// blocks enter the stash.
 	p.pathIdx = p.geom.PathIndices(req.Leaf, p.pathIdx)
 	if cap(p.pathSeeds) < len(p.pathIdx) {
+		//oramlint:allow hotpathalloc one-time scratch growth to path length; steady state reuses it, pinned by the AllocsPerRun gates
 		p.pathSeeds = make([]uint64, len(p.pathIdx))
 	}
 	p.pathSeeds = p.pathSeeds[:len(p.pathIdx)]
@@ -359,6 +375,8 @@ func (p *PathORAM) access(req Request) (Result, error) {
 // written (all dummies); an undecryptable one contributes nothing —
 // structural garbage is the adversary's doing and is handled by the
 // integrity layers above, while errors stay reserved for real I/O faults.
+//
+//oram:hotpath
 func (p *PathORAM) absorbBucket(i int, idx uint64, sealed []byte) {
 	p.pathSeeds[i] = 0
 	if sealed == nil {
@@ -388,8 +406,11 @@ func (p *PathORAM) absorbBucket(i int, idx uint64, sealed []byte) {
 	}
 }
 
+//
+//oram:hotpath
 func (p *PathORAM) writePath(leaf uint64) error {
 	perLevel := p.stash.EvictForPath(leaf, p.geom.L, p.geom.Z,
+		//oramlint:allow hotpathalloc the closure does not escape EvictForPath and stays on the stack; pinned by the AllocsPerRun gates
 		func(blockLeaf uint64, level int) bool {
 			return p.geom.CanReside(blockLeaf, leaf, level)
 		})
@@ -422,6 +443,8 @@ func (p *PathORAM) writePath(leaf uint64) error {
 // is allowed to pipeline the write-back behind the next access, in which
 // case a deferred failure surfaces from a later store operation wrapping
 // mem.ErrIO.
+//
+//oram:hotpath
 func (p *PathORAM) writePathBatched(perLevel [][]stash.Block) error {
 	for len(p.sealedBufs) < len(perLevel) {
 		p.sealedBufs = append(p.sealedBufs, nil)

@@ -7,6 +7,14 @@
 //   - Probabilistic bucket encryption with AES counter mode (§3.1), in both
 //     the per-bucket-seed scheme of [26] and the global-seed scheme that
 //     fixes the one-time-pad replay attack (§6.4).
+//
+// Everything here runs inside the trusted controller on secret inputs
+// (addresses, counters, key material), so the package is marked oblivious:
+// the obliv analyzer rejects control flow or indexing that depends on
+// address/leaf-named values, and secretcompare rejects variable-time tag
+// comparison.
+
+//oram:oblivious
 package crypt
 
 import (
@@ -44,6 +52,8 @@ func NewPRF(key []byte) (*PRF, error) {
 }
 
 // Eval computes PRF_K(a || c) and returns the low 64 bits of the AES output.
+//
+//oram:hotpath
 func (p *PRF) Eval(a, c uint64) uint64 {
 	binary.BigEndian.PutUint64(p.in[0:8], a)
 	binary.BigEndian.PutUint64(p.in[8:16], c)
@@ -53,6 +63,8 @@ func (p *PRF) Eval(a, c uint64) uint64 {
 
 // Leaf computes PRF_K(a || c) mod 2^levels, i.e. a leaf label for an ORAM
 // tree with 2^levels leaves (§5.2.1).
+//
+//oram:hotpath
 func (p *PRF) Leaf(a, c uint64, levels int) uint64 {
 	if levels <= 0 {
 		return 0
@@ -106,6 +118,8 @@ func (m *MAC) TagBytes() int { return m.tagBytes }
 // sumInto computes MAC_K(c || a || d) into the MAC's reusable buffer and
 // returns the truncated tag. The result is only valid until the next call on
 // this MAC.
+//
+//oram:hotpath
 func (m *MAC) sumInto(c, a uint64, d []byte) []byte {
 	m.h.Reset()
 	m.h.Write(m.key)
@@ -128,13 +142,18 @@ func (m *MAC) Sum(c, a uint64, d []byte) []byte {
 
 // AppendTag appends the truncated MAC_K(c || a || d) tag to dst and returns
 // the extended slice, allocating only when dst lacks capacity.
+//
+//oram:hotpath
 func (m *MAC) AppendTag(dst []byte, c, a uint64, d []byte) []byte {
+	//oramlint:allow hotpathalloc appends into the caller's reusable tag buffer; amortized growth pinned by the AllocsPerRun gates
 	return append(dst, m.sumInto(c, a, d)...)
 }
 
 // Verify reports whether tag is a valid MAC for (c, a, d). The comparison is
 // constant-time in the tag bytes: PMMAC is a production integrity check and
 // must not leak how long a forged tag's matching prefix is.
+//
+//oram:hotpath
 func (m *MAC) Verify(tag []byte, c, a uint64, d []byte) bool {
 	want := m.sumInto(c, a, d)
 	if len(tag) != len(want) {
@@ -209,6 +228,7 @@ func (bc *BucketCipher) GlobalSeed() uint64 { return bc.globalSeed }
 // controller itself — only ever restore a value captured from GlobalSeed.
 func (bc *BucketCipher) SetGlobalSeed(v uint64) { bc.globalSeed = v }
 
+//oram:hotpath
 func (bc *BucketCipher) pad(bucketID, seed uint64, body []byte, out []byte) {
 	// IV layout: bucketID (48 bits) || seed (48 bits) || chunk counter (32
 	// bits, advanced across the body exactly as cipher.NewCTR would). For
@@ -266,6 +286,8 @@ func (bc *BucketCipher) Seal(bucketID, prevSeed uint64, body []byte) []byte {
 // SealTo is Seal writing into dst's capacity (dst is overwritten from length
 // zero; pass buf[:0] to reuse buf). It returns the sealed bucket, allocating
 // only when dst cannot hold seed || ciphertext. dst must not alias body.
+//
+//oram:hotpath
 func (bc *BucketCipher) SealTo(dst []byte, bucketID, prevSeed uint64, body []byte) []byte {
 	var seed uint64
 	switch bc.scheme {
@@ -277,6 +299,7 @@ func (bc *BucketCipher) SealTo(dst []byte, bucketID, prevSeed uint64, body []byt
 	}
 	n := SeedBytes + len(body)
 	if cap(dst) < n {
+		//oramlint:allow hotpathalloc one-time scratch growth when the caller's buffer lacks capacity; steady state reuses it at full size, pinned by the AllocsPerRun gates
 		dst = make([]byte, n)
 	}
 	out := dst[:n]
@@ -296,6 +319,8 @@ func (bc *BucketCipher) Open(bucketID uint64, sealed []byte) (body []byte, seed 
 // OpenTo is Open writing the decrypted body into dst's capacity (dst is
 // overwritten from length zero; pass buf[:0] to reuse buf). It allocates
 // only when dst cannot hold the body. dst must not alias sealed.
+//
+//oram:hotpath
 func (bc *BucketCipher) OpenTo(dst []byte, bucketID uint64, sealed []byte) (body []byte, seed uint64, err error) {
 	if len(sealed) < SeedBytes {
 		return nil, 0, fmt.Errorf("crypt: sealed bucket too short (%d bytes)", len(sealed))
@@ -303,6 +328,7 @@ func (bc *BucketCipher) OpenTo(dst []byte, bucketID uint64, sealed []byte) (body
 	seed = binary.BigEndian.Uint64(sealed[0:SeedBytes])
 	n := len(sealed) - SeedBytes
 	if cap(dst) < n {
+		//oramlint:allow hotpathalloc one-time scratch growth when the caller's buffer lacks capacity; steady state reuses it at full size, pinned by the AllocsPerRun gates
 		dst = make([]byte, n)
 	}
 	body = dst[:n]

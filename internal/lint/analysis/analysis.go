@@ -1,0 +1,53 @@
+// Package analysis is a minimal, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis driver surface: just enough for the
+// oramlint suite to express its checkers in the standard Analyzer/Pass
+// shape. The module deliberately has no third-party dependencies, so the
+// real x/tools framework is out of reach; keeping the API shape identical
+// (Analyzer{Name, Doc, Run}, Pass with Fset/Files/Pkg/TypesInfo/Report)
+// means the analyzers port to the upstream framework mechanically if the
+// dependency ever lands.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check. Run inspects the package in Pass and
+// reports findings through Pass.Report; it must not mutate the ASTs.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //oramlint:allow <name> suppressions. Lower-case, no spaces.
+	Name string
+	// Doc is the one-paragraph help text: the invariant being enforced and
+	// why, shown by `oramlint -help`.
+	Doc string
+	// Run performs the analysis. A non-nil error aborts the whole run (it
+	// means the analyzer itself is broken, not that the code has findings).
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one finding. The driver applies //oramlint:allow
+	// suppression after reporting, so analyzers never inspect directives.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at one source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,456 @@
+// Package bufferown defines an analyzer that enforces the mem.Backend
+// buffer-ownership contract from both sides:
+//
+//   - Implementations of Write(idx uint64, data []byte) error and
+//     WritePath(idxs []uint64, data [][]byte) error must not retain the
+//     caller's slice: the caller reuses it immediately after the call, so a
+//     retained reference silently tracks future buckets.
+//   - Callers of Read(idx uint64) ([]byte, error) and ReadPath(idxs
+//     []uint64, out [][]byte) error must treat the returned slices as
+//     backend-owned scratch: storing them in fields, globals, maps, or
+//     channels — or touching them after a later backend operation — reads
+//     whatever the backend overwrote them with.
+//
+// The contract is what makes the allocation-free hot path of PR 5 sound;
+// until now it was pinned only by TestWriteDoesNotRetain and prose in the
+// mem package comment. Methods are recognized by name + signature, not by
+// interface assertion, so the check also covers standalone implementations
+// and test doubles that never mention mem.Backend.
+package bufferown
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"freecursive/internal/lint/analysis"
+)
+
+// Analyzer enforces the Backend slice-ownership contract.
+var Analyzer = &analysis.Analyzer{
+	Name: "bufferown",
+	Doc: `enforce the mem.Backend buffer-ownership contract
+
+Write/WritePath implementations must copy what they keep (assigning the data
+parameter, or an element or subslice of it, into a field, global, map, slice
+element, or channel is flagged). Callers of Read/ReadPath must not store the
+returned scratch anywhere that outlives the access, and must not use it
+after a later operation on a backend (the scratch is reused).`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if kind := implKind(fn); kind != "" {
+				checkImplementation(pass, fn, kind)
+			}
+			checkCaller(pass, fn)
+		}
+	}
+	return nil
+}
+
+// --- signature matching ----------------------------------------------------
+
+// implKind reports whether fn is a backend write-side method: "Write" for
+// Write(uint64, []byte) error, "WritePath" for WritePath([]uint64, [][]byte)
+// error. Empty otherwise.
+func implKind(fn *ast.FuncDecl) string {
+	if fn.Recv == nil {
+		return ""
+	}
+	switch fn.Name.Name {
+	case "Write":
+		if paramsAre(fn, "uint64", "[]byte") && resultsAre(fn, "error") {
+			return "Write"
+		}
+	case "WritePath":
+		if paramsAre(fn, "[]uint64", "[][]byte") && resultsAre(fn, "error") {
+			return "WritePath"
+		}
+	}
+	return ""
+}
+
+// isBackendRead matches a call to a backend read-side method by name and
+// signature: Read(uint64) ([]byte, error) or ReadPath([]uint64, [][]byte)
+// error, called on some receiver.
+func isBackendRead(info *types.Info, call *ast.CallExpr) (kind string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", false
+	}
+	obj, isFn := info.Uses[sel.Sel].(*types.Func)
+	if !isFn || obj.Type() == nil {
+		return "", false
+	}
+	sig, isSig := obj.Type().(*types.Signature)
+	if !isSig || sig.Recv() == nil {
+		return "", false
+	}
+	switch obj.Name() {
+	case "Read":
+		if sigIs(sig, []string{"uint64"}, []string{"[]byte", "error"}) {
+			return "Read", true
+		}
+	case "ReadPath":
+		if sigIs(sig, []string{"[]uint64", "[][]byte"}, []string{"error"}) {
+			return "ReadPath", true
+		}
+	}
+	return "", false
+}
+
+// isBackendOp matches any backend operation call (read or write side): the
+// events after which previously returned scratch is dead.
+func isBackendOp(info *types.Info, call *ast.CallExpr) bool {
+	if _, ok := isBackendRead(info, call); ok {
+		return true
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return false
+	}
+	obj, isFn := info.Uses[sel.Sel].(*types.Func)
+	if !isFn {
+		return false
+	}
+	sig, isSig := obj.Type().(*types.Signature)
+	if !isSig || sig.Recv() == nil {
+		return false
+	}
+	switch obj.Name() {
+	case "Write":
+		return sigIs(sig, []string{"uint64", "[]byte"}, []string{"error"})
+	case "WritePath":
+		return sigIs(sig, []string{"[]uint64", "[][]byte"}, []string{"error"})
+	}
+	return false
+}
+
+func paramsAre(fn *ast.FuncDecl, want ...string) bool {
+	return fieldTypesAre(fn.Type.Params, want)
+}
+
+func resultsAre(fn *ast.FuncDecl, want ...string) bool {
+	return fieldTypesAre(fn.Type.Results, want)
+}
+
+// fieldTypesAre compares a field list's type syntax (flattened across
+// grouped parameters) against the wanted type strings.
+func fieldTypesAre(fl *ast.FieldList, want []string) bool {
+	var got []string
+	if fl != nil {
+		for _, f := range fl.List {
+			n := len(f.Names)
+			if n == 0 {
+				n = 1
+			}
+			for i := 0; i < n; i++ {
+				got = append(got, types.ExprString(f.Type))
+			}
+		}
+	}
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sigIs(sig *types.Signature, params, results []string) bool {
+	if sig.Params().Len() != len(params) || sig.Results().Len() != len(results) {
+		return false
+	}
+	for i, w := range params {
+		if sig.Params().At(i).Type().String() != w {
+			return false
+		}
+	}
+	for i, w := range results {
+		if sig.Results().At(i).Type().String() != w {
+			return false
+		}
+	}
+	return true
+}
+
+// --- implementation side ---------------------------------------------------
+
+// checkImplementation flags retention of the data parameter inside a
+// Write/WritePath implementation.
+func checkImplementation(pass *analysis.Pass, fn *ast.FuncDecl, kind string) {
+	params := fn.Type.Params.List
+	if len(params) != 2 || len(params[1].Names) != 1 {
+		return
+	}
+	dataObj := pass.TypesInfo.Defs[params[1].Names[0]]
+	if dataObj == nil {
+		return
+	}
+	tainted := taintedLocals(pass, fn.Body, dataObj)
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				if !aliasesTaint(pass, n.Rhs[i], tainted) {
+					continue
+				}
+				if retainingLHS(pass, lhs) {
+					pass.Reportf(n.Pos(),
+						"%s implementation retains the caller's slice in %s; the caller reuses it after the call — copy the bytes instead",
+						kind, types.ExprString(lhs))
+				}
+			}
+		case *ast.SendStmt:
+			if aliasesTaint(pass, n.Value, tainted) {
+				pass.Reportf(n.Pos(),
+					"%s implementation sends the caller's slice on a channel; the caller reuses it after the call — copy the bytes instead", kind)
+			}
+		case *ast.CallExpr:
+			// append(retained, data) — growing a retained slice OF slices
+			// with the parameter itself (append(buf, data...) copies bytes
+			// and is fine).
+			id, ok := n.Fun.(*ast.Ident)
+			if !ok || id.Name != "append" || n.Ellipsis != token.NoPos {
+				break
+			}
+			if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin && len(n.Args) > 1 {
+				for _, arg := range n.Args[1:] {
+					if aliasesTaint(pass, arg, tainted) {
+						pass.Reportf(n.Pos(),
+							"%s implementation appends the caller's slice into a longer-lived slice; copy the bytes instead", kind)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// taintedLocals computes the set of objects aliasing the data parameter:
+// the parameter itself plus locals directly assigned from it (one-level
+// local alias tracking, iterated to a fixpoint).
+func taintedLocals(pass *analysis.Pass, body *ast.BlockStmt, seed types.Object) map[types.Object]bool {
+	tainted := map[types.Object]bool{seed: true}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			asg, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range asg.Lhs {
+				if i >= len(asg.Rhs) {
+					break
+				}
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = pass.TypesInfo.Uses[id]
+				}
+				if obj == nil || tainted[obj] {
+					continue
+				}
+				if aliasesTaint(pass, asg.Rhs[i], tainted) {
+					tainted[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	return tainted
+}
+
+// aliasesTaint reports whether e is a tainted object or a subslice/element
+// of one (data, data[i], data[a:b], (data)).
+func aliasesTaint(pass *analysis.Pass, e ast.Expr, tainted map[types.Object]bool) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[e]
+		return obj != nil && tainted[obj]
+	case *ast.IndexExpr:
+		return aliasesTaint(pass, e.X, tainted)
+	case *ast.SliceExpr:
+		return aliasesTaint(pass, e.X, tainted)
+	case *ast.ParenExpr:
+		return aliasesTaint(pass, e.X, tainted)
+	}
+	return false
+}
+
+// retainingLHS reports whether assigning to lhs stores the value somewhere
+// that outlives the call: a field, a global, a map or slice element, or a
+// dereference. Plain local variables are fine.
+func retainingLHS(pass *analysis.Pass, lhs ast.Expr) bool {
+	switch l := lhs.(type) {
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[l]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[l]
+		}
+		if v, ok := obj.(*types.Var); ok {
+			// Package-level variable: retained. Locals (incl. params): fine.
+			return v.Parent() == v.Pkg().Scope()
+		}
+		return false
+	case *ast.SelectorExpr:
+		return true // field (or qualified global) — retained
+	case *ast.IndexExpr:
+		// Element of a map/slice. Storing into a *parameter* slice (e.g. a
+		// ReadPath out param) hands the alias to the caller — still a
+		// retention from this function's point of view? No: for Write impls
+		// there is no out param, so any element store is retention.
+		return true
+	case *ast.StarExpr:
+		return true
+	case *ast.ParenExpr:
+		return retainingLHS(pass, l.X)
+	}
+	return false
+}
+
+// --- caller side -----------------------------------------------------------
+
+// scratch tracks one variable holding backend Read scratch: the object and
+// the position after which it was born.
+type scratch struct {
+	obj  types.Object
+	born token.Pos
+	kind string
+}
+
+// checkCaller flags misuse of Read/ReadPath results inside one function:
+// retention in fields/globals/maps/channels, and any use after a later
+// backend operation.
+func checkCaller(pass *analysis.Pass, fn *ast.FuncDecl) {
+	// Pass 1: find scratch variables (v, err := x.Read(i)) and the
+	// positions of all backend operations.
+	var vars []scratch
+	var ops []token.Pos
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isBackendOp(pass.TypesInfo, call) {
+			ops = append(ops, call.End())
+		}
+		return true
+	})
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || len(asg.Rhs) != 1 {
+			return true
+		}
+		call, ok := asg.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		kind, ok := isBackendRead(pass.TypesInfo, call)
+		if !ok || kind != "Read" || len(asg.Lhs) != 2 {
+			return true
+		}
+		id, ok := asg.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		if obj != nil {
+			vars = append(vars, scratch{obj: obj, born: call.End(), kind: kind})
+		}
+		return true
+	})
+	if len(vars) == 0 {
+		return
+	}
+
+	// Pass 2: examine every use of each scratch variable.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				for _, sv := range vars {
+					if exprIsObj(pass, n.Rhs[i], sv.obj) && retainingLHS(pass, lhs) {
+						pass.Reportf(n.Pos(),
+							"backend %s scratch %q stored in %s; the slice is only valid until the next backend operation — copy the bytes instead",
+							sv.kind, sv.obj.Name(), types.ExprString(lhs))
+					}
+				}
+			}
+		case *ast.SendStmt:
+			for _, sv := range vars {
+				if exprIsObj(pass, n.Value, sv.obj) {
+					pass.Reportf(n.Pos(),
+						"backend %s scratch %q sent on a channel; the slice is only valid until the next backend operation — copy the bytes instead",
+						sv.kind, sv.obj.Name())
+				}
+			}
+		case *ast.Ident:
+			obj := pass.TypesInfo.Uses[n]
+			if obj == nil {
+				return true
+			}
+			// The variable may be rebound by a later Read; measure staleness
+			// from the latest binding before this use.
+			var born token.Pos
+			var kind string
+			for _, sv := range vars {
+				if obj == sv.obj && sv.born < n.Pos() && sv.born > born {
+					born, kind = sv.born, sv.kind
+				}
+			}
+			if born == token.NoPos {
+				return true
+			}
+			// A use strictly after a backend op that itself happened after
+			// the binding: the scratch is dead.
+			for _, op := range ops {
+				if op > born && n.Pos() > op {
+					pass.Reportf(n.Pos(),
+						"backend %s scratch %q used after a later backend operation; the backend has reused the buffer — copy before the next operation",
+						kind, obj.Name())
+					return true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// exprIsObj reports whether e (through slicing/parens) is exactly the
+// object obj.
+func exprIsObj(pass *analysis.Pass, e ast.Expr, obj types.Object) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[e] == obj
+	case *ast.SliceExpr:
+		return exprIsObj(pass, e.X, obj)
+	case *ast.ParenExpr:
+		return exprIsObj(pass, e.X, obj)
+	}
+	return false
+}

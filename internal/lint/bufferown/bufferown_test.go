@@ -1,0 +1,16 @@
+package bufferown_test
+
+import (
+	"testing"
+
+	"freecursive/internal/lint/bufferown"
+	"freecursive/internal/lint/lintest"
+)
+
+func TestFlagsOwnershipViolations(t *testing.T) {
+	lintest.Run(t, "a", "x/internal/mem", bufferown.Analyzer)
+}
+
+func TestCleanContractUse(t *testing.T) {
+	lintest.Run(t, "clean", "x/internal/mem", bufferown.Analyzer)
+}

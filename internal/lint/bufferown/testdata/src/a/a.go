@@ -1,0 +1,86 @@
+// Fixture: violations of the Backend buffer-ownership contract, from both
+// the implementation side and the caller side.
+package a
+
+type store struct {
+	last  []byte
+	paths [][]byte
+	sink  chan []byte
+}
+
+var global []byte
+
+// Implementation side: Write must copy what it keeps.
+
+func (s *store) Write(idx uint64, data []byte) error {
+	s.last = data // want "Write implementation retains the caller's slice in s\.last"
+	return nil
+}
+
+type aliasStore struct{ held []byte }
+
+func (s *aliasStore) Write(idx uint64, data []byte) error {
+	d := data
+	s.held = d[4:] // want "Write implementation retains the caller's slice in s\.held"
+	return nil
+}
+
+type globalStore struct{}
+
+func (globalStore) Write(idx uint64, data []byte) error {
+	global = data // want "Write implementation retains the caller's slice in global"
+	return nil
+}
+
+type chanStore struct{ sink chan []byte }
+
+func (s *chanStore) Write(idx uint64, data []byte) error {
+	s.sink <- data // want "Write implementation sends the caller's slice on a channel"
+	return nil
+}
+
+type pathStore struct{ kept [][]byte }
+
+func (s *pathStore) WritePath(idxs []uint64, data [][]byte) error {
+	for i := range idxs {
+		s.kept = append(s.kept, data[i]) // want "WritePath implementation appends the caller's slice"
+	}
+	return nil
+}
+
+// Caller side: Read scratch dies at the next backend operation.
+
+type backend struct{}
+
+func (backend) Read(idx uint64) ([]byte, error)  { return nil, nil }
+func (backend) Write(idx uint64, d []byte) error { return nil }
+
+type holder struct{ buf []byte }
+
+func (h *holder) retain(b backend) error {
+	data, err := b.Read(7)
+	if err != nil {
+		return err
+	}
+	h.buf = data // want "backend Read scratch .data. stored in h\.buf"
+	return nil
+}
+
+func useAfterOp(b backend) byte {
+	data, err := b.Read(7)
+	if err != nil {
+		return 0
+	}
+	if err := b.Write(8, nil); err != nil {
+		return 0
+	}
+	return data[0] // want "backend Read scratch .data. used after a later backend operation"
+}
+
+func sendScratch(b backend, ch chan []byte) {
+	data, err := b.Read(7)
+	if err != nil {
+		return
+	}
+	ch <- data // want "backend Read scratch .data. sent on a channel"
+}

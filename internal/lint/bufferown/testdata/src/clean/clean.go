@@ -1,0 +1,56 @@
+// Fixture: contract-respecting implementations and callers produce no
+// findings.
+package clean
+
+type store struct {
+	slots map[uint64][]byte
+}
+
+// Copying the bytes before keeping them is the contract.
+func (s *store) Write(idx uint64, data []byte) error {
+	buf := s.slots[idx]
+	s.slots[idx] = append(buf[:0], data...)
+	return nil
+}
+
+func (s *store) WritePath(idxs []uint64, data [][]byte) error {
+	for i, idx := range idxs {
+		buf := s.slots[idx]
+		s.slots[idx] = append(buf[:0], data[i]...)
+	}
+	return nil
+}
+
+type backend struct{}
+
+func (backend) Read(idx uint64) ([]byte, error)  { return nil, nil }
+func (backend) Write(idx uint64, d []byte) error { return nil }
+
+// Using scratch before the next backend op, or copying it out, is fine.
+func consume(b backend, dst []byte) (byte, error) {
+	data, err := b.Read(7)
+	if err != nil {
+		return 0, err
+	}
+	first := data[0]
+	copy(dst, data)
+	if err := b.Write(8, dst); err != nil {
+		return 0, err
+	}
+	return first, nil
+}
+
+// Rebinding the variable from a later Read refreshes it: a use after the
+// second Read is a use of the second call's scratch, not the first's.
+func rebind(b backend) (byte, error) {
+	data, err := b.Read(1)
+	if err != nil {
+		return 0, err
+	}
+	_ = data[0]
+	data, err = b.Read(2)
+	if err != nil {
+		return 0, err
+	}
+	return data[0], nil
+}

@@ -1,0 +1,161 @@
+// Package errwrap defines an analyzer that keeps the storage boundary's
+// error taxonomy intact: every error constructed in an error-domain package
+// must wrap one of the package's sentinel errors with %w.
+//
+// The serving layer quarantines shards on errors.Is(err, mem.ErrIO) and
+// errors.Is(err, core.ErrIntegrity). A single bare fmt.Errorf on a storage
+// fault path silently starves that logic: the fault surfaces as a generic
+// 500 instead of a quarantine + 503, and the poisoned shard keeps taking
+// traffic. The internal/mem package is the built-in error domain (sentinels
+// ErrIO and ErrIntegrity); other packages opt in with a file-level
+// //oram:errdomain directive naming their sentinels.
+package errwrap
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+
+	"freecursive/internal/lint/analysis"
+	"freecursive/internal/lint/directive"
+)
+
+// Analyzer enforces sentinel wrapping in error-domain packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "errwrap",
+	Doc: `require every constructed error to wrap a storage sentinel
+
+In error-domain packages (internal/mem, plus any package carrying an
+//oram:errdomain directive), every fmt.Errorf must wrap one of the domain's
+sentinel errors via a %w verb, and errors.New is forbidden inside function
+bodies (sentinel definitions at package level are exempt). This keeps
+errors.Is(err, mem.ErrIO) quarantine routing from being starved by a bare
+error on a fault path.`,
+	Run: run,
+}
+
+// defaultDomains maps import-path suffixes to their required sentinels when
+// no //oram:errdomain directive is present. internal/mem is hard-wired so
+// deleting a directive cannot silently disable the storage-boundary check.
+var defaultDomains = map[string][]string{
+	"internal/mem": {"ErrIO", "ErrIntegrity"},
+}
+
+func run(pass *analysis.Pass) error {
+	sentinels := domainSentinels(pass)
+	if len(sentinels) == 0 {
+		return nil
+	}
+	names := strings.Join(sentinels, " or ")
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch calleeOf(pass, call) {
+				case "errors.New":
+					pass.Reportf(call.Pos(),
+						"errors.New constructs an unclassified error; use fmt.Errorf with %%w wrapping %s so errors.Is routing works", names)
+				case "fmt.Errorf":
+					checkErrorf(pass, call, sentinels, names)
+				}
+				return true
+			})
+			return false // function bodies handled; no need to recurse again
+		})
+	}
+	return nil
+}
+
+// domainSentinels returns the sentinel names this package's errors must
+// wrap: //oram:errdomain directives first, the built-in defaults otherwise.
+func domainSentinels(pass *analysis.Pass) []string {
+	var out []string
+	for _, f := range pass.Files {
+		out = append(out, directive.ErrDomain(f)...)
+	}
+	if len(out) > 0 {
+		return out
+	}
+	path := pass.Pkg.Path()
+	for suf, s := range defaultDomains {
+		if path == suf || strings.HasSuffix(path, "/"+suf) {
+			return s
+		}
+	}
+	return nil
+}
+
+// calleeOf identifies pkgname.Func calls ("fmt.Errorf", "errors.New").
+func calleeOf(pass *analysis.Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// checkErrorf verifies that a fmt.Errorf call %w-wraps one of the
+// sentinels: the format string must contain %w and at least one argument
+// must be a reference to a sentinel by name (ErrIO, mem.ErrIO, ...).
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr, sentinels []string, names string) {
+	if len(call.Args) == 0 {
+		return
+	}
+	format, isLiteral := stringLiteral(pass, call.Args[0])
+	if isLiteral && !strings.Contains(format, "%w") {
+		pass.Reportf(call.Pos(),
+			"fmt.Errorf without %%w constructs an unclassified error; wrap %s so errors.Is routing works", names)
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if name := refName(arg); name != "" {
+			for _, s := range sentinels {
+				if name == s {
+					return
+				}
+			}
+		}
+	}
+	pass.Reportf(call.Pos(),
+		"fmt.Errorf does not wrap %s; errors crossing the storage boundary must carry a sentinel for errors.Is routing", names)
+}
+
+// stringLiteral resolves e to a constant string when possible (handles
+// direct literals and concatenations via the type checker's constant
+// folding).
+func stringLiteral(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return "", false
+	}
+	s, err := strconv.Unquote(tv.Value.ExactString())
+	if err != nil {
+		return tv.Value.String(), true
+	}
+	return s, true
+}
+
+// refName extracts the referenced name of an argument expression: ErrIO,
+// mem.ErrIO, or e.sentinel-shaped selectors.
+func refName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	case *ast.ParenExpr:
+		return refName(e.X)
+	}
+	return ""
+}

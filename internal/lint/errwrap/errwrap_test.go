@@ -1,0 +1,20 @@
+package errwrap_test
+
+import (
+	"testing"
+
+	"freecursive/internal/lint/errwrap"
+	"freecursive/internal/lint/lintest"
+)
+
+func TestFlagsUnclassifiedErrors(t *testing.T) {
+	lintest.Run(t, "a", "x/internal/mem", errwrap.Analyzer)
+}
+
+func TestErrdomainDirective(t *testing.T) {
+	lintest.Run(t, "directive", "x/internal/codec", errwrap.Analyzer)
+}
+
+func TestNonDomainPackageIsExempt(t *testing.T) {
+	lintest.Run(t, "clean", "x/internal/util", errwrap.Analyzer)
+}

@@ -1,0 +1,31 @@
+// Fixture: unclassified error construction in an error-domain package
+// (type-checked as x/internal/mem, the hard-wired default domain).
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Package-level sentinel definitions are the one legitimate errors.New.
+var ErrIO = errors.New("a: storage I/O fault")
+
+func bareNew() error {
+	return errors.New("slot out of range") // want "errors\.New constructs an unclassified error"
+}
+
+func noVerb(idx uint64) error {
+	return fmt.Errorf("slot %d out of range", idx) // want "fmt\.Errorf without %w"
+}
+
+func wrongWrap(err error) error {
+	return fmt.Errorf("read failed: %w", err) // want "does not wrap ErrIO or ErrIntegrity"
+}
+
+func good(idx uint64, err error) error {
+	return fmt.Errorf("slot %d: %w: %w", idx, ErrIO, err)
+}
+
+func goodDirect(idx uint64) error {
+	return fmt.Errorf("slot %d out of range: %w", idx, ErrIO)
+}

@@ -1,0 +1,15 @@
+// Fixture: a package with no error domain — neither the built-in path nor a
+// directive — constructs errors freely.
+package clean
+
+import (
+	"errors"
+	"fmt"
+)
+
+func anything(err error) error {
+	if err != nil {
+		return fmt.Errorf("wrapped: %v", err)
+	}
+	return errors.New("free-range error")
+}

@@ -1,0 +1,20 @@
+// Fixture: a package outside the built-in domain opts in with
+// //oram:errdomain and is then held to its declared sentinels.
+
+//oram:errdomain ErrCorrupt
+package directive
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrCorrupt = errors.New("directive: corrupt record")
+
+func bad(err error) error {
+	return fmt.Errorf("decode: %w", err) // want "does not wrap ErrCorrupt"
+}
+
+func good(err error) error {
+	return fmt.Errorf("decode: %w: %w", ErrCorrupt, err)
+}

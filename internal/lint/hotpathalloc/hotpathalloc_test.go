@@ -1,0 +1,16 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"freecursive/internal/lint/hotpathalloc"
+	"freecursive/internal/lint/lintest"
+)
+
+func TestFlagsHotPathAllocations(t *testing.T) {
+	lintest.Run(t, "a", "x/internal/backend", hotpathalloc.Analyzer)
+}
+
+func TestCleanHotFunctions(t *testing.T) {
+	lintest.Run(t, "clean", "x/internal/backend", hotpathalloc.Analyzer)
+}

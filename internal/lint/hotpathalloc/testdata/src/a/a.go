@@ -1,0 +1,70 @@
+// Fixture: allocation sources inside //oram:hotpath functions.
+package a
+
+import "fmt"
+
+type codec struct {
+	scratch []byte
+	sink    fmt.Stringer
+}
+
+type record struct{ n int }
+
+func (record) String() string { return "" }
+
+//oram:hotpath
+func (c *codec) encode(src []byte, n int) []byte {
+	tmp := make([]byte, n) // want "make allocates on the hot path"
+	_ = tmp
+	p := new(record) // want "new allocates on the hot path"
+	_ = p
+	lit := []byte{1, 2, 3} // want "slice literal allocates on the hot path"
+	_ = lit
+	m := map[int]int{} // want "map literal allocates on the hot path"
+	_ = m
+	rp := &record{n: n} // want "&composite literal escapes to the heap"
+	_ = rp
+	s := string(src) // want "slice-to-string conversion allocates"
+	_ = s
+	b := []byte("header") // want "string-to-slice conversion allocates"
+	_ = b
+	c.scratch = append(c.scratch, src...) // self-append: amortized, fine
+	other := append(src, 0)               // want "append outside the x = append\(x, \.\.\.\) self-append idiom"
+	_ = other
+	var r record
+	c.sink = r // want "boxing x/internal/backend\.record into interface fmt\.Stringer"
+	k := n
+	f := func() int { return k } // want "capturing closure may allocate per call"
+	_ = f
+	g := r.String // want "method value allocates a bound-method closure"
+	_ = g
+	return c.scratch
+}
+
+//oram:hotpath
+func coldPathsAreFree(c *codec, n int) ([]byte, error) {
+	if n < 0 {
+		// Ends by returning a non-nil error: a cold arm, allocations fine.
+		bad := fmt.Sprintf("n=%d", n)
+		return nil, fmt.Errorf("hot: negative length %s", bad)
+	}
+	c.scratch = append(c.scratch[:0], byte(n))
+	return c.scratch, nil
+}
+
+//oram:hotpath
+func coldSwitchArmsAreFree(c *codec, op int) ([]byte, error) {
+	switch op {
+	case 0:
+		c.scratch = c.scratch[:0]
+		return c.scratch, nil
+	default:
+		// Ends by returning a non-nil error: cold, boxing op is fine.
+		return nil, fmt.Errorf("hot: unknown op %v", op)
+	}
+}
+
+// No directive: allocate freely.
+func unmarked(n int) []byte {
+	return make([]byte, n)
+}

@@ -1,0 +1,35 @@
+// Fixture: an allocation-free hot function produces no findings.
+package clean
+
+type ring struct {
+	buf  []byte
+	head int
+}
+
+//oram:hotpath
+func (r *ring) push(b byte) {
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
+	r.buf[r.head] = b
+	r.head++
+}
+
+//oram:hotpath
+func (r *ring) fill(src []byte) {
+	r.buf = append(r.buf[:0], src...)
+	for i, b := range src {
+		if int(b) > i {
+			r.buf[i] = b
+		}
+	}
+}
+
+//oram:hotpath
+func sum(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}

@@ -1,0 +1,151 @@
+// Package lintest is a small analysistest-style harness for the oramlint
+// analyzers: it parses a fixture directory, type-checks it under a chosen
+// import path (several analyzers gate on the package path), runs one
+// analyzer through the suppression-aware driver, and matches the surviving
+// findings against `// want "regexp"` comments in the fixture source.
+package lintest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"freecursive/internal/lint"
+	"freecursive/internal/lint/analysis"
+)
+
+var wantRe = regexp.MustCompile(`//\s*want\s+"((?:[^"\\]|\\.)*)"`)
+
+// Run type-checks the fixture at testdata/src/<name> as a package imported
+// as pkgpath, runs the analyzer (with driver suppression applied), and
+// reports mismatches against the fixture's `// want "re"` comments.
+func Run(t *testing.T, name, pkgpath string, a *analysis.Analyzer) {
+	t.Helper()
+	pass, src := load(t, filepath.Join("testdata", "src", name), pkgpath)
+	match(t, a, pass, src)
+}
+
+// Load parses and type-checks the fixture at testdata/src/<name> under the
+// given import path and returns the assembled pass, for tests that assert
+// on driver output directly instead of via want comments.
+func Load(t *testing.T, name, pkgpath string) *analysis.Pass {
+	t.Helper()
+	pass, _ := load(t, filepath.Join("testdata", "src", name), pkgpath)
+	return pass
+}
+
+func match(t *testing.T, a *analysis.Analyzer, pass *analysis.Pass, src map[string][]string) {
+	t.Helper()
+	findings, err := lint.RunAnalyzers([]*analysis.Analyzer{a}, pass)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for file, lines := range src {
+		for i, text := range lines {
+			for _, m := range wantRe.FindAllStringSubmatch(text, -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", file, i+1, m[1], err)
+				}
+				wants[key{file, i + 1}] = append(wants[key{file, i + 1}], re)
+			}
+		}
+	}
+
+	for _, f := range findings {
+		k := key{f.Pos.Filename, f.Pos.Line}
+		matched := -1
+		for i, re := range wants[k] {
+			if re.MatchString(f.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("%s:%d: unexpected finding: %s", filepath.Base(f.Pos.Filename), f.Pos.Line, f.Message)
+			continue
+		}
+		wants[k] = append(wants[k][:matched], wants[k][matched+1:]...)
+	}
+	var leftover []key
+	for k, res := range wants {
+		if len(res) > 0 {
+			leftover = append(leftover, k)
+		}
+	}
+	sort.Slice(leftover, func(i, j int) bool {
+		if leftover[i].file != leftover[j].file {
+			return leftover[i].file < leftover[j].file
+		}
+		return leftover[i].line < leftover[j].line
+	})
+	for _, k := range leftover {
+		for _, re := range wants[k] {
+			t.Errorf("%s:%d: expected finding matching %q, got none", filepath.Base(k.file), k.line, re)
+		}
+	}
+}
+
+// load parses and type-checks every .go file in dir as one package with the
+// given import path, returning the assembled pass and each file's source
+// lines (for want-comment scanning).
+func load(t *testing.T, dir, pkgpath string) (*analysis.Pass, map[string][]string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	src := map[string][]string{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("reading fixture: %v", err)
+		}
+		f, err := parser.ParseFile(fset, path, data, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+		src[path] = strings.Split(string(data), "\n")
+	}
+	if len(files) == 0 {
+		t.Fatalf("no .go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	// Fixtures import only the standard library, so the source importer
+	// (which compiles stdlib packages from source, no export data needed)
+	// resolves everything offline.
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check(pkgpath, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", dir, err)
+	}
+	return &analysis.Pass{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}, src
+}

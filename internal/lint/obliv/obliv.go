@@ -1,0 +1,212 @@
+// Package obliv defines an analyzer that enforces secret-independent
+// control flow in packages marked //oram:oblivious.
+//
+// The threat model of the paper (§2) lets the adversary observe the
+// address sequence to untrusted memory and the timing of every operation.
+// Inside the trusted controller, code that branches on a block address or
+// indexes a table by a leaf label turns that secret into a timing or
+// cache-line signal. The literature ("A Language for Probabilistically
+// Oblivious Computation"; "Revisiting Definitional Foundations of Oblivious
+// RAM") treats this as a property to enforce statically; this analyzer is
+// the conservative, name-seeded version of that discipline.
+//
+// The taint pass is intra-procedural and deliberately conservative: any
+// parameter or local whose name (or initializing expression's field names)
+// matches addr/leaf/label seeds the taint set; assignments propagate taint
+// to a fixpoint; if/for/switch conditions and index expressions are sinks.
+// Code that legitimately branches on revealed labels (Path ORAM reveals the
+// leaf of every access by design) carries //oramlint:allow obliv with the
+// reason spelled out.
+package obliv
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"freecursive/internal/lint/analysis"
+	"freecursive/internal/lint/directive"
+)
+
+// Analyzer enforces secret-independent control flow in //oram:oblivious
+// packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "obliv",
+	Doc: `flag secret-dependent branches and indexing in //oram:oblivious packages
+
+In a package marked with a file-level //oram:oblivious directive, control
+flow (if/for/switch conditions) and memory indexing (x[i]) must not depend
+on block addresses or leaf labels. Taint is seeded by name (addr, leaf,
+label and their selector fields) and propagated conservatively through
+assignments within each function. Branches on labels that the construction
+deliberately reveals carry //oramlint:allow obliv <reason>.`,
+	Run: run,
+}
+
+// secretSource matches names that carry block addresses or leaf labels.
+var secretSource = regexp.MustCompile(`(?i)(addr|leaf|label)`)
+
+func run(pass *analysis.Pass) error {
+	marked := false
+	for _, f := range pass.Files {
+		if directive.IsOblivious(f) {
+			marked = true
+			break
+		}
+	}
+	if !marked {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	tainted := map[types.Object]bool{}
+
+	// Seed: parameters (and receivers) with secret names, of data-carrying
+	// types (integers, or slices/arrays of them).
+	seed := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				obj := pass.TypesInfo.Defs[name]
+				if obj != nil && secretSource.MatchString(name.Name) && taintable(obj.Type()) {
+					tainted[obj] = true
+				}
+			}
+		}
+	}
+	seed(fn.Recv)
+	seed(fn.Type.Params)
+
+	// Propagate through assignments to a fixpoint: a local assigned from a
+	// tainted expression becomes tainted. Expressions are tainted when they
+	// use a tainted object or a secret-named selector field (b.Leaf).
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					var rhs ast.Expr
+					switch {
+					case len(n.Rhs) == len(n.Lhs):
+						rhs = n.Rhs[i]
+					case len(n.Rhs) == 1:
+						rhs = n.Rhs[0] // multi-value: taint all LHS together
+					default:
+						continue
+					}
+					id, ok := lhs.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					obj := pass.TypesInfo.Defs[id]
+					if obj == nil {
+						obj = pass.TypesInfo.Uses[id]
+					}
+					if obj == nil || tainted[obj] {
+						continue
+					}
+					if exprTainted(pass, rhs, tainted) {
+						tainted[obj] = true
+						changed = true
+					}
+				}
+			case *ast.RangeStmt:
+				// for i, v := range taintedSlice — both are tainted.
+				if exprTainted(pass, n.X, tainted) {
+					for _, e := range []ast.Expr{n.Key, n.Value} {
+						if id, ok := e.(*ast.Ident); ok {
+							if obj := pass.TypesInfo.Defs[id]; obj != nil && !tainted[obj] {
+								tainted[obj] = true
+								changed = true
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Sinks: branch conditions and index expressions.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			if exprTainted(pass, n.Cond, tainted) {
+				pass.Reportf(n.Cond.Pos(), "branch condition depends on a block address or leaf label; oblivious code must not branch on secrets")
+			}
+		case *ast.ForStmt:
+			if n.Cond != nil && exprTainted(pass, n.Cond, tainted) {
+				pass.Reportf(n.Cond.Pos(), "loop condition depends on a block address or leaf label; oblivious code must run in secret-independent time")
+			}
+		case *ast.SwitchStmt:
+			if n.Tag != nil && exprTainted(pass, n.Tag, tainted) {
+				pass.Reportf(n.Tag.Pos(), "switch tag depends on a block address or leaf label; oblivious code must not branch on secrets")
+			}
+		case *ast.IndexExpr:
+			if exprTainted(pass, n.Index, tainted) {
+				pass.Reportf(n.Index.Pos(), "memory indexed by a block address or leaf label; the access pattern leaks the secret through cache timing")
+			}
+		}
+		return true
+	})
+}
+
+// exprTainted reports whether e uses a tainted object or a secret-named
+// selector field.
+func exprTainted(pass *analysis.Pass, e ast.Expr, tainted map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[n]; obj != nil && tainted[obj] {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			// b.Leaf, req.Addr: the field name itself marks the secret.
+			obj := pass.TypesInfo.Uses[n.Sel]
+			if obj != nil && secretSource.MatchString(n.Sel.Name) && taintable(obj.Type()) {
+				if _, isField := obj.(*types.Var); isField {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// taintable reports whether a type can carry an address or label: integers
+// and sequences of integers. Branching on a *function* named Leaf is only a
+// sink if its integer result flows into the condition, which the Ident and
+// assignment rules already cover.
+func taintable(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&types.IsInteger != 0
+	case *types.Slice:
+		return taintable(u.Elem())
+	case *types.Array:
+		return taintable(u.Elem())
+	}
+	return false
+}

@@ -1,0 +1,20 @@
+package obliv_test
+
+import (
+	"testing"
+
+	"freecursive/internal/lint/lintest"
+	"freecursive/internal/lint/obliv"
+)
+
+func TestFlagsSecretDependentFlow(t *testing.T) {
+	lintest.Run(t, "a", "x/internal/tree", obliv.Analyzer)
+}
+
+func TestCleanObliviousCode(t *testing.T) {
+	lintest.Run(t, "clean", "x/internal/tree", obliv.Analyzer)
+}
+
+func TestUnmarkedPackageIsExempt(t *testing.T) {
+	lintest.Run(t, "unmarked", "x/internal/tree", obliv.Analyzer)
+}

@@ -1,0 +1,45 @@
+// Fixture: secret-dependent control flow in an oblivious-marked package.
+
+//oram:oblivious
+package a
+
+type block struct {
+	Leaf uint64
+	data []byte
+}
+
+func lookup(table []int, addr int) int {
+	return table[addr] // want "memory indexed by a block address or leaf label"
+}
+
+func branch(leaf uint64) int {
+	if leaf == 0 { // want "branch condition depends on a block address or leaf label"
+		return 1
+	}
+	return 0
+}
+
+func derived(leaf uint64) int {
+	x := leaf * 2
+	y := x + 1
+	for y > 0 { // want "loop condition depends on a block address or leaf label"
+		y--
+	}
+	return 0
+}
+
+func field(b *block, n uint64) int {
+	switch b.Leaf { // want "switch tag depends on a block address or leaf label"
+	case n:
+		return 1
+	}
+	return 0
+}
+
+func ranged(addrs []uint64, counts []int) int {
+	total := 0
+	for _, a := range addrs {
+		total += counts[a] // want "memory indexed by a block address or leaf label"
+	}
+	return total
+}

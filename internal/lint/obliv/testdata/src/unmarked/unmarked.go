@@ -1,0 +1,10 @@
+// Fixture: without the //oram:oblivious directive the analyzer stays
+// silent, whatever the code does with addresses.
+package unmarked
+
+func lookup(table []int, addr int) int {
+	if addr < 0 {
+		return 0
+	}
+	return table[addr]
+}

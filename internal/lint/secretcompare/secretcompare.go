@@ -1,0 +1,192 @@
+// Package secretcompare defines an analyzer that forbids variable-time
+// comparison of secret byte material — MAC tags, keys, digests — in the
+// security-sensitive packages of the ORAM stack.
+//
+// PMMAC is a production integrity check: an early-exit tag comparison leaks
+// how long a forged tag's matching prefix is, which an active adversary can
+// turn into a byte-at-a-time forgery oracle. The exact bug existed in
+// MAC.Verify (an ==-loop over tag bytes) until PR 5 replaced it with
+// subtle.ConstantTimeCompare; this analyzer makes it impossible to
+// reintroduce.
+package secretcompare
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"freecursive/internal/lint/analysis"
+)
+
+// Analyzer flags variable-time comparisons of secret-looking byte material.
+var Analyzer = &analysis.Analyzer{
+	Name: "secretcompare",
+	Doc: `forbid variable-time comparison of MAC tags and key material
+
+In the security-sensitive packages (internal/crypt, internal/core,
+internal/backend, internal/stash), byte slices whose name identifies them as
+secret material (tag, mac, key, secret, digest, sum, ...) must be compared
+with crypto/subtle.ConstantTimeCompare. bytes.Equal, bytes.Compare,
+reflect.DeepEqual and hand-rolled ==/!= loops over their bytes all exit
+early on the first mismatch, leaking the matching-prefix length through
+timing.`,
+	Run: run,
+}
+
+// SensitivePackages are the import-path suffixes the analyzer applies to:
+// the packages that handle tags, keys, and stash-resident secrets. Other
+// packages compare byte slices freely (codecs, tests of payload data).
+var SensitivePackages = []string{
+	"internal/crypt",
+	"internal/core",
+	"internal/backend",
+	"internal/stash",
+}
+
+// secretName matches identifiers that denote secret byte material. "sum"
+// catches MAC output buffers and Sum(...) results.
+var secretName = regexp.MustCompile(`(?i)(tag|mac|key|secret|digest|sum)`)
+
+func run(pass *analysis.Pass) error {
+	if !sensitive(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.ForStmt:
+				checkLoop(pass, n.Body)
+			case *ast.RangeStmt:
+				checkLoop(pass, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func sensitive(path string) bool {
+	for _, suf := range SensitivePackages {
+		if path == suf || strings.HasSuffix(path, "/"+suf) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkCall flags bytes.Equal/bytes.Compare/reflect.DeepEqual calls with a
+// secret operand.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return
+	}
+	var fn string
+	switch {
+	case obj.Pkg().Path() == "bytes" && (obj.Name() == "Equal" || obj.Name() == "Compare"):
+		fn = "bytes." + obj.Name()
+	case obj.Pkg().Path() == "reflect" && obj.Name() == "DeepEqual":
+		fn = "reflect.DeepEqual"
+	default:
+		return
+	}
+	for _, arg := range call.Args {
+		if name, ok := secretOperand(pass, arg); ok {
+			pass.Reportf(call.Pos(),
+				"%s on secret %q is variable-time; use crypto/subtle.ConstantTimeCompare",
+				fn, name)
+			return
+		}
+	}
+}
+
+// checkLoop flags ==/!= element comparisons of secret byte slices inside a
+// loop body: the hand-rolled early-exit compare.
+func checkLoop(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLoop := n.(*ast.ForStmt); isLoop {
+			return false // inner loops are visited on their own
+		}
+		if _, isLoop := n.(*ast.RangeStmt); isLoop {
+			return false
+		}
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+			return true
+		}
+		if !isByte(pass.TypesInfo.TypeOf(bin.X)) || !isByte(pass.TypesInfo.TypeOf(bin.Y)) {
+			return true
+		}
+		for _, side := range []ast.Expr{bin.X, bin.Y} {
+			idx, ok := side.(*ast.IndexExpr)
+			if !ok {
+				continue
+			}
+			if name, ok := secretOperand(pass, idx.X); ok {
+				pass.Reportf(bin.Pos(),
+					"per-byte %s loop over secret %q is variable-time; use crypto/subtle.ConstantTimeCompare",
+					bin.Op, name)
+				return true
+			}
+		}
+		return true
+	})
+}
+
+// secretOperand reports whether e is byte material with a secret-looking
+// name. It looks through one level of slicing (tag[:n]) and call results
+// (m.Sum(...)).
+func secretOperand(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	if !isByteSlice(pass.TypesInfo.TypeOf(e)) {
+		return "", false
+	}
+	name := operandName(e)
+	if name == "" || !secretName.MatchString(name) {
+		return "", false
+	}
+	return name, true
+}
+
+// operandName extracts the identifying name of an expression: the
+// identifier, the selector field, the sliced base, or the called function.
+func operandName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	case *ast.SliceExpr:
+		return operandName(e.X)
+	case *ast.IndexExpr:
+		return operandName(e.X)
+	case *ast.CallExpr:
+		return operandName(e.Fun)
+	case *ast.ParenExpr:
+		return operandName(e.X)
+	}
+	return ""
+}
+
+func isByteSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	return ok && isByte(s.Elem())
+}
+
+func isByte(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8)
+}

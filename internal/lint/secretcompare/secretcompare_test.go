@@ -1,0 +1,22 @@
+package secretcompare_test
+
+import (
+	"testing"
+
+	"freecursive/internal/lint/lintest"
+	"freecursive/internal/lint/secretcompare"
+)
+
+func TestFlagsVariableTimeCompares(t *testing.T) {
+	lintest.Run(t, "a", "x/internal/crypt", secretcompare.Analyzer)
+}
+
+func TestCleanConstantTime(t *testing.T) {
+	lintest.Run(t, "clean", "x/internal/crypt", secretcompare.Analyzer)
+}
+
+// The same flagging fixture under a non-sensitive path yields nothing: the
+// analyzer only polices the packages that handle tags and keys.
+func TestNonSensitivePathIsExempt(t *testing.T) {
+	lintest.Run(t, "exempt", "x/internal/codec", secretcompare.Analyzer)
+}

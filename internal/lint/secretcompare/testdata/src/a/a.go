@@ -1,0 +1,50 @@
+// Fixture: variable-time comparisons of secret material, type-checked under
+// a sensitive import path (x/internal/crypt).
+package a
+
+import (
+	"bytes"
+	"reflect"
+)
+
+func verifyEqual(tag, want []byte) bool {
+	return bytes.Equal(tag, want) // want "bytes\.Equal on secret .tag. is variable-time"
+}
+
+func verifyCompare(mac, want []byte) bool {
+	return bytes.Compare(want, mac) == 0 // want "bytes\.Compare on secret .mac. is variable-time"
+}
+
+func verifyDeep(key, want []byte) bool {
+	return reflect.DeepEqual(key, want) // want "reflect\.DeepEqual on secret .key. is variable-time"
+}
+
+func verifySliced(digest, want []byte) bool {
+	return bytes.Equal(digest[:8], want[:8]) // want "bytes\.Equal on secret .digest. is variable-time"
+}
+
+func verifyLoop(tag, want []byte) bool {
+	ok := true
+	for i := range tag {
+		if tag[i] != want[i] { // want "per-byte != loop over secret .tag. is variable-time"
+			ok = false
+		}
+	}
+	return ok
+}
+
+func verifyRangeLoop(sum []byte, want []byte) bool {
+	for i, b := range want {
+		if b == sum[i] { // want "per-byte == loop over secret .sum. is variable-time"
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+type mac struct{ tag []byte }
+
+func (m *mac) check(other *mac) bool {
+	return bytes.Equal(m.tag, other.tag) // want "bytes\.Equal on secret .tag. is variable-time"
+}

@@ -1,0 +1,26 @@
+// Fixture: constant-time comparison and non-secret byte work produce no
+// findings even under a sensitive import path.
+package clean
+
+import (
+	"bytes"
+	"crypto/subtle"
+)
+
+func verify(tag, want []byte) bool {
+	return subtle.ConstantTimeCompare(tag, want) == 1
+}
+
+func payloadEqual(payload, other []byte) bool {
+	return bytes.Equal(payload, other) // payload data is not secret material
+}
+
+func scanPayload(buf []byte) int {
+	n := 0
+	for i := range buf {
+		if buf[i] == 0 { // non-secret slice: early exit is fine
+			n++
+		}
+	}
+	return n
+}

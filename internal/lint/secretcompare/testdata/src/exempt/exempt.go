@@ -1,0 +1,9 @@
+// Fixture: identical shape to the flagging fixture, but the test checks it
+// under a non-sensitive import path, where nothing is reported.
+package exempt
+
+import "bytes"
+
+func verify(tag, want []byte) bool {
+	return bytes.Equal(tag, want)
+}

@@ -1,0 +1,15 @@
+// Fixture: valid //oramlint:allow suppressions, exercised through the
+// errwrap analyzer under the built-in x/internal/mem domain. Every finding
+// here is covered by a reasoned allow, so the driver reports nothing.
+package allow
+
+import "fmt"
+
+func suppressedBelow(n int) error {
+	//oramlint:allow errwrap construction-time misuse error, never crosses the storage boundary
+	return fmt.Errorf("bad geometry %d", n)
+}
+
+func suppressedSameLine(n int) error {
+	return fmt.Errorf("bad geometry %d", n) //oramlint:allow errwrap construction-time misuse error, never crosses the storage boundary
+}

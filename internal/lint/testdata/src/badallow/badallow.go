@@ -1,0 +1,18 @@
+// Fixture: malformed and stale //oramlint:allow directives, which the
+// driver reports as findings in their own right. The companion test asserts
+// the driver output programmatically (driver findings anchor on the
+// directive's own line, where a want comment cannot sit).
+package badallow
+
+import "fmt"
+
+//oramlint:allow errwrap
+func missingReason(n int) error {
+	return fmt.Errorf("bad geometry %d", n)
+}
+
+//oramlint:allow nosuchanalyzer because reasons
+func unknownAnalyzer() {}
+
+//oramlint:allow errwrap this code was deleted but the directive lingered
+func stale() {}

@@ -84,14 +84,16 @@ const (
 // OpenFile creates or reopens a bucket page file.
 func OpenFile(cfg FileConfig) (*FileStore, error) {
 	if cfg.Geometry.Z < 1 || cfg.Geometry.BlockBytes < 1 {
+		//oramlint:allow errwrap construction-time misuse, never crosses the storage boundary at runtime
 		return nil, fmt.Errorf("mem: invalid geometry %+v", cfg.Geometry)
 	}
 	if cfg.SlotBytes < 1 {
+		//oramlint:allow errwrap construction-time misuse, never crosses the storage boundary at runtime
 		return nil, fmt.Errorf("mem: slot size %d must be >= 1", cfg.SlotBytes)
 	}
 	f, err := os.OpenFile(cfg.Path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
-		return nil, fmt.Errorf("mem: %w", err)
+		return nil, fmt.Errorf("mem: %w: %w", ErrIO, err)
 	}
 	s := &FileStore{
 		f:         f,
@@ -106,7 +108,7 @@ func OpenFile(cfg FileConfig) (*FileStore, error) {
 	info, err := f.Stat()
 	if err != nil {
 		f.Close()
-		return nil, fmt.Errorf("mem: %w", err)
+		return nil, fmt.Errorf("mem: %w: %w", ErrIO, err)
 	}
 	if info.Size() == 0 {
 		if err := s.init(); err != nil {
@@ -136,10 +138,10 @@ func (s *FileStore) init() error {
 	binary.BigEndian.PutUint32(hdr[24:28], uint32(s.slotBytes))
 	binary.BigEndian.PutUint64(hdr[28:36], s.buckets)
 	if _, err := s.f.WriteAt(hdr, 0); err != nil {
-		return fmt.Errorf("mem: writing header: %w", err)
+		return fmt.Errorf("mem: writing header: %w: %w", ErrIO, err)
 	}
 	if err := s.f.Truncate(s.size()); err != nil {
-		return fmt.Errorf("mem: preallocating %d bytes: %w", s.size(), err)
+		return fmt.Errorf("mem: preallocating %d bytes: %w: %w", s.size(), ErrIO, err)
 	}
 	return nil
 }
@@ -149,13 +151,13 @@ func (s *FileStore) init() error {
 func (s *FileStore) reopen() error {
 	hdr := make([]byte, fileHeaderLen)
 	if _, err := io.ReadFull(io.NewSectionReader(s.f, 0, fileHeaderLen), hdr); err != nil {
-		return fmt.Errorf("mem: reading header: %w", err)
+		return fmt.Errorf("mem: reading header: %w: %w", ErrIO, err)
 	}
 	if string(hdr[:8]) != fileMagic {
-		return fmt.Errorf("mem: %s is not a bucket page file", s.f.Name())
+		return fmt.Errorf("mem: %s is not a bucket page file: %w", s.f.Name(), ErrIO)
 	}
 	if v := binary.BigEndian.Uint32(hdr[8:12]); v != fileVersion {
-		return fmt.Errorf("mem: bucket file version %d, want %d", v, fileVersion)
+		return fmt.Errorf("mem: bucket file version %d, want %d: %w", v, fileVersion, ErrIO)
 	}
 	gotL := int(binary.BigEndian.Uint32(hdr[12:16]))
 	gotZ := int(binary.BigEndian.Uint32(hdr[16:20]))
@@ -165,16 +167,16 @@ func (s *FileStore) reopen() error {
 	if gotL != s.geom.L || gotZ != s.geom.Z || gotB != s.geom.BlockBytes ||
 		gotSlot != s.slotBytes || gotBuckets != s.buckets {
 		return fmt.Errorf("mem: bucket file geometry L=%d Z=%d B=%d slot=%d buckets=%d "+
-			"does not match configured L=%d Z=%d B=%d slot=%d buckets=%d",
+			"does not match configured L=%d Z=%d B=%d slot=%d buckets=%d: %w",
 			gotL, gotZ, gotB, gotSlot, gotBuckets,
-			s.geom.L, s.geom.Z, s.geom.BlockBytes, s.slotBytes, s.buckets)
+			s.geom.L, s.geom.Z, s.geom.BlockBytes, s.slotBytes, s.buckets, ErrIO)
 	}
 	// A file truncated below its full size (a torn run) is re-extended: the
 	// missing region reads as zero lengths, i.e. absent buckets, which the
 	// integrity layer treats like any other deletion.
 	if info, err := s.f.Stat(); err == nil && info.Size() < s.size() {
 		if err := s.f.Truncate(s.size()); err != nil {
-			return fmt.Errorf("mem: re-extending torn file: %w", err)
+			return fmt.Errorf("mem: re-extending torn file: %w: %w", ErrIO, err)
 		}
 	}
 	s.scanPresent()
@@ -272,7 +274,7 @@ func (s *FileStore) load(idx uint64) ([]byte, error) {
 // ReadPath can keep every level of a path alive at once.
 func (s *FileStore) loadInto(idx uint64, buf []byte) ([]byte, error) {
 	if idx >= s.buckets {
-		return nil, fmt.Errorf("mem: bucket %d out of range [0,%d)", idx, s.buckets)
+		return nil, fmt.Errorf("mem: bucket %d out of range [0,%d): %w", idx, s.buckets, ErrIO)
 	}
 	n, err := s.f.ReadAt(buf, s.slotOff(idx))
 	if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
@@ -298,10 +300,10 @@ func (s *FileStore) loadInto(idx uint64, buf []byte) ([]byte, error) {
 // writeBuf, so data is not retained.
 func (s *FileStore) store(idx uint64, data []byte) error {
 	if idx >= s.buckets {
-		return fmt.Errorf("mem: bucket %d out of range [0,%d)", idx, s.buckets)
+		return fmt.Errorf("mem: bucket %d out of range [0,%d): %w", idx, s.buckets, ErrIO)
 	}
 	if len(data) > s.slotBytes {
-		return fmt.Errorf("mem: sealed bucket %d is %dB, slot holds %dB", idx, len(data), s.slotBytes)
+		return fmt.Errorf("mem: sealed bucket %d is %dB, slot holds %dB: %w", idx, len(data), s.slotBytes, ErrIO)
 	}
 	buf := s.writeBuf[:slotLenBytes+len(data)]
 	binary.BigEndian.PutUint32(buf[:slotLenBytes], uint32(len(data)))
@@ -394,7 +396,7 @@ func (s *FileStore) Close() error {
 	s.closed = true
 	if err := s.f.Sync(); err != nil {
 		s.f.Close()
-		return fmt.Errorf("mem: %w", err)
+		return fmt.Errorf("mem: %w: %w", ErrIO, err)
 	}
 	return s.f.Close()
 }

@@ -78,7 +78,7 @@ func (f *Flaky) step() error {
 	if f.cfg.DisconnectEvery > 0 && f.n%f.cfg.DisconnectEvery == 0 {
 		if b, ok := f.Backend.(Bouncer); ok {
 			if err := b.Bounce(); err != nil {
-				return fmt.Errorf("mem: injected disconnect at op %d: %w", f.n, err)
+				return fmt.Errorf("mem: injected disconnect at op %d: %w: %w", f.n, ErrIO, err)
 			}
 		}
 	}

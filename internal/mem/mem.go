@@ -122,6 +122,8 @@ func NewStore() *Store {
 
 // Read implements Backend. The returned slice is the store's live copy and
 // must not be modified by the caller.
+//
+//oram:hotpath
 func (s *Store) Read(idx uint64) ([]byte, error) {
 	s.reads++
 	data := s.buckets[idx]
@@ -134,6 +136,8 @@ func (s *Store) Read(idx uint64) ([]byte, error) {
 // Write implements Backend. The store copies data into its own retained
 // buffer (reused across writes of the same bucket), so the caller may reuse
 // the slice immediately.
+//
+//oram:hotpath
 func (s *Store) Write(idx uint64, data []byte) error {
 	s.writes++
 	if s.onWrite != nil {
@@ -143,6 +147,8 @@ func (s *Store) Write(idx uint64, data []byte) error {
 	return nil
 }
 
+//
+//oram:hotpath
 func (s *Store) put(idx uint64, data []byte) {
 	old, ok := s.buckets[idx]
 	if ok {
@@ -164,6 +170,7 @@ func (s *Store) put(idx uint64, data []byte) {
 		s.buckets[idx] = buf
 		return
 	}
+	//oramlint:allow hotpathalloc first write of a bucket allocates its backing copy; steady-state rewrites reuse it
 	buf := make([]byte, len(data))
 	copy(buf, data)
 	s.buckets[idx] = buf

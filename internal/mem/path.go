@@ -57,6 +57,7 @@ func (s *Store) ReadPath(idxs []uint64, out [][]byte) error {
 		if err != nil {
 			return err
 		}
+		//oramlint:allow bufferown Store.Read returns live map-backed slices; simultaneous validity until the next write is exactly the PathReader guarantee this method provides
 		out[i] = data
 	}
 	return nil

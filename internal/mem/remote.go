@@ -127,6 +127,7 @@ func SpaceID(namespace string) uint64 {
 func DialRemote(cfg RemoteConfig) (*Remote, error) {
 	cfg.setDefaults()
 	if cfg.Addr == "" {
+		//oramlint:allow errwrap construction-time misuse, never crosses the storage boundary at runtime
 		return nil, fmt.Errorf("mem: remote backend needs an address")
 	}
 	r := &Remote{cfg: cfg, space: SpaceID(cfg.Namespace)}
@@ -199,7 +200,7 @@ func (r *Remote) send(req bucketwire.Request) (uint64, error) {
 	id := r.nextID
 	b, err := r.enc.Request(id, req)
 	if err != nil {
-		return 0, fmt.Errorf("mem: remote %s: %w", r.cfg.Addr, err)
+		return 0, fmt.Errorf("mem: remote %s: %w: %w", r.cfg.Addr, ErrIO, err)
 	}
 	if _, err := r.conn.Write(b); err != nil {
 		err = fmt.Errorf("mem: remote %s: %w: %w", r.cfg.Addr, ErrIO, err)

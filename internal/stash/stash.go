@@ -58,6 +58,8 @@ func (s *Stash) MaxSeen() int { return s.maxSeen }
 func (s *Stash) Overflows() int { return s.overflows }
 
 // insertAddr adds addr to the sorted index (must not already be present).
+//
+//oram:hotpath
 func (s *Stash) insertAddr(addr uint64) {
 	i, _ := slices.BinarySearch(s.sorted, addr)
 	s.sorted = append(s.sorted, 0)
@@ -66,6 +68,8 @@ func (s *Stash) insertAddr(addr uint64) {
 }
 
 // removeAddr deletes addr from the sorted index (must be present).
+//
+//oram:hotpath
 func (s *Stash) removeAddr(addr uint64) {
 	i, _ := slices.BinarySearch(s.sorted, addr)
 	copy(s.sorted[i:], s.sorted[i+1:])
@@ -73,12 +77,16 @@ func (s *Stash) removeAddr(addr uint64) {
 }
 
 // recycle returns a removed Block struct to the free list.
+//
+//oram:hotpath
 func (s *Stash) recycle(b *Block) {
 	b.Data = nil // drop the payload reference; the caller owns it now
 	s.free = append(s.free, b)
 }
 
 // Put inserts or replaces a block. The stash takes ownership of b.Data.
+//
+//oram:hotpath
 func (s *Stash) Put(b Block) {
 	if old, ok := s.blocks[b.Addr]; ok {
 		*old = b
@@ -90,6 +98,7 @@ func (s *Stash) Put(b Block) {
 		s.free[n-1] = nil
 		s.free = s.free[:n-1]
 	} else {
+		//oramlint:allow hotpathalloc free-list miss; recycled blocks cover the steady state, pinned by the AllocsPerRun gates
 		nb = new(Block)
 	}
 	*nb = b
@@ -107,6 +116,8 @@ func (s *Stash) Get(addr uint64) *Block { return s.blocks[addr] }
 // this stash, and its Data field is cleared — the payload buffer's ownership
 // transfers to whoever holds it, so callers that need the payload must Get
 // the block and capture Data before removing.
+//
+//oram:hotpath
 func (s *Stash) Remove(addr uint64) *Block {
 	b := s.blocks[addr]
 	if b != nil {
@@ -142,6 +153,8 @@ func (s *Stash) Note() {
 // only until the next EvictForPath call; the Data slices are the payload
 // buffers the stash owned, now owned by the caller. Candidates are visited
 // in ascending address order, so eviction stays deterministic.
+//
+//oram:hotpath
 func (s *Stash) EvictForPath(pathLeaf uint64, levels, z int,
 	canReside func(blockLeaf uint64, level int) bool) [][]Block {
 

@@ -237,6 +237,7 @@ func (sh *shard) process(batch []request, cache map[uint64][]byte) {
 				req.fut.resolve(nil, sh.noteError(err))
 				continue
 			}
+			//oramlint:allow bufferown ORAM.Read returns a caller-owned copy per the Frontend contract, not backend scratch; the window cache holds it deliberately
 			cache[req.inner] = v
 			// Every waiter gets its own copy; the cached slice stays
 			// canonical for the rest of the window.

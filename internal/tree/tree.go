@@ -1,6 +1,14 @@
 // Package tree defines the geometry of a Path ORAM tree: levels, buckets,
 // path indexing, and the physical "subtree layout" address mapping of [26]
 // that the DRAM model uses to achieve near-peak bandwidth.
+//
+// Geometry math runs on leaf labels the adversary is allowed to see (Path
+// ORAM reveals the leaf of every access by design), but it must not branch
+// on anything more: the obliv analyzer holds the package to
+// secret-independent control flow, and the one deliberate exception carries
+// a reasoned allow.
+
+//oram:oblivious
 package tree
 
 import (
@@ -99,9 +107,11 @@ func (g Geometry) DeepestLegalLevel(blockLeaf, pathLeaf uint64) int {
 	// Number of common leading bits of the two L-bit leaf labels.
 	x := (blockLeaf ^ pathLeaf) << uint(64-g.L)
 	common := bits.LeadingZeros64(x)
+	//oramlint:allow obliv both leaf labels are revealed to the adversary on every access by Path ORAM's design (§3.1); branching on them leaks nothing new
 	if g.L == 0 || x == 0 {
 		return g.L
 	}
+	//oramlint:allow obliv both leaf labels are revealed to the adversary on every access by Path ORAM's design (§3.1); branching on them leaks nothing new
 	if common > g.L {
 		common = g.L
 	}

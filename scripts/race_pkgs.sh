@@ -1,0 +1,19 @@
+#!/bin/sh
+# Emit the packages that belong under `go test -race`: every package whose
+# source or tests import a concurrency-bearing stdlib package. The list is
+# derived from `go list` on each run, so a new concurrent package is picked
+# up automatically — the previous hand-maintained list in the Makefile had
+# to be extended by hand (PR 7) and silently under-covered anything added
+# since. A package matching none of these imports has no goroutines of its
+# own and nothing for the race detector to observe.
+set -eu
+cd "$(dirname "$0")/.."
+go list -f '{{.ImportPath}} {{join .Imports " "}} {{join .TestImports " "}} {{join .XTestImports " "}}' ./... |
+awk '{
+	for (i = 2; i <= NF; i++)
+		if ($i == "sync" || $i == "sync/atomic" || $i == "net" ||
+		    $i == "net/http" || $i == "net/http/httptest" || $i == "os/signal") {
+			print $1
+			next
+		}
+}'

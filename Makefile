@@ -5,7 +5,7 @@
 # `make staticcheck-version`; the workflow must not carry its own copy.
 STATICCHECK_VERSION := 2025.1
 
-.PHONY: all build test race bench bench-all bench-hotpath bench-network bench-remote bins lint oramlint staticcheck-version fuzz-smoke fmt
+.PHONY: all build test race bench bench-all bench-hotpath bench-network bench-remote bench-backends bins lint oramlint staticcheck-version fuzz-smoke fmt
 
 all: build lint test
 
@@ -46,6 +46,12 @@ bench-network:
 # BENCH_remote.json and gates on a 4x speedup at 10 ms.
 bench-remote:
 	./scripts/bench_remote.sh
+
+# Backend comparison matrix — path vs bhoram over map, file, and 10 ms-RTT
+# remote memories (the CI backend-bench job); writes BENCH_backends.json
+# and gates on every cell completing with zero failed ops.
+bench-backends:
+	./scripts/bench_backends.sh
 
 # Link every cmd/ and examples/ binary (the CI bins job).
 bins:

@@ -11,16 +11,25 @@ import (
 	"testing"
 
 	"freecursive"
+	"freecursive/internal/core"
 	"freecursive/internal/httpapi"
 	"freecursive/internal/store"
 )
 
-func durableConfig(dir string) store.Config {
+// durableConfig builds a two-shard durable store over the given backend
+// construction. The stash/cache capacity is pinned low so the working set
+// actually reaches the bucket files — at the default capacity the
+// bucket-hash cache would keep everything in trusted memory and the
+// tamper campaign below would have nothing to bite.
+func durableConfig(dir, backendKind string) store.Config {
 	return store.Config{
 		Shards:  2,
 		Blocks:  1 << 9,
 		DataDir: dir,
-		ORAM:    freecursive.Config{Scheme: freecursive.PIC, BlockBytes: 32, Seed: 5},
+		ORAM: freecursive.Config{
+			Scheme: freecursive.PIC, BlockBytes: 32, Seed: 5,
+			Backend: backendKind, StashCapacity: 32,
+		},
 	}
 }
 
@@ -56,10 +65,17 @@ func blockBody(addr uint64) []byte {
 // TestServerRestartServesOldBlocks is the acceptance path for -data-dir: a
 // server is written to, cleanly stopped (snapshot + close, exactly what the
 // SIGTERM handler runs), and restarted — the new process serves the blocks
-// the old one stored.
+// the old one stored. Runs once per backend construction: both must be
+// fully durable behind the same flag.
 func TestServerRestartServesOldBlocks(t *testing.T) {
+	for _, kind := range core.BackendKinds() {
+		t.Run(kind, func(t *testing.T) { testServerRestart(t, kind) })
+	}
+}
+
+func testServerRestart(t *testing.T, backendKind string) {
 	dir := t.TempDir()
-	cfg := durableConfig(dir)
+	cfg := durableConfig(dir, backendKind)
 
 	st, err := store.New(cfg)
 	if err != nil {
@@ -114,16 +130,26 @@ func TestServerRestartServesOldBlocks(t *testing.T) {
 // TestServerDetectsTamperBetweenRuns: an adversary who edits the bucket
 // files while the server is down is caught by PMMAC on the next run — the
 // affected shards quarantine and answer 503, never the tampered bytes.
+// The campaign is backend-agnostic (it edits whatever page files exist),
+// so it runs over both constructions.
 func TestServerDetectsTamperBetweenRuns(t *testing.T) {
+	for _, kind := range core.BackendKinds() {
+		t.Run(kind, func(t *testing.T) { testServerDetectsTamper(t, kind) })
+	}
+}
+
+func testServerDetectsTamper(t *testing.T, backendKind string) {
 	dir := t.TempDir()
-	cfg := durableConfig(dir)
+	cfg := durableConfig(dir, backendKind)
 
 	st, err := store.New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	srv := httptest.NewServer(httpapi.New(st))
-	const addrs = 48
+	// Enough writes that each shard's working set outgrows its trusted
+	// stash/cache and blocks genuinely live in the bucket files.
+	const addrs = 160
 	for a := uint64(0); a < addrs; a++ {
 		putBlock(t, srv, a, blockBody(a))
 	}

@@ -10,6 +10,7 @@ import (
 	"freecursive"
 	"freecursive/client"
 	"freecursive/internal/bucketd"
+	"freecursive/internal/core"
 	"freecursive/internal/frameserver"
 	"freecursive/internal/httpapi"
 	"freecursive/internal/mem"
@@ -23,7 +24,15 @@ import (
 // buckets of shard 0's data tree over the wire. PMMAC must latch as soon
 // as a read fetches a tampered block, the shard must quarantine, and BOTH
 // client transports must surface it as a 503 with a Retry-After hint.
+// The campaign runs against both backend constructions: the adversary's
+// vantage point (the bucket server) is identical either way.
 func TestRemoteTamperDetectedEndToEnd(t *testing.T) {
+	for _, kind := range core.BackendKinds() {
+		t.Run(kind, func(t *testing.T) { testRemoteTamper(t, kind) })
+	}
+}
+
+func testRemoteTamper(t *testing.T, backendKind string) {
 	// Untrusted bucket server.
 	bsrv := bucketd.New(bucketd.Config{})
 	bln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -38,7 +47,10 @@ func TestRemoteTamperDetectedEndToEnd(t *testing.T) {
 		Shards:  1,
 		Blocks:  1 << 8,
 		MemAddr: bln.Addr().String(),
-		ORAM:    freecursive.Config{Scheme: freecursive.PIC, BlockBytes: 32, Seed: 5},
+		ORAM: freecursive.Config{
+			Scheme: freecursive.PIC, BlockBytes: 32, Seed: 5,
+			Backend: backendKind, StashCapacity: 32,
+		},
 	})
 	if err != nil {
 		t.Fatal(err)

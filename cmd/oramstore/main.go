@@ -112,6 +112,7 @@ func runServe(args []string) {
 	logBlocks := fs.Int("blocks", 16, "log2 of total capacity in blocks")
 	blockB := fs.Int("block", 64, "block size in bytes")
 	scheme := fs.String("scheme", "PIC", "R | P | PC | PI | PIC")
+	backendKind := fs.String("backend", "path", "position-based ORAM backend: path (tree) | bhoram (bucket-hash, deamortized rebuilds)")
 	lightweight := fs.Bool("lightweight", false, "bandwidth-accounting backend (no real data)")
 	seed := fs.Uint64("seed", 1, "deterministic seed")
 	dataDir := fs.String("data-dir", "", "durable mode: per-shard bucket files + trusted-state snapshots under this directory")
@@ -131,6 +132,9 @@ func runServe(args []string) {
 	}
 	if *dataDir != "" && *lightweight {
 		log.Fatal("-data-dir needs real buckets to persist; drop -lightweight")
+	}
+	if *backendKind != "path" && *lightweight {
+		log.Fatalf("-backend %s needs real buckets; drop -lightweight", *backendKind)
 	}
 	if *snapEvery != 0 && *dataDir == "" {
 		log.Fatal("-snapshot-interval needs -data-dir")
@@ -162,6 +166,7 @@ func runServe(args []string) {
 		QueueDepth:   *queueDepth,
 		ORAM: freecursive.Config{
 			Scheme:       sc,
+			Backend:      *backendKind,
 			BlockBytes:   *blockB,
 			Lightweight:  *lightweight,
 			SerialPathIO: *serialPath,
@@ -180,8 +185,8 @@ func runServe(args []string) {
 	if *memAddr != "" {
 		mode = "remote buckets at " + *memAddr
 	}
-	log.Printf("serving %d blocks x %d B across %d shards (%s, %s) on %s",
-		st.Blocks(), st.BlockBytes(), st.Shards(), *scheme, mode, *addr)
+	log.Printf("serving %d blocks x %d B across %d shards (%s/%s, %s) on %s",
+		st.Blocks(), st.BlockBytes(), st.Shards(), *scheme, *backendKind, mode, *addr)
 
 	// The binary frame server shares the store (and the /metrics endpoint,
 	// via the TransportSource hook) with the HTTP handler.
@@ -287,9 +292,11 @@ func runLoad(args []string) {
 	seed := fs.Uint64("seed", 1, "load-generator seed (workers derive independent streams)")
 	shards := fs.Int("shards", 8, "in-process mode: shard count")
 	scheme := fs.String("scheme", "PIC", "in-process mode: R | P | PC | PI | PIC")
+	backendKind := fs.String("backend", "path", "in-process mode: ORAM backend, path | bhoram")
 	lightweight := fs.Bool("lightweight", false, "in-process mode: bandwidth-accounting backend")
-	memKind := fs.String("mem", "map", "in-process mode: untrusted bucket memory, map | remote")
+	memKind := fs.String("mem", "map", "in-process mode: untrusted bucket memory, map | file | remote")
 	memAddr := fs.String("mem-addr", "", "in-process mode: bucketd TCP address for -mem remote")
+	dataDir := fs.String("data-dir", "", "in-process mode: per-shard bucket files under this directory for -mem file")
 	serialPath := fs.Bool("serial-path", false, "in-process mode: disable batched path I/O (serial baseline)")
 	jsonOut := fs.Bool("json", false, "emit one machine-readable JSON line instead of text")
 	fs.Parse(args)
@@ -346,8 +353,18 @@ func runLoad(args []string) {
 		if !ok {
 			log.Fatalf("unknown scheme %q", *scheme)
 		}
+		if *backendKind != "path" && *lightweight {
+			log.Fatalf("-backend %s needs real buckets; drop -lightweight", *backendKind)
+		}
 		switch *memKind {
 		case "map":
+		case "file":
+			if *dataDir == "" {
+				log.Fatal("-mem file needs -data-dir")
+			}
+			if *lightweight {
+				log.Fatal("-mem file needs real buckets; drop -lightweight")
+			}
 		case "remote":
 			if *memAddr == "" {
 				log.Fatal("-mem remote needs -mem-addr")
@@ -357,14 +374,20 @@ func runLoad(args []string) {
 			}
 			checkBinaryHealth(*memAddr)
 		default:
-			log.Fatalf("unknown -mem %q (want map or remote)", *memKind)
+			log.Fatalf("unknown -mem %q (want map, file, or remote)", *memKind)
+		}
+		fileDir := ""
+		if *memKind == "file" {
+			fileDir = *dataDir
 		}
 		st, err := store.New(store.Config{
 			Shards:  *shards,
 			Blocks:  opts.addrs,
 			MemAddr: *memAddr,
+			DataDir: fileDir,
 			ORAM: freecursive.Config{
 				Scheme:       sc,
+				Backend:      *backendKind,
 				BlockBytes:   *blockB,
 				Lightweight:  *lightweight,
 				SerialPathIO: *serialPath,

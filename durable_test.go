@@ -9,6 +9,8 @@ import (
 	"time"
 
 	"freecursive/internal/backend"
+	"freecursive/internal/backend/bhoram"
+	"freecursive/internal/core"
 )
 
 // payload derives a distinct, non-zero block body for an address.
@@ -29,62 +31,77 @@ func writeAll(t *testing.T, o *ORAM, addrs uint64) {
 	}
 }
 
+// forEachBackend runs a durability scenario once per backend kind; the
+// scenario receives a config pre-selected to that kind.
+func forEachBackend(t *testing.T, base Config, fn func(t *testing.T, cfg Config)) {
+	for _, kind := range core.BackendKinds() {
+		t.Run(kind, func(t *testing.T) {
+			cfg := base
+			cfg.Backend = kind
+			cfg.DataDir = t.TempDir()
+			fn(t, cfg)
+		})
+	}
+}
+
 // TestDurableSnapshotResume is the clean-shutdown round trip: write, take a
 // trusted-state snapshot, close, resume in a "new process", and read
-// everything back — then keep using the resumed instance.
+// everything back — then keep using the resumed instance. Every scheme runs
+// over every backend construction.
 func TestDurableSnapshotResume(t *testing.T) {
 	for _, s := range []Scheme{PLB, PC, PI, PIC, Recursive} {
 		t.Run(s.String(), func(t *testing.T) {
-			cfg := Config{Scheme: s, Blocks: 1 << 10, Seed: 11, DataDir: t.TempDir()}
-			o, err := New(cfg)
-			if err != nil {
-				t.Fatal(err)
-			}
-			const addrs = 96
-			writeAll(t, o, addrs)
-			statsBefore := o.Stats()
-
-			var snap bytes.Buffer
-			if err := o.Snapshot(&snap); err != nil {
-				t.Fatalf("snapshot: %v", err)
-			}
-			if err := o.Close(); err != nil {
-				t.Fatalf("close: %v", err)
-			}
-
-			o, err = Resume(cfg, bytes.NewReader(snap.Bytes()))
-			if err != nil {
-				t.Fatalf("resume: %v", err)
-			}
-			defer o.Close()
-			if got := o.Stats(); got != statsBefore {
-				t.Fatalf("stats not restored: %+v != %+v", got, statsBefore)
-			}
-			for a := uint64(0); a < addrs; a++ {
-				got, err := o.Read(a)
+			forEachBackend(t, Config{Scheme: s, Blocks: 1 << 10, Seed: 11}, func(t *testing.T, cfg Config) {
+				o, err := New(cfg)
 				if err != nil {
-					t.Fatalf("read %d after resume: %v", a, err)
+					t.Fatal(err)
 				}
-				if !bytes.Equal(got, payload(a)) {
-					t.Fatalf("block %d = %x after resume, want %x", a, got[:8], payload(a)[:8])
+				const addrs = 96
+				writeAll(t, o, addrs)
+				statsBefore := o.Stats()
+
+				var snap bytes.Buffer
+				if err := o.Snapshot(&snap); err != nil {
+					t.Fatalf("snapshot: %v", err)
 				}
-			}
-			// The resumed controller keeps working: fresh writes and
-			// overwrites verify end to end.
-			for a := uint64(0); a < addrs; a++ {
-				if _, err := o.Write(a+512, payload(a+512)); err != nil {
-					t.Fatalf("write after resume: %v", err)
+				if err := o.Close(); err != nil {
+					t.Fatalf("close: %v", err)
 				}
-			}
-			for a := uint64(0); a < addrs; a++ {
-				got, err := o.Read(a + 512)
+
+				o, err = Resume(cfg, bytes.NewReader(snap.Bytes()))
 				if err != nil {
-					t.Fatalf("read new block after resume: %v", err)
+					t.Fatalf("resume: %v", err)
 				}
-				if !bytes.Equal(got, payload(a+512)) {
-					t.Fatalf("new block %d mismatch after resume", a+512)
+				defer o.Close()
+				if got := o.Stats(); got != statsBefore {
+					t.Fatalf("stats not restored: %+v != %+v", got, statsBefore)
 				}
-			}
+				for a := uint64(0); a < addrs; a++ {
+					got, err := o.Read(a)
+					if err != nil {
+						t.Fatalf("read %d after resume: %v", a, err)
+					}
+					if !bytes.Equal(got, payload(a)) {
+						t.Fatalf("block %d = %x after resume, want %x", a, got[:8], payload(a)[:8])
+					}
+				}
+				// The resumed controller keeps working: fresh writes and
+				// overwrites verify end to end.
+				for a := uint64(0); a < addrs; a++ {
+					if _, err := o.Write(a+512, payload(a+512)); err != nil {
+						t.Fatalf("write after resume: %v", err)
+					}
+				}
+				for a := uint64(0); a < addrs; a++ {
+					got, err := o.Read(a + 512)
+					if err != nil {
+						t.Fatalf("read new block after resume: %v", err)
+					}
+					if !bytes.Equal(got, payload(a+512)) {
+						t.Fatalf("new block %d mismatch after resume", a+512)
+					}
+				}
+			})
 		})
 	}
 }
@@ -93,36 +110,38 @@ func TestDurableSnapshotResume(t *testing.T) {
 // memory lives, not what the trusted state looks like — a snapshot resumes
 // against the same bucket files moved to a new path.
 func TestDurableSnapshotSurvivesRelocation(t *testing.T) {
-	dirA := filepath.Join(t.TempDir(), "a")
-	cfg := Config{Scheme: PIC, Blocks: 1 << 10, Seed: 12, DataDir: dirA}
-	o, err := New(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	writeAll(t, o, 32)
-	var snap bytes.Buffer
-	if err := o.Snapshot(&snap); err != nil {
-		t.Fatal(err)
-	}
-	o.Close()
+	forEachBackend(t, Config{Scheme: PIC, Blocks: 1 << 10, Seed: 12}, func(t *testing.T, cfg Config) {
+		dirA := filepath.Join(t.TempDir(), "a")
+		cfg.DataDir = dirA
+		o, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		writeAll(t, o, 32)
+		var snap bytes.Buffer
+		if err := o.Snapshot(&snap); err != nil {
+			t.Fatal(err)
+		}
+		o.Close()
 
-	dirB := filepath.Join(t.TempDir(), "b")
-	if err := os.Rename(dirA, dirB); err != nil {
-		t.Fatal(err)
-	}
-	cfg.DataDir = dirB
-	o, err = Resume(cfg, &snap)
-	if err != nil {
-		t.Fatalf("resume after relocation: %v", err)
-	}
-	defer o.Close()
-	got, err := o.Read(5)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(got, payload(5)) {
-		t.Fatal("block lost across relocation")
-	}
+		dirB := filepath.Join(t.TempDir(), "b")
+		if err := os.Rename(dirA, dirB); err != nil {
+			t.Fatal(err)
+		}
+		cfg.DataDir = dirB
+		o, err = Resume(cfg, &snap)
+		if err != nil {
+			t.Fatalf("resume after relocation: %v", err)
+		}
+		defer o.Close()
+		got, err := o.Read(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload(5)) {
+			t.Fatal("block lost across relocation")
+		}
+	})
 }
 
 // TestCrashedStoreNeverServesStaleBlocks: dropping the file backend with no
@@ -130,102 +149,107 @@ func TestDurableSnapshotSurvivesRelocation(t *testing.T) {
 // bucket files must never serve the stale plaintexts — every read either
 // trips PMMAC or yields zeros (the fresh controller's logical state).
 func TestCrashedStoreNeverServesStaleBlocks(t *testing.T) {
-	cfg := Config{Scheme: PIC, Blocks: 1 << 10, Seed: 13, DataDir: t.TempDir()}
-	o, err := New(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	const addrs = 64
-	writeAll(t, o, addrs)
-	if err := o.Close(); err != nil { // crash: no Snapshot call
-		t.Fatal(err)
-	}
-
-	o, err = New(cfg) // fresh trusted state over the old bucket files
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer o.Close()
-	zeros := make([]byte, 64)
-	sawViolation := false
-	for a := uint64(0); a < addrs; a++ {
-		got, err := o.Read(a)
+	forEachBackend(t, Config{Scheme: PIC, Blocks: 1 << 10, Seed: 13}, func(t *testing.T, cfg Config) {
+		o, err := New(cfg)
 		if err != nil {
-			if !errors.Is(err, ErrIntegrity) {
-				t.Fatalf("read %d: %v (want ErrIntegrity)", a, err)
+			t.Fatal(err)
+		}
+		const addrs = 64
+		writeAll(t, o, addrs)
+		if err := o.Close(); err != nil { // crash: no Snapshot call
+			t.Fatal(err)
+		}
+
+		o, err = New(cfg) // fresh trusted state over the old bucket files
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer o.Close()
+		zeros := make([]byte, 64)
+		sawViolation := false
+		for a := uint64(0); a < addrs; a++ {
+			got, err := o.Read(a)
+			if err != nil {
+				if !errors.Is(err, ErrIntegrity) {
+					t.Fatalf("read %d: %v (want ErrIntegrity)", a, err)
+				}
+				sawViolation = true
+				break // the controller is latched dead from here on
 			}
-			sawViolation = true
-			break // the controller is latched dead from here on
+			if bytes.Equal(got, payload(a)) {
+				t.Fatalf("stale block %d served after crash", a)
+			}
+			if !bytes.Equal(got, zeros) {
+				t.Fatalf("block %d = %x after crash: neither rejected nor zero", a, got[:8])
+			}
 		}
-		if bytes.Equal(got, payload(a)) {
-			t.Fatalf("stale block %d served after crash", a)
+		if !sawViolation && o.Stats().Violations == 0 {
+			t.Log("no violation tripped (all stale paths missed); acceptable but unusual")
 		}
-		if !bytes.Equal(got, zeros) {
-			t.Fatalf("block %d = %x after crash: neither rejected nor zero", a, got[:8])
-		}
-	}
-	if !sawViolation && o.Stats().Violations == 0 {
-		t.Log("no violation tripped (all stale paths missed); acceptable but unusual")
-	}
+	})
 }
 
 // TestTamperedBucketFileDetected: modify the on-disk sealed buckets between
 // a clean shutdown and a resume — PMMAC must reject the tampered blocks
-// rather than serve them.
+// rather than serve them, whichever backend construction owns the file.
+// The stash/cache capacity is pinned low so blocks actually live in the
+// file: at the default capacity the bucket-hash cache would hold the whole
+// working set in trusted memory and the campaign would have no surface.
 func TestTamperedBucketFileDetected(t *testing.T) {
-	cfg := Config{Scheme: PIC, Blocks: 1 << 10, Seed: 14, DataDir: t.TempDir()}
-	o, err := New(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	const addrs = 64
-	writeAll(t, o, addrs)
-	var snap bytes.Buffer
-	if err := o.Snapshot(&snap); err != nil {
-		t.Fatal(err)
-	}
-	if err := o.Close(); err != nil {
-		t.Fatal(err)
-	}
-
-	// The adversary edits the page file at rest: flip a bit every 7 bytes
-	// past the 64-byte header, corrupting every materialized slot (and a
-	// few slot length fields — torn-looking buckets must be caught too).
-	path := filepath.Join(cfg.DataDir, "tree-0.oram")
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i := 64; i < len(raw); i += 7 {
-		raw[i] ^= 0x40
-	}
-	if err := os.WriteFile(path, raw, 0o644); err != nil {
-		t.Fatal(err)
-	}
-
-	o, err = Resume(cfg, &snap)
-	if err != nil {
-		t.Fatalf("resume: %v", err)
-	}
-	defer o.Close()
-	for a := uint64(0); a < addrs; a++ {
-		got, err := o.Read(a)
+	forEachBackend(t, Config{Scheme: PIC, Blocks: 1 << 10, Seed: 14, StashCapacity: 32}, func(t *testing.T, cfg Config) {
+		o, err := New(cfg)
 		if err != nil {
-			if !errors.Is(err, ErrIntegrity) {
-				t.Fatalf("read %d: %v (want ErrIntegrity)", a, err)
-			}
-			if o.Stats().Violations == 0 {
-				t.Fatal("violation not counted")
-			}
-			return // detected: test passed
+			t.Fatal(err)
 		}
-		// A read that slipped through before touching a tampered path must
-		// still be correct — never silently wrong.
-		if !bytes.Equal(got, payload(a)) && !bytes.Equal(got, make([]byte, 64)) {
-			t.Fatalf("block %d silently served tampered data", a)
+		const addrs = 64
+		writeAll(t, o, addrs)
+		var snap bytes.Buffer
+		if err := o.Snapshot(&snap); err != nil {
+			t.Fatal(err)
 		}
-	}
-	t.Fatal("no tampered read was detected")
+		if err := o.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		// The adversary edits the page file at rest: flip a bit every 7 bytes
+		// past the 64-byte header, corrupting every materialized slot (and a
+		// few slot length fields — torn-looking buckets must be caught too).
+		path := filepath.Join(cfg.DataDir, "tree-0.oram")
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 64; i < len(raw); i += 7 {
+			raw[i] ^= 0x40
+		}
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		o, err = Resume(cfg, &snap)
+		if err != nil {
+			t.Fatalf("resume: %v", err)
+		}
+		defer o.Close()
+		for a := uint64(0); a < addrs; a++ {
+			got, err := o.Read(a)
+			if err != nil {
+				if !errors.Is(err, ErrIntegrity) {
+					t.Fatalf("read %d: %v (want ErrIntegrity)", a, err)
+				}
+				if o.Stats().Violations == 0 {
+					t.Fatal("violation not counted")
+				}
+				return // detected: test passed
+			}
+			// A read that slipped through before touching a tampered path must
+			// still be correct — never silently wrong.
+			if !bytes.Equal(got, payload(a)) && !bytes.Equal(got, make([]byte, 64)) {
+				t.Fatalf("block %d silently served tampered data", a)
+			}
+		}
+		t.Fatal("no tampered read was detected")
+	})
 }
 
 // TestCrashRestartFreshSeedStream: a fresh controller over old durable
@@ -233,33 +257,45 @@ func TestTamperedBucketFileDetected(t *testing.T) {
 // previous run started it — that would replay the AES-CTR pad stream under
 // the same key (§6.4, self-inflicted). The register is randomized per
 // durable instance, so two "crash restarts" draw distinct seed windows.
+// Both backend constructions share the cipher, so both are checked.
 func TestCrashRestartFreshSeedStream(t *testing.T) {
-	cfg := Config{Scheme: PIC, Blocks: 1 << 10, Seed: 18, DataDir: t.TempDir()}
-	seedOf := func(o *ORAM) uint64 {
-		return o.System().Backends[0].(*backend.PathORAM).Cipher().GlobalSeed()
+	seedOf := func(t *testing.T, o *ORAM) uint64 {
+		t.Helper()
+		switch be := o.System().Backends[0].(type) {
+		case *backend.PathORAM:
+			return be.Cipher().GlobalSeed()
+		case *bhoram.BucketHash:
+			return be.Cipher().GlobalSeed()
+		default:
+			t.Fatalf("backend %T exposes no cipher", be)
+			return 0
+		}
 	}
-	o1, err := New(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	s1 := seedOf(o1)
-	o1.Close()
-	o2, err := New(cfg) // crash restart: same config, no snapshot
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer o2.Close()
-	s2 := seedOf(o2)
-	if s1 == s2 {
-		t.Fatalf("seed register repeated across restarts: %d", s1)
-	}
-	if s1 == 1 || s2 == 1 {
-		t.Fatal("durable instance started its seed register at the deterministic value 1")
-	}
+	forEachBackend(t, Config{Scheme: PIC, Blocks: 1 << 10, Seed: 18}, func(t *testing.T, cfg Config) {
+		o1, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s1 := seedOf(t, o1)
+		o1.Close()
+		o2, err := New(cfg) // crash restart: same config, no snapshot
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer o2.Close()
+		s2 := seedOf(t, o2)
+		if s1 == s2 {
+			t.Fatalf("seed register repeated across restarts: %d", s1)
+		}
+		if s1 == 1 || s2 == 1 {
+			t.Fatal("durable instance started its seed register at the deterministic value 1")
+		}
+	})
 }
 
 // TestSnapshotRefusesMismatchedConfig: resuming into a differently shaped
-// ORAM must fail loudly, not corrupt state.
+// ORAM must fail loudly, not corrupt state — including into the other
+// backend construction, whose trusted state has a different shape entirely.
 func TestSnapshotRefusesMismatchedConfig(t *testing.T) {
 	cfg := Config{Scheme: PIC, Blocks: 1 << 10, Seed: 15, DataDir: t.TempDir()}
 	o, err := New(cfg)
@@ -283,10 +319,16 @@ func TestSnapshotRefusesMismatchedConfig(t *testing.T) {
 	if _, err := Resume(bad, bytes.NewReader(snap.Bytes())); err == nil {
 		t.Fatal("resume with mismatched scheme should fail")
 	}
+	bad = cfg
+	bad.Backend = core.BackendBucketHash
+	if _, err := Resume(bad, bytes.NewReader(snap.Bytes())); err == nil {
+		t.Fatal("resume with mismatched backend kind should fail")
+	}
 }
 
 // TestSnapshotRejectsLightweight: the accounting backend has no real tree
-// to persist against.
+// to persist against — and the bucket-hash construction has no accounting
+// mode at all.
 func TestSnapshotRejectsLightweight(t *testing.T) {
 	o, err := New(Config{Scheme: PIC, Blocks: 1 << 10, Seed: 16, Lightweight: true})
 	if err != nil {
@@ -299,28 +341,35 @@ func TestSnapshotRejectsLightweight(t *testing.T) {
 	if _, err := New(Config{Scheme: PIC, Lightweight: true, DataDir: t.TempDir()}); err == nil {
 		t.Fatal("DataDir with Lightweight should fail")
 	}
+	if _, err := New(Config{Scheme: PIC, Lightweight: true, Backend: core.BackendBucketHash}); err == nil {
+		t.Fatal("Lightweight with the bucket-hash backend should fail")
+	}
 }
 
 // TestLatencyBackendFunctional: a latency-injected ORAM still round-trips;
 // the wrapper only costs time.
 func TestLatencyBackendFunctional(t *testing.T) {
-	o, err := New(Config{
-		Scheme: PIC, Blocks: 1 << 8, Seed: 17,
-		ReadLatency:  20 * time.Microsecond,
-		WriteLatency: 20 * time.Microsecond,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer o.Close()
-	if _, err := o.Write(3, []byte("delayed")); err != nil {
-		t.Fatal(err)
-	}
-	got, err := o.Read(3)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if string(got[:7]) != "delayed" {
-		t.Fatalf("read %q", got[:7])
+	for _, kind := range core.BackendKinds() {
+		t.Run(kind, func(t *testing.T) {
+			o, err := New(Config{
+				Scheme: PIC, Blocks: 1 << 8, Seed: 17, Backend: kind,
+				ReadLatency:  20 * time.Microsecond,
+				WriteLatency: 20 * time.Microsecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer o.Close()
+			if _, err := o.Write(3, []byte("delayed")); err != nil {
+				t.Fatal(err)
+			}
+			got, err := o.Read(3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got[:7]) != "delayed" {
+				t.Fatalf("read %q", got[:7])
+			}
+		})
 	}
 }

@@ -79,6 +79,14 @@ func (s Scheme) internal() core.Scheme {
 type Config struct {
 	// Scheme picks the frontend; default PIC.
 	Scheme Scheme
+	// Backend picks the position-based ORAM construction under the
+	// frontend: "path" (default) for the paper's Path ORAM tree, "bhoram"
+	// for the Pyramid-style bucket-hash hierarchy with deamortized
+	// background rebuilds. Both serve the same API and the same integrity
+	// guarantees; the bucket-hash backend requires Lightweight=false and
+	// the default (global-seed) encryption scheme, and benefits from the
+	// serving layer draining Maintain when idle.
+	Backend string
 	// Blocks is the number of protected blocks N (default 2^20).
 	Blocks uint64
 	// BlockBytes is the block (cache line) size (default 64).
@@ -142,8 +150,10 @@ type Stats struct {
 	GroupRemaps     uint64  // compressed-PosMap group remap events
 	MACChecks       uint64  // PMMAC verifications
 	Violations      uint64  // integrity violations detected
-	StashMax        uint64  // peak stash occupancy
+	StashMax        uint64  // peak stash (or bucket-hash cache) occupancy
 	StashOverflow   uint64  // times the stash exceeded its configured capacity
+	Rebuilds        uint64  // bucket-hash level rebuilds completed
+	RebuildSteps    uint64  // bucket operations performed by rebuild steps
 }
 
 // ORAM is an oblivious memory of Blocks fixed-size blocks.
@@ -170,6 +180,7 @@ func New(cfg Config) (*ORAM, error) {
 	}
 	sys, err := core.Build(core.Params{
 		Scheme:            cfg.Scheme.internal(),
+		Backend:           cfg.Backend,
 		NBlocks:           cfg.Blocks,
 		DataBytes:         cfg.BlockBytes,
 		Z:                 cfg.Z,
@@ -229,8 +240,30 @@ func (o *ORAM) Stats() Stats {
 		Violations:      c.Violations,
 		StashMax:        c.StashMax,
 		StashOverflow:   c.StashOverflow,
+		Rebuilds:        c.Rebuilds,
+		RebuildSteps:    c.RebuildSteps,
 	}
 }
+
+// Maintain runs up to budget units of pending background maintenance —
+// the bucket-hash backend's deamortized rebuild work (budget <= 0 means
+// one inline quantum). Serving layers call it when their request queue is
+// idle so rebuilds drain off the request path; skipping it costs
+// throughput, never correctness, because every access also runs a bounded
+// inline quantum. It reports whether work remains. Errors wrap ErrStorage
+// and are fail-stop, exactly like an access-path storage fault. Like every
+// other method it must be serialized with Read/Write.
+func (o *ORAM) Maintain(budget int) (bool, error) {
+	pending, err := o.sys.Maintain(budget)
+	if err != nil {
+		return pending, fmt.Errorf("freecursive: %w", err)
+	}
+	return pending, nil
+}
+
+// MaintainPending reports whether background maintenance work is queued,
+// without performing any.
+func (o *ORAM) MaintainPending() bool { return o.sys.MaintainPending() }
 
 // Violation returns the integrity error the controller has latched, or nil
 // while it is healthy. Once PMMAC detects tampering the ORAM refuses all

@@ -136,11 +136,13 @@ func (f BitFlipper) FlipOne(st mem.Backend, nBuckets uint64, rng *rand.Rand) (ui
 // Recorder snapshots DRAM for later replay — the freshness attack of §6.1.
 type Recorder struct {
 	snapshot map[uint64][]byte
+	n        uint64
 }
 
 // Record captures the current contents of every materialized bucket.
 func (r *Recorder) Record(st mem.Backend, nBuckets uint64) int {
 	r.snapshot = make(map[uint64][]byte)
+	r.n = nBuckets
 	for idx := uint64(0); idx < nBuckets; idx++ {
 		if raw := st.Peek(idx); raw != nil {
 			r.snapshot[idx] = bytes.Clone(raw)
@@ -149,11 +151,19 @@ func (r *Recorder) Record(st mem.Backend, nBuckets uint64) int {
 	return len(r.snapshot)
 }
 
-// Replay rolls every recorded bucket back to its snapshot. Each individual
-// (MAC, data) pair is genuine — only counters can catch this.
+// Replay rolls the whole recorded range back to its snapshot — recorded
+// buckets to their old contents, buckets materialized since back to
+// nothing (a rollback restores the disk image, not just the sectors that
+// happened to change; against a double-buffered layout restoring only old
+// sectors would leave the newest epoch intact). Each individual (MAC,
+// data) pair is genuine — only counters can catch this.
 func (r *Recorder) Replay(st mem.Backend) int {
-	for idx, raw := range r.snapshot {
-		st.Poke(idx, bytes.Clone(raw))
+	for idx := uint64(0); idx < r.n; idx++ {
+		if raw, ok := r.snapshot[idx]; ok {
+			st.Poke(idx, bytes.Clone(raw))
+		} else {
+			st.Poke(idx, nil)
+		}
 	}
 	return len(r.snapshot)
 }

@@ -1,114 +1,111 @@
 // End-to-end adversarial campaigns: every strategy from the threat model
-// run against a live PIC_X32 ORAM, asserting PMMAC's §6.5.1 guarantees —
-// plus the §6.4 seed-rewind experiment showing exactly which encryption
-// scheme leaks.
-package adversary
+// run against a live PIC_X32 ORAM over EVERY backend construction the
+// repository ships, asserting PMMAC's §6.5.1 guarantees — plus the §6.4
+// seed-rewind experiment showing exactly which encryption scheme leaks.
+//
+// This is an external test package so it can share the target-building
+// plumbing in backendtest (which itself imports this package for the
+// trace taps).
+package adversary_test
 
 import (
 	"errors"
 	"math/rand/v2"
 	"testing"
 
+	"freecursive/internal/adversary"
 	"freecursive/internal/backend"
+	"freecursive/internal/backend/backendtest"
 	"freecursive/internal/core"
 	"freecursive/internal/crypt"
 )
 
-func buildTarget(t *testing.T, enc crypt.SeedScheme) (*core.System, *backend.PathORAM) {
-	t.Helper()
-	sys, err := core.Build(core.Params{
-		Scheme: core.SchemePIC, NBlocks: 1 << 10, DataBytes: 64,
-		OnChipBudgetBytes: 256, PLBCapacityBytes: 1 << 10,
-		Functional: true, EncScheme: enc, Seed: 99,
-	})
-	if err != nil {
-		t.Fatal(err)
+// forEachKind runs an adversary campaign against a freshly built and
+// populated system of every backend kind; the campaign sees only the
+// untrusted store and the frontend, exactly like the adversary.
+func forEachKind(t *testing.T, campaign func(t *testing.T, sys *core.System)) {
+	for _, kind := range core.BackendKinds() {
+		t.Run(kind, func(t *testing.T) {
+			campaign(t, backendtest.BuildSystem(t, kind, 200))
+		})
 	}
-	be := sys.Backends[0].(*backend.PathORAM)
-	// Populate.
-	for a := uint64(0); a < 200; a++ {
-		if _, err := sys.Frontend.Access(a, true, []byte{byte(a), 0x5c}); err != nil {
-			t.Fatal(err)
-		}
-	}
-	return sys, be
-}
-
-// sweep reads the populated range, returning the first error.
-func sweep(sys *core.System) error {
-	for a := uint64(0); a < 200; a++ {
-		if _, err := sys.Frontend.Access(a, false, nil); err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
 func TestBitFlipCampaign(t *testing.T) {
-	for _, offset := range []float64{0.2, 0.5, 0.95} {
-		sys, be := buildTarget(t, crypt.SeedGlobal)
-		n := BitFlipper{Offset: offset, Mask: 0x80}.FlipAll(be.Store(), be.Geometry().Buckets())
-		if n == 0 {
-			t.Fatal("nothing to corrupt")
+	forEachKind(t, func(t *testing.T, sys *core.System) {
+		for _, offset := range []float64{0.2, 0.5, 0.95} {
+			st, buckets := backendtest.BackendStore(t, sys)
+			n := adversary.BitFlipper{Offset: offset, Mask: 0x80}.FlipAll(st, buckets)
+			if n == 0 {
+				t.Fatal("nothing to corrupt")
+			}
+			if err := backendtest.Sweep(sys, 200); !errors.Is(err, core.ErrIntegrity) {
+				t.Fatalf("offset %.2f: campaign undetected (err=%v)", offset, err)
+			}
+			// The controller is latched; later offsets need a fresh target.
+			sys = backendtest.BuildSystem(t, sys.Params.Backend, 200)
 		}
-		if err := sweep(sys); !errors.Is(err, core.ErrIntegrity) {
-			t.Fatalf("offset %.2f: campaign undetected (err=%v)", offset, err)
-		}
-	}
+	})
 }
 
 func TestSingleFlipEventuallyCaught(t *testing.T) {
-	sys, be := buildTarget(t, crypt.SeedGlobal)
-	rng := rand.New(rand.NewPCG(4, 4))
-	if _, ok := (BitFlipper{Offset: 0.7}).FlipOne(be.Store(), be.Geometry().Buckets(), rng); !ok {
-		t.Fatal("no bucket to flip")
-	}
-	// A single corrupted bucket may hold dummies or cold blocks; sweeping
-	// repeatedly remaps everything and must either (a) trip PMMAC, or (b)
-	// never return wrong data. Run several sweeps and require no silent
-	// wrong reads.
-	for pass := 0; pass < 5; pass++ {
-		for a := uint64(0); a < 200; a++ {
-			got, err := sys.Frontend.Access(a, false, nil)
-			if err != nil {
-				if !errors.Is(err, core.ErrIntegrity) {
-					t.Fatalf("unexpected error type: %v", err)
+	forEachKind(t, func(t *testing.T, sys *core.System) {
+		st, buckets := backendtest.BackendStore(t, sys)
+		rng := rand.New(rand.NewPCG(4, 4))
+		if _, ok := (adversary.BitFlipper{Offset: 0.7}).FlipOne(st, buckets, rng); !ok {
+			t.Fatal("no bucket to flip")
+		}
+		// A single corrupted bucket may hold dummies or cold blocks; sweeping
+		// repeatedly remaps everything and must either (a) trip PMMAC, or (b)
+		// never return wrong data. Run several sweeps and require no silent
+		// wrong reads.
+		for pass := 0; pass < 5; pass++ {
+			for a := uint64(0); a < 200; a++ {
+				got, err := sys.Frontend.Access(a, false, nil)
+				if err != nil {
+					if !errors.Is(err, core.ErrIntegrity) {
+						t.Fatalf("unexpected error type: %v", err)
+					}
+					return // detected: done
 				}
-				return // detected: done
-			}
-			if got[0] != byte(a) || got[1] != 0x5c {
-				t.Fatalf("SILENT CORRUPTION: block %d reads %x", a, got[:2])
+				if got[0] != byte(a) || got[1] != 0x5c {
+					t.Fatalf("SILENT CORRUPTION: block %d reads %x", a, got[:2])
+				}
 			}
 		}
-	}
-	// Flip landed on dummy bits: acceptable (no integrity statement about
-	// bits the processor never consumes).
+		// Flip landed on dummy bits: acceptable (no integrity statement about
+		// bits the processor never consumes).
+	})
 }
 
 func TestReplayCampaign(t *testing.T) {
-	sys, be := buildTarget(t, crypt.SeedGlobal)
-	var rec Recorder
-	if rec.Record(be.Store(), be.Geometry().Buckets()) == 0 {
-		t.Fatal("nothing recorded")
-	}
-	// Advance state so the snapshot goes stale.
-	for a := uint64(0); a < 200; a++ {
-		if _, err := sys.Frontend.Access(a, true, []byte{0xee}); err != nil {
-			t.Fatal(err)
+	forEachKind(t, func(t *testing.T, sys *core.System) {
+		st, buckets := backendtest.BackendStore(t, sys)
+		var rec adversary.Recorder
+		if rec.Record(st, buckets) == 0 {
+			t.Fatal("nothing recorded")
 		}
-	}
-	rec.Replay(be.Store())
-	if err := sweep(sys); !errors.Is(err, core.ErrIntegrity) {
-		t.Fatalf("replay undetected (err=%v)", err)
-	}
+		// Advance state so the snapshot goes stale.
+		for a := uint64(0); a < 200; a++ {
+			if _, err := sys.Frontend.Access(a, true, []byte{0xee}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rec.Replay(st)
+		if err := backendtest.Sweep(sys, 200); !errors.Is(err, core.ErrIntegrity) {
+			t.Fatalf("replay undetected (err=%v)", err)
+		}
+	})
 }
 
 func TestDeletionCampaign(t *testing.T) {
-	sys, be := buildTarget(t, crypt.SeedGlobal)
-	Deleter{}.DeleteAll(be.Store(), be.Geometry().Buckets())
-	if err := sweep(sys); !errors.Is(err, core.ErrIntegrity) {
-		t.Fatalf("deletion undetected (err=%v)", err)
-	}
+	forEachKind(t, func(t *testing.T, sys *core.System) {
+		st, buckets := backendtest.BackendStore(t, sys)
+		adversary.Deleter{}.DeleteAll(st, buckets)
+		if err := backendtest.Sweep(sys, 200); !errors.Is(err, core.ErrIntegrity) {
+			t.Fatalf("deletion undetected (err=%v)", err)
+		}
+	})
 }
 
 // TestSeedRewind reproduces §6.4 end to end: under per-bucket seeds the
@@ -117,6 +114,12 @@ func TestDeletionCampaign(t *testing.T) {
 // target runs WITHOUT PMMAC — the §6.4 point is exactly that this attack
 // is not an integrity event unless the garbled bucket happens to hold the
 // block of interest, so the encryption scheme must defend itself.
+//
+// The experiment is tree-backend-specific by construction: the bucket-hash
+// backend refuses to build under per-bucket seeds at all (every rebuild
+// rewrites whole levels, so the global scheme is the only one whose seeds
+// it can keep fresh) — TestBucketHashRefusesPerBucketSeeds pins that the
+// vulnerable configuration is unbuildable rather than untested.
 func TestSeedRewind(t *testing.T) {
 	run := func(enc crypt.SeedScheme) int {
 		sys, err := core.Build(core.Params{
@@ -133,14 +136,14 @@ func TestSeedRewind(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		det := &PadReuseDetector{}
+		det := &adversary.PadReuseDetector{}
 		det.Install(be.Store())
 		// Interleave rewinds with legitimate traffic: each access rewrites
 		// a path, and rewound seeds make the per-bucket controller repeat
 		// pads it already used.
 		rng := rand.New(rand.NewPCG(6, 6))
 		for round := 0; round < 30; round++ {
-			SeedRewinder{}.RewindAll(be.Store(), be.Geometry().Buckets())
+			adversary.SeedRewinder{}.RewindAll(be.Store(), be.Geometry().Buckets())
 			for i := 0; i < 10; i++ {
 				if _, err := sys.Frontend.Access(rng.Uint64()%200, false, nil); err != nil {
 					t.Fatal(err)
@@ -154,5 +157,20 @@ func TestSeedRewind(t *testing.T) {
 	}
 	if reuses := run(crypt.SeedGlobal); reuses != 0 {
 		t.Errorf("global seed: %d pad reuses — must be impossible", reuses)
+	}
+}
+
+// TestBucketHashRefusesPerBucketSeeds: the §6.4-vulnerable encryption
+// scheme cannot be combined with the bucket-hash backend; the build fails
+// loudly instead of shipping a rewindable configuration.
+func TestBucketHashRefusesPerBucketSeeds(t *testing.T) {
+	_, err := core.Build(core.Params{
+		Scheme: core.SchemePC, Backend: core.BackendBucketHash,
+		NBlocks: 1 << 10, DataBytes: 64,
+		OnChipBudgetBytes: 256, PLBCapacityBytes: 1 << 10,
+		Functional: true, EncScheme: crypt.SeedPerBucket, Seed: 99,
+	})
+	if err == nil {
+		t.Fatal("bucket-hash backend built under per-bucket seeds")
 	}
 }

@@ -102,6 +102,23 @@ type Backend interface {
 	Close() error
 }
 
+// Maintainer is the optional background-maintenance capability a Backend
+// may implement (deamortized rebuilds, proactive eviction, compaction).
+// The serving layer calls Maintain when its request queue is idle so the
+// work drains off the request path; backends also run a bounded inline
+// quantum per access, so forgetting to call Maintain costs throughput,
+// never correctness.
+type Maintainer interface {
+	// Maintain performs up to budget units (bucket operations) of pending
+	// maintenance — budget <= 0 means one inline quantum — and reports
+	// whether work remains. Errors wrap mem.ErrIO and are fail-stop for
+	// the controller, exactly like an access-path fault.
+	Maintain(budget int) (pending bool, err error)
+	// MaintainPending reports whether maintenance work is queued, without
+	// performing any.
+	MaintainPending() bool
+}
+
 // WireBucketBytes returns the size of one bucket on the DRAM bus: Z slots of
 // (payload + 8-byte packed address/leaf/valid header) plus an 8-byte
 // encryption seed, padded up to 512-bit (64-byte) DDR3 bursts, following the

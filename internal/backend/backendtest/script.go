@@ -1,0 +1,251 @@
+package backendtest
+
+// Deterministic op scripts. A script is generated once as a pure function
+// of a seed and then replayed — against one backend to check results
+// against a flat model, against two backends to prove result equivalence,
+// or twice against the same backend kind under an address permutation to
+// prove the untrusted I/O trace does not depend on logical addresses.
+//
+// Scripts speak in SLOTS, not addresses: the replay maps each slot
+// through an injectable addrOf function, so two runs can disagree about
+// every logical address while agreeing about everything public (the op
+// schedule and the leaf sequence). Scripts respect the frontend
+// discipline the real position-map frontends maintain: a read-removed
+// slot is appended back before its next access, and appends never target
+// a live slot.
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+
+	"freecursive/internal/backend"
+)
+
+// OpKind enumerates script operations.
+type OpKind int
+
+// Script operation kinds.
+const (
+	OpRead OpKind = iota
+	OpWrite
+	OpReadRmv
+	OpAppend
+	OpUpdate
+)
+
+// Op is one scripted access. Leaf and NewLeaf are fixed at generation
+// time so every replay presents the identical leaf sequence.
+type Op struct {
+	Kind    OpKind
+	Slot    uint64
+	Leaf    uint64
+	NewLeaf uint64
+	Data    []byte // write/append/update payload
+}
+
+// StepResult records what one scripted access returned, for differential
+// comparison between backends.
+type StepResult struct {
+	Found bool
+	Data  []byte
+}
+
+// GenScript produces ops scripted accesses over slots logical slots with
+// the given leaf space and payload size, deterministically from seed.
+func GenScript(seed uint64, ops int, slots, leaves uint64, blockBytes int) []Op {
+	rng := rand.New(rand.NewPCG(seed, seed^0xdead))
+	leaf := map[uint64]uint64{} // slot -> current leaf (present = live)
+	held := map[uint64]bool{}   // slot -> read-removed, frontend holds it
+	script := make([]Op, 0, ops)
+
+	payload := func(tag uint64) []byte {
+		p := make([]byte, blockBytes)
+		for i := range p {
+			p[i] = byte(tag + uint64(i)*7)
+		}
+		return p
+	}
+
+	for i := 0; i < ops; i++ {
+		slot := rng.Uint64() % slots
+		nl := rng.Uint64() % leaves
+		cur, live := leaf[slot]
+		if !live {
+			cur = rng.Uint64() % leaves
+		}
+		if held[slot] {
+			script = append(script, Op{Kind: OpAppend, Slot: slot, Leaf: nl, Data: payload(uint64(i))})
+			leaf[slot] = nl
+			delete(held, slot)
+			continue
+		}
+		switch rng.IntN(10) {
+		case 0, 1, 2, 3:
+			script = append(script, Op{Kind: OpRead, Slot: slot, Leaf: cur, NewLeaf: nl})
+			leaf[slot] = nl
+		case 4, 5, 6, 7:
+			script = append(script, Op{Kind: OpWrite, Slot: slot, Leaf: cur, NewLeaf: nl, Data: payload(uint64(i))})
+			leaf[slot] = nl
+		case 8:
+			if !live {
+				script = append(script, Op{Kind: OpRead, Slot: slot, Leaf: cur, NewLeaf: nl})
+				leaf[slot] = nl
+				continue
+			}
+			script = append(script, Op{Kind: OpReadRmv, Slot: slot, Leaf: cur})
+			delete(leaf, slot)
+			held[slot] = true
+		case 9:
+			script = append(script, Op{Kind: OpUpdate, Slot: slot, Leaf: cur, NewLeaf: nl, Data: payload(uint64(i) | 1<<32)})
+			leaf[slot] = nl
+		}
+	}
+	return script
+}
+
+// IdentityAddr maps each slot to itself.
+func IdentityAddr(slot uint64) uint64 { return slot }
+
+// PermutedAddr maps slots through an injective affine map (odd
+// multiplier), scattering them across a wide address range — every
+// logical address differs from the identity mapping, while everything
+// public (op schedule, leaf sequence) stays the same. The
+// adversary-visible question is exactly: do different logical addresses
+// produce a different I/O trace?
+func PermutedAddr(slot uint64) uint64 {
+	return (slot*2862933555777941757 + 3037000493) % (1 << 40)
+}
+
+// RunScript replays script against b, mapping slots through addrOf,
+// verifying every result against a flat in-memory model, and recording
+// each step's (Found, payload) pair. After the script it drains
+// maintenance and sweeps every live slot in ascending order (still
+// deterministic), so untrusted-resident copies are verified too.
+func RunScript(t testing.TB, b backend.Backend, script []Op, addrOf func(uint64) uint64) []StepResult {
+	t.Helper()
+	g := b.Geometry()
+	model := map[uint64][]byte{} // slot -> payload
+	results := make([]StepResult, 0, len(script))
+
+	full := func(data []byte) []byte {
+		out := make([]byte, g.BlockBytes)
+		copy(out, data)
+		return out
+	}
+	record := func(res backend.Result) {
+		results = append(results, StepResult{Found: res.Found, Data: bytes.Clone(res.Data)})
+	}
+
+	for i, op := range script {
+		addr := addrOf(op.Slot)
+		switch op.Kind {
+		case OpRead:
+			res, err := b.Access(backend.Request{Op: backend.OpRead, Addr: addr, Leaf: op.Leaf, NewLeaf: op.NewLeaf})
+			if err != nil {
+				t.Fatalf("op %d read slot %d: %v", i, op.Slot, err)
+			}
+			want, exists := model[op.Slot]
+			if exists != res.Found {
+				t.Fatalf("op %d read slot %d: found=%v want %v", i, op.Slot, res.Found, exists)
+			}
+			if exists && !bytes.Equal(res.Data, want) {
+				t.Fatalf("op %d read slot %d: payload mismatch", i, op.Slot)
+			}
+			if !exists {
+				model[op.Slot] = make([]byte, g.BlockBytes)
+			}
+			record(res)
+		case OpWrite:
+			res, err := b.Access(backend.Request{Op: backend.OpWrite, Addr: addr, Leaf: op.Leaf, NewLeaf: op.NewLeaf, Data: op.Data})
+			if err != nil {
+				t.Fatalf("op %d write slot %d: %v", i, op.Slot, err)
+			}
+			model[op.Slot] = full(op.Data)
+			record(res)
+		case OpReadRmv:
+			res, err := b.Access(backend.Request{Op: backend.OpReadRmv, Addr: addr, Leaf: op.Leaf})
+			if err != nil {
+				t.Fatalf("op %d readrmv slot %d: %v", i, op.Slot, err)
+			}
+			want, exists := model[op.Slot]
+			if exists != res.Found {
+				t.Fatalf("op %d readrmv slot %d: found=%v want %v", i, op.Slot, res.Found, exists)
+			}
+			if exists && !bytes.Equal(res.Data, want) {
+				t.Fatalf("op %d readrmv slot %d: payload mismatch", i, op.Slot)
+			}
+			delete(model, op.Slot)
+			record(res)
+		case OpAppend:
+			res, err := b.Access(backend.Request{Op: backend.OpAppend, Addr: addr, Leaf: op.Leaf, Data: op.Data})
+			if err != nil {
+				t.Fatalf("op %d append slot %d: %v", i, op.Slot, err)
+			}
+			model[op.Slot] = full(op.Data)
+			record(res)
+		case OpUpdate:
+			want, exists := model[op.Slot]
+			res, err := b.Access(backend.Request{Op: backend.OpRead, Addr: addr, Leaf: op.Leaf, NewLeaf: op.NewLeaf,
+				Update: func(old []byte, found bool) []byte {
+					if exists && (!found || !bytes.Equal(old, want)) {
+						t.Errorf("op %d update slot %d: old payload mismatch", i, op.Slot)
+					}
+					return op.Data
+				}})
+			if err != nil {
+				t.Fatalf("op %d update slot %d: %v", i, op.Slot, err)
+			}
+			model[op.Slot] = full(op.Data)
+			record(res)
+		}
+	}
+
+	// Final sweep: drain deamortized maintenance, then read back every
+	// live slot in ascending slot order (deterministic across replays).
+	Drain(t, b)
+	state := FinalLeaves(script)
+	for slot, last := uint64(0), maxSlot(script); slot <= last; slot++ {
+		leaf, live := state[slot]
+		if !live {
+			continue
+		}
+		res, err := b.Access(backend.Request{Op: backend.OpRead, Addr: addrOf(slot), Leaf: leaf, NewLeaf: leaf})
+		if err != nil {
+			t.Fatalf("sweep slot %d: %v", slot, err)
+		}
+		want := model[slot]
+		if !res.Found || !bytes.Equal(res.Data, want) {
+			t.Fatalf("sweep slot %d: found=%v equal=%v", slot, res.Found, bytes.Equal(res.Data, want))
+		}
+		record(res)
+	}
+	return results
+}
+
+// FinalLeaves computes, per slot, the leaf each live slot is mapped to
+// after the whole script (read-removed slots are absent).
+func FinalLeaves(script []Op) map[uint64]uint64 {
+	state := map[uint64]uint64{}
+	for _, op := range script {
+		switch op.Kind {
+		case OpReadRmv:
+			delete(state, op.Slot)
+		case OpAppend:
+			state[op.Slot] = op.Leaf
+		default:
+			state[op.Slot] = op.NewLeaf
+		}
+	}
+	return state
+}
+
+func maxSlot(script []Op) uint64 {
+	var m uint64
+	for _, op := range script {
+		if op.Slot > m {
+			m = op.Slot
+		}
+	}
+	return m
+}

@@ -1,0 +1,318 @@
+package backendtest
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"freecursive/internal/adversary"
+	"freecursive/internal/backend"
+	"freecursive/internal/mem"
+)
+
+// RunConformance runs the full backend-level conformance suite against
+// one Kind. Every subtest holds the implementation to the backend.Backend
+// contract the frontends rely on; none of them knows which construction
+// it is driving.
+func RunConformance(t *testing.T, k Kind) {
+	t.Run("Correctness", func(t *testing.T) { runCorrectness(t, k) })
+	t.Run("Semantics", func(t *testing.T) { runSemantics(t, k) })
+	t.Run("ErrStorage", func(t *testing.T) { runErrStorage(t, k) })
+	t.Run("MaintenanceFault", func(t *testing.T) { runMaintenanceFault(t, k) })
+	t.Run("TamperSafety", func(t *testing.T) { runTamperSafety(t, k) })
+	t.Run("TraceInvariance", func(t *testing.T) { runTraceInvariance(t, k) })
+	t.Run("Allocs", func(t *testing.T) { runAllocs(t, k) })
+}
+
+// runCorrectness checks random frontend-discipline traces against a flat
+// model across the encryption × path-I/O matrix.
+func runCorrectness(t *testing.T, k Kind) {
+	for _, enc := range []bool{false, true} {
+		for _, serial := range []bool{false, true} {
+			t.Run(fmt.Sprintf("enc=%v/serial=%v", enc, serial), func(t *testing.T) {
+				g := Geom(t)
+				b := k.New(t, g, Options{Encrypted: enc, SerialPathIO: serial})
+				script := GenScript(41, 4000, 120, g.Leaves(), g.BlockBytes)
+				RunScript(t, b, script, IdentityAddr)
+			})
+		}
+	}
+}
+
+// runSemantics pins the shared contract edges: duplicate appends are
+// rejected while append-after-readrmv is the legal re-insertion,
+// read-removed blocks stay gone, short writes read back zero-padded, and
+// malformed requests (bad leaves, unknown ops) error without mutating.
+func runSemantics(t *testing.T, k Kind) {
+	g := Geom(t)
+	b := k.New(t, g, Options{Encrypted: true})
+	acc := func(op backend.Op, addr, lf, nl uint64, data []byte) (backend.Result, error) {
+		return b.Access(backend.Request{Op: op, Addr: addr, Leaf: lf, NewLeaf: nl, Data: data})
+	}
+	// An appended block sits in trusted memory (stash or cache) until
+	// evicted; a duplicate append while it is there is a discipline
+	// violation both backends must reject.
+	if _, err := acc(backend.OpAppend, 1, 3, 0, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := acc(backend.OpAppend, 1, 4, 0, []byte("y")); err == nil {
+		t.Fatal("append over a live block succeeded")
+	}
+	res, err := acc(backend.OpReadRmv, 1, 3, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || res.Data[0] != 'x' {
+		t.Fatal("readrmv did not return the live block")
+	}
+	if res, err := acc(backend.OpRead, 1, 3, 3, nil); err != nil || res.Found {
+		t.Fatalf("block still present after readrmv (err=%v)", err)
+	}
+	if _, err := acc(backend.OpAppend, 2, 6, 0, []byte("z")); err != nil {
+		t.Fatalf("append of fresh block: %v", err)
+	}
+	res, err = acc(backend.OpRead, 2, 6, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, g.BlockBytes)
+	copy(want, "z")
+	if !res.Found || string(res.Data) != string(want) {
+		t.Fatal("short append not served back zero-padded")
+	}
+
+	if _, err := acc(backend.OpRead, 3, g.Leaves(), 0, nil); err == nil {
+		t.Fatal("out-of-range leaf accepted")
+	}
+	if _, err := acc(backend.OpRead, 3, 0, g.Leaves()+7, nil); err == nil {
+		t.Fatal("out-of-range new leaf accepted")
+	}
+	if _, err := acc(backend.OpAppend, 3, g.Leaves()*2, 0, nil); err == nil {
+		t.Fatal("append with bad leaf accepted")
+	}
+	if _, err := acc(backend.Op(42), 3, 0, 0, nil); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+}
+
+// runErrStorage proves the fault contract on the access path: an injected
+// untrusted-memory fault escapes wrapping mem.ErrIO, and the backend does
+// NOT latch — the fault is the transport's, not the controller's, so the
+// next operation over healthy memory must succeed and the pre-fault
+// contents must be intact.
+func runErrStorage(t *testing.T, k Kind) {
+	g := Geom(t)
+	fs := NewFaultStore(nil)
+	b := k.New(t, g, Options{Encrypted: true, Store: fs})
+
+	script := GenScript(7, 300, 40, g.Leaves(), g.BlockBytes)
+	RunScript(t, b, script, IdentityAddr)
+	state := FinalLeaves(script)
+
+	// Pick any live slot and fault its read.
+	var slot, leaf uint64
+	found := false
+	for s, l := range state {
+		slot, leaf, found = s, l, true
+		break
+	}
+	if !found {
+		t.Fatal("script left no live blocks")
+	}
+	fs.Armed = true
+	_, err := b.Access(backend.Request{Op: backend.OpRead, Addr: slot, Leaf: leaf, NewLeaf: leaf})
+	if err == nil {
+		t.Fatal("faulted access returned no error")
+	}
+	if !errors.Is(err, mem.ErrIO) {
+		t.Fatalf("faulted access error does not wrap mem.ErrIO: %v", err)
+	}
+	fs.Armed = false
+	if fs.Faults == 0 {
+		t.Fatal("fault was never injected (access did no I/O?)")
+	}
+
+	// No latch: the identical request now succeeds with the right data.
+	res, err := b.Access(backend.Request{Op: backend.OpRead, Addr: slot, Leaf: leaf, NewLeaf: leaf})
+	if err != nil {
+		t.Fatalf("access after fault cleared: %v", err)
+	}
+	if !res.Found {
+		t.Fatal("block lost across an injected fault")
+	}
+}
+
+// runMaintenanceFault proves the same distinction on the maintenance
+// path: a fault during deamortized rebuild I/O escapes Maintain wrapping
+// mem.ErrIO, leaves the rebuild resumable (no latch, no lost work), and a
+// retried drain completes with all contents intact.
+func runMaintenanceFault(t *testing.T, k Kind) {
+	g := Geom(t)
+	fs := NewFaultStore(nil)
+	// Throttle the inline quantum to one bucket op per access so rebuild
+	// work genuinely accumulates behind the schedule — at the default
+	// quantum the inline steps keep up and there is nothing left to fault.
+	b := k.New(t, g, Options{Encrypted: true, Store: fs, StepBudget: 1})
+	m, ok := b.(backend.Maintainer)
+	if !ok {
+		t.Skip("backend has no maintenance path")
+	}
+
+	script := GenScript(13, 400, 60, g.Leaves(), g.BlockBytes)
+	RunScript(t, b, script, IdentityAddr)
+	state := FinalLeaves(script)
+
+	// Queue fresh maintenance work, then fault it mid-flight.
+	for i := 0; i < 3*CacheCapacity; i++ {
+		lf := uint64(i) % g.Leaves()
+		if _, err := b.Access(backend.Request{Op: backend.OpWrite, Addr: 5000 + uint64(i%8), Leaf: lf, NewLeaf: lf, Data: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !m.MaintainPending() {
+		t.Fatal("no maintenance pending after cache-capacity churn")
+	}
+	fs.Armed = true
+	sawErr := false
+	for i := 0; i < 64 && m.MaintainPending(); i++ {
+		if _, err := m.Maintain(1); err != nil {
+			if !errors.Is(err, mem.ErrIO) {
+				t.Fatalf("maintenance fault does not wrap mem.ErrIO: %v", err)
+			}
+			sawErr = true
+			break
+		}
+	}
+	if !sawErr {
+		t.Fatal("armed fault store never failed a maintenance step")
+	}
+	fs.Armed = false
+
+	// No latch: draining completes and every surviving block reads back.
+	Drain(t, b)
+	for slot, leaf := range state {
+		res, err := b.Access(backend.Request{Op: backend.OpRead, Addr: slot, Leaf: leaf, NewLeaf: leaf})
+		if err != nil {
+			t.Fatalf("read slot %d after maintenance fault: %v", slot, err)
+		}
+		if !res.Found {
+			t.Fatalf("slot %d lost across a maintenance fault", slot)
+		}
+	}
+}
+
+// runTamperSafety corrupts all of untrusted memory and checks accesses
+// keep completing without panics or errors — privacy property 1: the
+// access sequence continues regardless of content; integrity is the
+// frontend PMMAC's job (covered by RunSystemConformance).
+func runTamperSafety(t *testing.T, k Kind) {
+	g := Geom(t)
+	st := mem.NewStore()
+	b := k.New(t, g, Options{Encrypted: true, Store: st})
+	script := GenScript(19, 600, 48, g.Leaves(), g.BlockBytes)
+	RunScript(t, b, script, IdentityAddr)
+
+	n := 0
+	for idx := uint64(0); idx < 1<<20; idx++ {
+		raw := st.Peek(idx)
+		if raw == nil {
+			continue
+		}
+		for j := range raw {
+			raw[j] ^= 0x5a
+		}
+		st.Poke(idx, raw)
+		n++
+	}
+	if n == 0 {
+		t.Fatal("nothing materialized to corrupt")
+	}
+	for slot, leaf := range FinalLeaves(script) {
+		if _, err := b.Access(backend.Request{Op: backend.OpRead, Addr: slot, Leaf: leaf, NewLeaf: leaf}); err != nil {
+			t.Fatalf("access after tamper: %v", err)
+		}
+	}
+	Drain(t, b)
+}
+
+// runTraceInvariance is the shared obliviousness check: with the op
+// schedule and leaf sequence fixed, the full untrusted I/O trace (reads
+// and writes, in order) must be identical under a permutation of every
+// logical address. For the tree backend the trace is a function of the
+// leaf alone; for the bucket-hash backend it is a function of the leaf
+// and the public access count (which drives probe schedules and rebuild
+// triggers). Either way: addresses out, trace unchanged.
+func runTraceInvariance(t *testing.T, k Kind) {
+	g := Geom(t)
+	script := GenScript(23, 1500, 80, g.Leaves(), g.BlockBytes)
+	trace := func(addrOf func(uint64) uint64) []uint64 {
+		tap := &adversary.IndexTrace{}
+		st := mem.NewStore()
+		st.SetOnRead(tap.Hook())
+		st.SetOnWrite(tap.Hook())
+		b := k.New(t, g, Options{Encrypted: true, Store: st})
+		RunScript(t, b, script, addrOf)
+		return tap.Indices()
+	}
+	base := trace(IdentityAddr)
+	perm := trace(PermutedAddr)
+	if len(base) == 0 {
+		t.Fatal("script generated no untrusted I/O")
+	}
+	if len(base) != len(perm) {
+		t.Fatalf("trace lengths differ under address permutation: %d vs %d", len(base), len(perm))
+	}
+	for i := range base {
+		if base[i] != perm[i] {
+			t.Fatalf("trace diverges at I/O %d: bucket %d vs %d — the untrusted trace depends on logical addresses", i, base[i], perm[i])
+		}
+	}
+}
+
+// runAllocs pins the amortized steady-state allocation budget, with
+// maintenance running inline exactly as it does under the serving layer.
+// The driver keeps its own leaf bookkeeping (updating existing map keys,
+// which does not allocate) so every measured allocation belongs to the
+// backend.
+func runAllocs(t *testing.T, k Kind) {
+	for _, enc := range []bool{false, true} {
+		t.Run(fmt.Sprintf("enc=%v", enc), func(t *testing.T) { runAllocsOnce(t, k, enc) })
+	}
+}
+
+func runAllocsOnce(t *testing.T, k Kind, enc bool) {
+	g := Geom(t)
+	b := k.New(t, g, Options{Encrypted: enc})
+	rng := rand.New(rand.NewPCG(43, 47))
+	leaf := map[uint64]uint64{}
+	payload := make([]byte, g.BlockBytes)
+	const slots = 100
+	step := func() {
+		addr := rng.Uint64() % slots
+		cur, ok := leaf[addr]
+		if !ok {
+			cur = rng.Uint64() % g.Leaves()
+		}
+		nl := rng.Uint64() % g.Leaves()
+		leaf[addr] = nl
+		req := backend.Request{Op: backend.OpRead, Addr: addr, Leaf: cur, NewLeaf: nl}
+		if rng.IntN(2) == 0 {
+			req.Op = backend.OpWrite
+			payload[0] = byte(addr)
+			req.Data = payload
+		}
+		if _, err := b.Access(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm-up: materialize every slot, grow free lists and scratch
+	// buffers, and (for deamortized backends) reach rebuild steady state.
+	for i := 0; i < 3000; i++ {
+		step()
+	}
+	n := testing.AllocsPerRun(800, step)
+	if n > k.AllocBudget {
+		t.Fatalf("steady-state access allocates %.2f/op, budget %.2f", n, k.AllocBudget)
+	}
+}

@@ -1,0 +1,120 @@
+package bhoram
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Trusted-state capture for durable controllers. The untrusted levels live
+// in the mem.Backend and persist on their own; what must survive a restart
+// is the trusted side: the cache records (with versions and tombstones),
+// the level metadata (active/generation/parity), and the schedule
+// counters. In-flight rebuild work is DRAINED before capture rather than
+// serialized — the step cursor references untrusted bytes mid-shuffle,
+// which a restart cannot trust.
+
+// LevelState is the persisted metadata of one hash level.
+type LevelState struct {
+	Active bool   `json:"active"`
+	Gen    uint64 `json:"gen"`
+	Parity int    `json:"parity"`
+}
+
+// RecordState is one persisted trusted-cache record.
+type RecordState struct {
+	Addr    uint64 `json:"addr"`
+	Leaf    uint64 `json:"leaf"`
+	Version uint64 `json:"version"`
+	Tomb    bool   `json:"tomb,omitempty"`
+	Data    []byte `json:"data"`
+}
+
+// State is the serializable trusted state of a BucketHash backend.
+type State struct {
+	CacheCapacity int           `json:"cache_capacity"`
+	Accesses      uint64        `json:"accesses"`
+	NextVersion   uint64        `json:"next_version"`
+	Levels        []LevelState  `json:"levels"`
+	Cache         []RecordState `json:"cache"`
+}
+
+// TrustedState drains all pending rebuild work (this performs I/O and can
+// fail like any access) and captures the trusted state. Records are deep
+// copies in address order, so the capture is stable against later accesses
+// and deterministic for a given trusted state.
+func (b *BucketHash) TrustedState() (*State, error) {
+	for b.MaintainPending() {
+		if _, err := b.Maintain(int(b.TotalBuckets()) + 1); err != nil {
+			return nil, fmt.Errorf("bhoram: draining rebuilds for snapshot: %w", err)
+		}
+	}
+	st := &State{
+		CacheCapacity: b.cacheCap,
+		Accesses:      b.accesses,
+		NextVersion:   b.nextVer,
+		Levels:        make([]LevelState, len(b.levels)),
+		Cache:         make([]RecordState, 0, len(b.cache)),
+	}
+	for i := range b.levels {
+		st.Levels[i] = LevelState{
+			Active: b.levels[i].active,
+			Gen:    b.levels[i].gen,
+			Parity: b.levels[i].parity,
+		}
+	}
+	for _, r := range b.cache {
+		data := make([]byte, len(r.data))
+		copy(data, r.data)
+		st.Cache = append(st.Cache, RecordState{
+			Addr: r.addr, Leaf: r.leaf, Version: r.version, Tomb: r.tomb, Data: data,
+		})
+	}
+	sort.Slice(st.Cache, func(i, j int) bool { return st.Cache[i].Addr < st.Cache[j].Addr })
+	return st, nil
+}
+
+// RestoreState replaces the trusted state with a previously captured one.
+// The backend must have been built with the same geometry and cache
+// capacity (level sizing derives from them); the caller is responsible for
+// pairing it with the untrusted store the state was captured against.
+func (b *BucketHash) RestoreState(st *State) error {
+	if st.CacheCapacity != b.cacheCap {
+		return fmt.Errorf("bhoram: snapshot cache capacity %d != configured %d",
+			st.CacheCapacity, b.cacheCap)
+	}
+	if len(st.Levels) != len(b.levels) {
+		return fmt.Errorf("bhoram: snapshot has %d levels, configured %d",
+			len(st.Levels), len(b.levels))
+	}
+	for _, r := range b.cache {
+		b.recycleRecord(r)
+	}
+	clear(b.cache)
+	if b.frozen != nil {
+		for _, r := range b.frozen {
+			b.recycleRecord(r)
+		}
+		clear(b.frozen)
+		b.frozenPool = append(b.frozenPool, b.frozen)
+		b.frozen = nil
+	}
+	b.reb = nil
+	b.pendingTriggers = 0
+	b.accesses = st.Accesses
+	b.nextVer = st.NextVersion
+	if b.nextVer == 0 {
+		b.nextVer = 1
+	}
+	for i := range b.levels {
+		b.levels[i].active = st.Levels[i].Active
+		b.levels[i].gen = st.Levels[i].Gen
+		b.levels[i].parity = st.Levels[i].Parity
+	}
+	for _, rs := range st.Cache {
+		r := b.newRecord()
+		r.addr, r.leaf, r.version, r.tomb = rs.Addr, rs.Leaf, rs.Version, rs.Tomb
+		fillBlockBuf(r.data, rs.Data)
+		b.cache[rs.Addr] = r
+	}
+	return nil
+}

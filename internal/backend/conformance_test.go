@@ -1,0 +1,26 @@
+package backend_test
+
+// Entry point for the shared backend conformance suite: every
+// backend.Backend implementation runs the identical battery, at both the
+// raw-backend and full-system level. Adding a backend to
+// backendtest.Kinds() (and core.BackendKinds()) enrolls it here with no
+// further test code.
+
+import (
+	"testing"
+
+	"freecursive/internal/backend/backendtest"
+	"freecursive/internal/core"
+)
+
+func TestBackendConformance(t *testing.T) {
+	for _, k := range backendtest.Kinds() {
+		t.Run(k.Name, func(t *testing.T) { backendtest.RunConformance(t, k) })
+	}
+}
+
+func TestSystemConformance(t *testing.T) {
+	for _, kind := range core.BackendKinds() {
+		t.Run(kind, func(t *testing.T) { backendtest.RunSystemConformance(t, kind) })
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"freecursive/internal/backend"
+	"freecursive/internal/backend/bhoram"
 	"freecursive/internal/crypt"
 	"freecursive/internal/mem"
 	"freecursive/internal/posmap"
@@ -18,10 +19,27 @@ import (
 	"freecursive/internal/tree"
 )
 
+// Backend kinds selectable via Params.Backend. Both satisfy the same
+// backend.Backend contract and serve the same frontends; they differ in
+// construction (tree + stash vs hash levels + deamortized rebuilds) and
+// therefore in their access-pattern shape and maintenance profile.
+const (
+	// BackendPath is the paper's Path ORAM tree backend (default).
+	BackendPath = "path"
+	// BackendBucketHash is the Pyramid-style bucket-hash hierarchy with
+	// deamortized background rebuilds (internal/backend/bhoram). Requires
+	// the functional mode and the global-seed encryption scheme.
+	BackendBucketHash = "bhoram"
+)
+
+// BackendKinds lists the valid Params.Backend values.
+func BackendKinds() []string { return []string{BackendPath, BackendBucketHash} }
+
 // Params selects and sizes a complete ORAM configuration by paper scheme
 // name. Zero values take the Table 1 defaults.
 type Params struct {
 	Scheme     Scheme
+	Backend    string // position-based ORAM construction (default BackendPath)
 	NBlocks    uint64 // data blocks N (default 1<<20 for simulations)
 	DataBytes  int    // block size B (default 64)
 	Z          int    // slots per bucket (default 4)
@@ -69,6 +87,9 @@ type Params struct {
 }
 
 func (p *Params) setDefaults() {
+	if p.Backend == "" {
+		p.Backend = BackendPath
+	}
 	if p.NBlocks == 0 {
 		p.NBlocks = 1 << 20
 	}
@@ -160,6 +181,38 @@ type System struct {
 	PCG *rand.PCG
 }
 
+// Maintain runs up to budget units of pending backend maintenance
+// (deamortized rebuild work; budget <= 0 means one inline quantum per
+// backend) and reports whether any backend still has work queued.
+// Backends without a maintenance capability are skipped.
+func (s *System) Maintain(budget int) (bool, error) {
+	pending := false
+	for _, be := range s.Backends {
+		m, ok := be.(backend.Maintainer)
+		if !ok {
+			continue
+		}
+		p, err := m.Maintain(budget)
+		if p {
+			pending = true
+		}
+		if err != nil {
+			return pending, err
+		}
+	}
+	return pending, nil
+}
+
+// MaintainPending reports whether any backend has maintenance work queued.
+func (s *System) MaintainPending() bool {
+	for _, be := range s.Backends {
+		if m, ok := be.(backend.Maintainer); ok && m.MaintainPending() {
+			return true
+		}
+	}
+	return false
+}
+
 // Close releases the untrusted storage behind every tree (bucket page
 // files, in particular). The system must not be used afterwards.
 func (s *System) Close() error {
@@ -197,10 +250,21 @@ func newMemFactory(p Params) (func(g tree.Geometry) (mem.Backend, error), error)
 		var m mem.Backend = mem.NewStore()
 		switch {
 		case p.DataDir != "":
+			// The page file's slot size and bucket count depend on the
+			// backend construction living in it: the tree backend uses
+			// 2^(L+1)-1 buckets of 17-byte-headed slots, the bucket-hash
+			// backend a flat level layout of 25-byte-headed slots.
+			slot := backend.SealedBucketBytes(g)
+			buckets := uint64(0) // 0: the geometry's tree bucket count
+			if p.Backend == BackendBucketHash {
+				slot = bhoram.SealedBucketBytes(g)
+				buckets = bhoram.NumBuckets(g, p.StashCap)
+			}
 			fs, err := mem.OpenFile(mem.FileConfig{
 				Path:      filepath.Join(p.DataDir, fmt.Sprintf("tree-%d.oram", treeIdx)),
 				Geometry:  g,
-				SlotBytes: backend.SealedBucketBytes(g),
+				SlotBytes: slot,
+				Buckets:   buckets,
 			})
 			if err != nil {
 				return nil, err
@@ -247,6 +311,14 @@ func Build(p Params) (*System, error) {
 		return nil, err
 	}
 
+	if p.Backend != BackendPath && p.Backend != BackendBucketHash {
+		return nil, fmt.Errorf("core: unknown backend kind %q (want %q or %q)",
+			p.Backend, BackendPath, BackendBucketHash)
+	}
+	if p.Backend == BackendBucketHash && !p.Functional {
+		return nil, fmt.Errorf("core: the bucket-hash backend has no accounting mode; it requires Functional")
+	}
+
 	newBackend := func(g tree.Geometry) (backend.Backend, error) {
 		if !p.Functional {
 			return backend.NewAccounting(g, ctr)
@@ -272,6 +344,23 @@ func Build(p Params) (*System, error) {
 		m, err := newMem(g)
 		if err != nil {
 			return nil, err
+		}
+		if p.Backend == BackendBucketHash {
+			// The bucket-choice PRF gets its own derived key ('H'): bucket
+			// placement must not be predictable from the leaf-label PRF.
+			hash, err := crypt.NewPRF(deriveKey(p.Seed, 'H'))
+			if err != nil {
+				return nil, err
+			}
+			return bhoram.New(bhoram.Config{
+				Geometry:      g,
+				Store:         m,
+				Cipher:        ciph,
+				Hash:          hash,
+				CacheCapacity: p.StashCap,
+				Counters:      ctr,
+				SerialPathIO:  p.SerialPathIO,
+			})
 		}
 		return backend.NewPathORAM(backend.Config{
 			Geometry:      g,

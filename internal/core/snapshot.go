@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"freecursive/internal/backend"
+	"freecursive/internal/backend/bhoram"
 	"freecursive/internal/plb"
 	"freecursive/internal/stash"
 	"freecursive/internal/stats"
@@ -46,12 +47,19 @@ type OnChipState struct {
 	Assigned []bool   `json:"assigned,omitempty"` // leaf mode only
 }
 
-// BackendState serializes one PathORAM backend's trusted residue.
+// BackendState serializes one backend's trusted residue: the stash for
+// Path ORAM, the cache/level metadata for the bucket-hash backend, plus
+// the seed register either way.
 type BackendState struct {
 	// GlobalSeed is the bucket cipher's monotonic seed register (§6.4).
 	GlobalSeed uint64 `json:"global_seed"`
-	// Stash holds the blocks caught between path read and eviction.
+	// Stash holds the blocks caught between path read and eviction
+	// (Path ORAM backends).
 	Stash []StashBlockState `json:"stash,omitempty"`
+	// BucketHash holds the bucket-hash backend's trusted state (cache
+	// records, level generations, schedule counters). Exactly one of Stash
+	// and BucketHash is populated, matching Params.Backend.
+	BucketHash *bhoram.State `json:"bucket_hash,omitempty"`
 }
 
 // StashBlockState serializes one stash.Block.
@@ -102,16 +110,28 @@ func (s *System) Snapshot() (*Snapshot, error) {
 	snap.RNG = rngState
 
 	for i, be := range s.Backends {
-		p, ok := be.(*backend.PathORAM)
-		if !ok {
-			return nil, fmt.Errorf("core: backend %d is %T; snapshots require the functional backend", i, be)
-		}
 		bs := BackendState{}
-		if c := p.Cipher(); c != nil {
-			bs.GlobalSeed = c.GlobalSeed()
-		}
-		for _, b := range p.Stash().Blocks() {
-			bs.Stash = append(bs.Stash, StashBlockState{Addr: b.Addr, Leaf: b.Leaf, Data: b.Data})
+		switch p := be.(type) {
+		case *backend.PathORAM:
+			if c := p.Cipher(); c != nil {
+				bs.GlobalSeed = c.GlobalSeed()
+			}
+			for _, b := range p.Stash().Blocks() {
+				bs.Stash = append(bs.Stash, StashBlockState{Addr: b.Addr, Leaf: b.Leaf, Data: b.Data})
+			}
+		case *bhoram.BucketHash:
+			// Draining in-flight rebuilds performs untrusted I/O; capture the
+			// seed register AFTER so resealed buckets stay decryptable.
+			st, err := p.TrustedState()
+			if err != nil {
+				return nil, fmt.Errorf("core: backend %d: %w", i, err)
+			}
+			bs.BucketHash = st
+			if c := p.Cipher(); c != nil {
+				bs.GlobalSeed = c.GlobalSeed()
+			}
+		default:
+			return nil, fmt.Errorf("core: backend %d is %T; snapshots require the functional backend", i, be)
 		}
 		snap.Backends = append(snap.Backends, bs)
 	}
@@ -155,15 +175,29 @@ func (s *System) Restore(snap *Snapshot) error {
 	}
 
 	for i, bs := range snap.Backends {
-		p, ok := s.Backends[i].(*backend.PathORAM)
-		if !ok {
+		switch p := s.Backends[i].(type) {
+		case *backend.PathORAM:
+			if bs.BucketHash != nil {
+				return fmt.Errorf("core: snapshot backend %d carries bucket-hash state for a Path ORAM backend", i)
+			}
+			if c := p.Cipher(); c != nil {
+				c.SetGlobalSeed(bs.GlobalSeed)
+			}
+			for _, b := range bs.Stash {
+				p.Stash().Put(stash.Block{Addr: b.Addr, Leaf: b.Leaf, Data: b.Data})
+			}
+		case *bhoram.BucketHash:
+			if bs.BucketHash == nil {
+				return fmt.Errorf("core: snapshot backend %d lacks bucket-hash state", i)
+			}
+			if c := p.Cipher(); c != nil {
+				c.SetGlobalSeed(bs.GlobalSeed)
+			}
+			if err := p.RestoreState(bs.BucketHash); err != nil {
+				return fmt.Errorf("core: backend %d: %w", i, err)
+			}
+		default:
 			return fmt.Errorf("core: backend %d is %T; snapshots require the functional backend", i, s.Backends[i])
-		}
-		if c := p.Cipher(); c != nil {
-			c.SetGlobalSeed(bs.GlobalSeed)
-		}
-		for _, b := range bs.Stash {
-			p.Stash().Put(stash.Block{Addr: b.Addr, Leaf: b.Leaf, Data: b.Data})
 		}
 	}
 

@@ -73,6 +73,10 @@ func writeMetrics(w io.Writer, st *store.Store, transports []TransportStats) {
 		func(s freecursive.Stats) uint64 { return s.Violations })
 	counter("oramstore_stash_overflow_total", "Times a stash exceeded its configured capacity.",
 		func(s freecursive.Stats) uint64 { return s.StashOverflow })
+	counter("oramstore_rebuilds_total", "Bucket-hash backend level rebuilds completed.",
+		func(s freecursive.Stats) uint64 { return s.Rebuilds })
+	counter("oramstore_rebuild_steps_total", "Bucket operations performed by deamortized rebuild steps.",
+		func(s freecursive.Stats) uint64 { return s.RebuildSteps })
 
 	hitRate := make([]sample, 0, len(per)+1)
 	hitRate = append(hitRate, sample{"", gaugef(agg.PLBHitRate)})

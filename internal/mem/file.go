@@ -72,6 +72,12 @@ type FileConfig struct {
 	// SlotBytes is the slot capacity: the largest sealed bucket the
 	// controller will ever write (see backend.SealedBucketBytes).
 	SlotBytes int
+	// Buckets overrides the slot count when nonzero. The default,
+	// Geometry.Buckets(), is the Path ORAM tree's 2^(L+1)-1; backends with
+	// a different untrusted layout (the bucket-hash hierarchy's flat level
+	// regions) size the file themselves. The count is recorded in the
+	// header, so a reopen under the wrong backend kind fails loudly.
+	Buckets uint64
 }
 
 const (
@@ -95,11 +101,15 @@ func OpenFile(cfg FileConfig) (*FileStore, error) {
 	if err != nil {
 		return nil, fmt.Errorf("mem: %w: %w", ErrIO, err)
 	}
+	buckets := cfg.Buckets
+	if buckets == 0 {
+		buckets = cfg.Geometry.Buckets()
+	}
 	s := &FileStore{
 		f:         f,
 		geom:      cfg.Geometry,
 		slotBytes: cfg.SlotBytes,
-		buckets:   cfg.Geometry.Buckets(),
+		buckets:   buckets,
 		readBuf:   make([]byte, slotLenBytes+cfg.SlotBytes),
 		writeBuf:  make([]byte, slotLenBytes+cfg.SlotBytes),
 	}

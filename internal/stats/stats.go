@@ -21,6 +21,8 @@ type Counters struct {
 	// Backend events.
 	BackendAccesses uint64 // path read+write operations (read/write/readrmv)
 	Appends         uint64 // append operations (no tree traversal)
+	Rebuilds        uint64 // hierarchical-backend level rebuilds completed
+	RebuildSteps    uint64 // bucket operations performed by rebuild steps
 
 	// Byte accounting. Bytes are "DRAM bytes": encrypted bucket size padded
 	// to the 64-byte DDR3 burst granularity, matching the paper's padding of
@@ -78,6 +80,8 @@ func (c Counters) Delta(prev Counters) Counters {
 		GroupRemap:      c.GroupRemap - prev.GroupRemap,
 		BackendAccesses: c.BackendAccesses - prev.BackendAccesses,
 		Appends:         c.Appends - prev.Appends,
+		Rebuilds:        c.Rebuilds - prev.Rebuilds,
+		RebuildSteps:    c.RebuildSteps - prev.RebuildSteps,
 		DataBytes:       c.DataBytes - prev.DataBytes,
 		PosMapBytes:     c.PosMapBytes - prev.PosMapBytes,
 		HashedBytes:     c.HashedBytes - prev.HashedBytes,

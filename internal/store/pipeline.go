@@ -163,12 +163,27 @@ func (sh *shard) shutdown() {
 }
 
 // run is the owner goroutine: it drains the queue in windows and serves
-// each window with read coalescing.
+// each window with read coalescing. Between windows, while the queue is
+// empty and the backend has deamortized maintenance queued (bucket-hash
+// rebuild work), the owner runs bounded maintenance quanta — requests
+// always preempt at quantum granularity, so rebuilds drain off the
+// request path without ever blocking it.
 func (sh *shard) run() {
 	batch := make([]request, 0, sh.window)
 	cache := make(map[uint64][]byte, sh.window)
 	for {
-		req, ok := <-sh.reqs
+		var req request
+		var ok bool
+		if sh.maintainPending() {
+			select {
+			case req, ok = <-sh.reqs:
+			default:
+				sh.maintainStep()
+				continue
+			}
+		} else {
+			req, ok = <-sh.reqs
+		}
 		if !ok {
 			break
 		}
@@ -243,6 +258,22 @@ func (sh *shard) process(batch []request, cache map[uint64][]byte) {
 			// canonical for the rest of the window.
 			req.fut.resolve(bytes.Clone(v), nil)
 		}
+	}
+}
+
+// maintainPending reports whether the owner should spend idle time on
+// backend maintenance. A quarantined shard does no maintenance — its
+// trusted state may have diverged from untrusted memory, and maintenance
+// performs untrusted I/O.
+func (sh *shard) maintainPending() bool {
+	return sh.health.State() != StateQuarantined && sh.oram.MaintainPending()
+}
+
+// maintainStep runs one inline maintenance quantum. A maintenance fault is
+// a storage fault like any other: it quarantines the shard via noteError.
+func (sh *shard) maintainStep() {
+	if _, err := sh.oram.Maintain(0); err != nil {
+		sh.noteError(err)
 	}
 }
 

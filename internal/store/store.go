@@ -437,6 +437,8 @@ func Aggregate(shards []freecursive.Stats) freecursive.Stats {
 		agg.MACChecks += st.MACChecks
 		agg.Violations += st.Violations
 		agg.StashOverflow += st.StashOverflow
+		agg.Rebuilds += st.Rebuilds
+		agg.RebuildSteps += st.RebuildSteps
 		if st.StashMax > agg.StashMax {
 			agg.StashMax = st.StashMax
 		}

@@ -5,7 +5,7 @@
 # `make staticcheck-version`; the workflow must not carry its own copy.
 STATICCHECK_VERSION := 2025.1
 
-.PHONY: all build test race bench bench-all bench-hotpath bench-network bench-remote bench-backends bins lint oramlint staticcheck-version fuzz-smoke fmt
+.PHONY: all build test race bench bench-all bench-hotpath bench-network bench-remote bench-backends bins lint oramlint lint-report lint-parity staticcheck-version fuzz-smoke fmt
 
 all: build lint test
 
@@ -66,7 +66,7 @@ bins:
 # covered), gofmt with simplification, and staticcheck. staticcheck is
 # skipped with a warning when not installed locally, but is mandatory under
 # CI — the workflow installs the pinned version first.
-lint: oramlint
+lint: oramlint lint-report lint-parity
 	go vet ./...
 	@out="$$(gofmt -s -l .)"; if [ -n "$$out" ]; then \
 		echo "files need gofmt -s:"; echo "$$out"; exit 1; fi
@@ -84,6 +84,16 @@ oramlint:
 	go build -o bin/oramlint ./cmd/oramlint
 	./bin/oramlint ./...
 	go vet -vettool=$$(pwd)/bin/oramlint ./...
+
+# LINT_report.json (per-analyzer finding/allow counts) plus the
+# suppression ratchet: total //oramlint:allow directives must not grow
+# past the committed LINT_baseline.json.
+lint-report:
+	./scripts/lint_report.sh LINT_report.json
+
+# Standalone vs `go vet -vettool` must produce identical finding sets.
+lint-parity:
+	./scripts/lint_parity.sh
 
 # CI reads the staticcheck pin from here so it lives in exactly one place.
 staticcheck-version:

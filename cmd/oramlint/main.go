@@ -32,11 +32,16 @@ import (
 	"go/token"
 	"go/types"
 	"io"
+	"io/fs"
 	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
 	"strings"
 
 	"freecursive/internal/lint"
 	"freecursive/internal/lint/analysis"
+	"freecursive/internal/lint/interproc"
 	"freecursive/internal/lint/loader"
 )
 
@@ -60,41 +65,69 @@ func main() {
 	}
 
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: oramlint [packages]\n\nRuns the freecursive analyzer suite (default ./...):\n\n")
+		fmt.Fprintf(os.Stderr, "usage: oramlint [-report file] [packages]\n\nRuns the freecursive analyzer suite (default ./...):\n\n")
 		for _, a := range lint.Analyzers() {
 			doc, _, _ := strings.Cut(a.Doc, "\n")
 			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, doc)
 		}
 	}
+	reportPath := flag.String("report", "", "write per-analyzer finding/allow counts as JSON to this file")
 	flag.Parse()
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	os.Exit(standalone(patterns))
+	os.Exit(standalone(patterns, *reportPath))
 }
 
-func standalone(patterns []string) int {
+// report is the LINT_report.json schema: per-analyzer counts plus totals,
+// so CI can gate on allow-count growth against a committed baseline.
+type report struct {
+	Findings     map[string]int `json:"findings"`
+	Allows       map[string]int `json:"allows"`
+	TotalAllows  int            `json:"total_allows"`
+	TotalFinding int            `json:"total_findings"`
+}
+
+func standalone(patterns []string, reportPath string) int {
 	pkgs, err := loader.Load(".", patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "oramlint:", err)
 		return 2
 	}
+	// One module over every loaded package: the interprocedural analyzers
+	// build their call graph and taint summaries once, shared across
+	// per-package passes via the module fact cache.
+	module := &analysis.Module{}
+	for _, p := range pkgs {
+		module.Units = append(module.Units, &analysis.Unit{
+			Fset: p.Fset, Files: p.Files, Pkg: p.Pkg, TypesInfo: p.TypesInfo,
+		})
+	}
+	stats := lint.NewStats()
 	bad := 0
 	for _, p := range pkgs {
-		findings, err := lint.Run(&analysis.Pass{
+		findings, st, err := lint.RunStats(&analysis.Pass{
 			Fset:      p.Fset,
 			Files:     p.Files,
 			Pkg:       p.Pkg,
 			TypesInfo: p.TypesInfo,
+			Module:    module,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "oramlint:", err)
 			return 2
 		}
+		stats.Merge(st)
 		for _, f := range findings {
 			fmt.Println(f)
 			bad++
+		}
+	}
+	if reportPath != "" {
+		if err := writeReport(reportPath, stats); err != nil {
+			fmt.Fprintln(os.Stderr, "oramlint:", err)
+			return 2
 		}
 	}
 	if bad > 0 {
@@ -102,6 +135,21 @@ func standalone(patterns []string) int {
 		return 1
 	}
 	return 0
+}
+
+func writeReport(path string, stats lint.Stats) error {
+	r := report{Findings: stats.Findings, Allows: stats.Allows}
+	for _, n := range stats.Allows {
+		r.TotalAllows += n
+	}
+	for _, n := range stats.Findings {
+		r.TotalFinding += n
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o666)
 }
 
 // vetConfig is the subset of cmd/vet's unitchecker config this tool reads.
@@ -173,7 +221,18 @@ func vetMode(cfgPath string) int {
 		fmt.Fprintln(os.Stderr, "oramlint:", err)
 		return 2
 	}
-	findings, err := lint.Run(&analysis.Pass{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info})
+	// The interprocedural analyzers need module-wide facts, but vet invokes
+	// this tool once per package. Compute (or disk-cache-load) the module
+	// facts and preinstall them, so each invocation pays a JSON read, not a
+	// module re-typecheck.
+	module := &analysis.Module{}
+	facts, err := moduleFacts(cfg.Dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "oramlint:", err)
+		return 2
+	}
+	interproc.SetFacts(module, facts)
+	findings, err := lint.Run(&analysis.Pass{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info, Module: module})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "oramlint:", err)
 		return 2
@@ -185,6 +244,98 @@ func vetMode(cfgPath string) int {
 		return 2
 	}
 	return 0
+}
+
+// moduleFacts returns the interprocedural facts for the module containing
+// dir, loading them from a content-keyed cache file in the system temp
+// directory when one exists, computing and writing them otherwise. go vet
+// runs one tool process per package; without the cache every one of those
+// would re-typecheck the whole module.
+func moduleFacts(dir string) (*interproc.Facts, error) {
+	root, err := moduleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	key, err := moduleStateHash(root)
+	if err != nil {
+		return nil, err
+	}
+	cachePath := filepath.Join(os.TempDir(), "oramlint-facts-"+key+".json")
+	if data, err := os.ReadFile(cachePath); err == nil {
+		var facts interproc.Facts
+		if json.Unmarshal(data, &facts) == nil && facts.Summaries != nil {
+			return &facts, nil
+		}
+	}
+	pkgs, err := loader.Load(root, "./...")
+	if err != nil {
+		return nil, fmt.Errorf("loading module for interprocedural facts: %w", err)
+	}
+	var units []*analysis.Unit
+	for _, p := range pkgs {
+		units = append(units, &analysis.Unit{Fset: p.Fset, Files: p.Files, Pkg: p.Pkg, TypesInfo: p.TypesInfo})
+	}
+	facts := interproc.Compute(units)
+	if data, err := json.Marshal(facts); err == nil {
+		// Atomic-rename publish: concurrent vet workers may race to compute;
+		// either one's result is equally valid.
+		tmp := cachePath + fmt.Sprintf(".%d", os.Getpid())
+		if os.WriteFile(tmp, data, 0o666) == nil {
+			_ = os.Rename(tmp, cachePath)
+		}
+	}
+	return facts, nil
+}
+
+// moduleRoot locates the enclosing module's directory via `go env GOMOD`.
+func moduleRoot(dir string) (string, error) {
+	cmd := exec.Command("go", "env", "GOMOD")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("go env GOMOD: %w", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("not in a module (GOMOD=%q)", gomod)
+	}
+	return filepath.Dir(gomod), nil
+}
+
+// moduleStateHash fingerprints the module's non-test Go sources (path,
+// size, mtime) plus go.mod, keying the facts cache: any source change
+// invalidates it.
+func moduleStateHash(root string) (string, error) {
+	h := sha256.New()
+	var paths []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name != "." && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") || d.Name() == "go.mod" {
+			paths = append(paths, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		st, err := os.Stat(p)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "%s\x00%d\x00%d\n", p, st.Size(), st.ModTime().UnixNano())
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))[:32], nil
 }
 
 // selfHash fingerprints the running executable for vet's cache key, so a

@@ -187,6 +187,8 @@ func (f *FaultStore) fault() error {
 }
 
 // Read implements mem.Backend.
+//
+//oram:offhotpath test-only fault harness, not a steady-state serving path
 func (f *FaultStore) Read(idx uint64) ([]byte, error) {
 	if err := f.fault(); err != nil {
 		return nil, err
@@ -195,6 +197,8 @@ func (f *FaultStore) Read(idx uint64) ([]byte, error) {
 }
 
 // Write implements mem.Backend.
+//
+//oram:offhotpath test-only fault harness, not a steady-state serving path
 func (f *FaultStore) Write(idx uint64, data []byte) error {
 	if err := f.fault(); err != nil {
 		return err
@@ -203,6 +207,8 @@ func (f *FaultStore) Write(idx uint64, data []byte) error {
 }
 
 // ReadPath implements mem.PathReader.
+//
+//oram:offhotpath test-only fault harness, not a steady-state serving path
 func (f *FaultStore) ReadPath(idxs []uint64, out [][]byte) error {
 	if err := f.fault(); err != nil {
 		return err
@@ -229,6 +235,8 @@ func (f *FaultStore) ReadPath(idxs []uint64, out [][]byte) error {
 }
 
 // WritePath implements mem.PathWriter.
+//
+//oram:offhotpath test-only fault harness, not a steady-state serving path
 func (f *FaultStore) WritePath(idxs []uint64, data [][]byte) error {
 	if err := f.fault(); err != nil {
 		return err

@@ -31,7 +31,7 @@ type rebuild struct {
 	sources   []int // level slice indices consumed, ascending
 	drop      bool  // major rebuild: tombstones need not survive
 	phase     int
-	srcPos    int    // index into sources currently being read
+	srcCursor int    // index into sources currently being read
 	srcBucket uint64 // next bucket within the current source level
 	wrBucket  uint64 // next target bucket to write
 	newGen    uint64
@@ -101,6 +101,7 @@ func (b *BucketHash) startRebuild() {
 		drop = true
 	}
 	if b.reb == nil {
+		//oramlint:allow hotpathalloc one rebuild state per backend lifetime, reused across every epoch
 		b.reb = &rebuild{}
 	}
 	r := b.reb
@@ -116,7 +117,7 @@ func (b *BucketHash) startRebuild() {
 	r.target = target
 	r.drop = drop
 	r.phase = phaseRead
-	r.srcPos, r.srcBucket, r.wrBucket = 0, 0, 0
+	r.srcCursor, r.srcBucket, r.wrBucket = 0, 0, 0
 	r.newGen = b.levels[target].gen + 1
 	r.newParity = b.levels[target].parity ^ 1
 	if len(r.sources) == 0 {
@@ -130,6 +131,7 @@ func (b *BucketHash) startRebuild() {
 		b.cache = b.frozenPool[n-1]
 		b.frozenPool = b.frozenPool[:n-1]
 	} else {
+		//oramlint:allow hotpathalloc frozen-pool miss; the pool recycles emptied builder maps so the steady state never allocates here
 		b.cache = make(map[uint64]*record)
 	}
 }
@@ -153,7 +155,7 @@ func (b *BucketHash) rebuildStep(budget int) (int, error) {
 // stepRead reads the next chunk of source-level buckets into the builder.
 func (b *BucketHash) stepRead(budget int) (int, error) {
 	r := b.reb
-	src := r.sources[r.srcPos]
+	src := r.sources[r.srcCursor]
 	lv := &b.levels[src]
 	chunk := lv.buckets - r.srcBucket
 	if uint64(budget) < chunk {
@@ -189,9 +191,9 @@ func (b *BucketHash) stepRead(budget int) (int, error) {
 	b.chargeRebuild(chunk)
 	r.srcBucket += chunk
 	if r.srcBucket == lv.buckets {
-		r.srcPos++
+		r.srcCursor++
 		r.srcBucket = 0
-		if r.srcPos == len(r.sources) {
+		if r.srcCursor == len(r.sources) {
 			r.phase = phaseAssign
 		}
 	}
@@ -248,6 +250,7 @@ func (b *BucketHash) builderAdd(rec *record) {
 	}
 	if rec.version > old.version {
 		b.frozen[rec.addr] = rec
+		//oramlint:allow secretflow source: rebuild record's addr; sink: nil/size branch in recycleRecord — free-list bookkeeping on records already read by the rebuild's sequential scan, in trusted controller memory
 		b.recycleRecord(old)
 		return
 	}
@@ -287,6 +290,7 @@ func (b *BucketHash) stepAssign() {
 			b.recycleRecord(rec)
 		} else {
 			if old != nil {
+				//oramlint:allow secretflow source: unfrozen record's addr; sink: nil/size branch in recycleRecord — trusted-memory free-list bookkeeping while draining the frozen builder map; no server I/O depends on it
 				b.recycleRecord(old)
 			}
 			b.cache[addr] = rec

@@ -184,6 +184,7 @@ func (s *System) Restore(snap *Snapshot) error {
 				c.SetGlobalSeed(bs.GlobalSeed)
 			}
 			for _, b := range bs.Stash {
+				//oramlint:allow secretflow source: snapshot stash entry's Addr; sink: stash map probe in Put — snapshot restore repopulates the trusted controller's on-chip stash; no adversary-visible I/O depends on the ordering
 				p.Stash().Put(stash.Block{Addr: b.Addr, Leaf: b.Leaf, Data: b.Data})
 			}
 		case *bhoram.BucketHash:

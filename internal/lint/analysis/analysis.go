@@ -13,6 +13,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sync"
 )
 
 // Analyzer describes one static check. Run inspects the package in Pass and
@@ -36,9 +37,71 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Module, when non-nil, gives interprocedural analyzers the whole
+	// build: every workspace package type-checked under one FileSet, plus
+	// a slot for module-wide facts (call graph, taint summaries) computed
+	// once and shared across analyzers. Per-package analyzers ignore it,
+	// and interprocedural analyzers degrade to single-package scope when
+	// it is nil (as in the single-directory fixture harness).
+	Module *Module
 	// Report delivers one finding. The driver applies //oramlint:allow
 	// suppression after reporting, so analyzers never inspect directives.
 	Report func(Diagnostic)
+}
+
+// Unit is one type-checked package inside a Module: the same per-package
+// fields a Pass carries, without an analyzer bound to them.
+type Unit struct {
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+}
+
+// Unit returns the pass's own package as a Unit.
+func (p *Pass) Unit() *Unit {
+	return &Unit{Fset: p.Fset, Files: p.Files, Pkg: p.Pkg, TypesInfo: p.TypesInfo}
+}
+
+// Module is a whole-workspace view: every target package from one load,
+// sharing a FileSet so positions are comparable across packages.
+type Module struct {
+	Units []*Unit
+
+	mu    sync.Mutex
+	facts map[string]any
+}
+
+// Fact returns the module-wide fact stored under key, computing and caching
+// it with build on first use. The driver and every analyzer share one facts
+// map, so the call graph and taint summaries are computed once per run no
+// matter how many analyzers consume them. build may be nil to probe.
+func (m *Module) Fact(key string, build func() any) any {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if v, ok := m.facts[key]; ok {
+		return v
+	}
+	if build == nil {
+		return nil
+	}
+	v := build()
+	if m.facts == nil {
+		m.facts = map[string]any{}
+	}
+	m.facts[key] = v
+	return v
+}
+
+// SetFact stores a precomputed module-wide fact (the vet-tool path loads
+// summaries from its on-disk cache instead of rebuilding them per package).
+func (m *Module) SetFact(key string, v any) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.facts == nil {
+		m.facts = map[string]any{}
+	}
+	m.facts[key] = v
 }
 
 // Diagnostic is one finding at one source position.

@@ -3,7 +3,13 @@
 //
 //	//oram:hotpath
 //	    On a function's doc comment: the function is on the steady-state
-//	    per-access hot path and must not allocate (hotpathalloc).
+//	    per-access hot path and must not allocate (hotpathalloc). The
+//	    discipline extends to every function warm-reachable from a marked
+//	    root on the module call graph (the hotpathalloc closure).
+//	//oram:offhotpath <reason>
+//	    On a function's doc comment: the function is deliberately outside
+//	    the hot-path closure (e.g. RTT-bound remote transport); the closure
+//	    does not check its body or continue through its callees.
 //	//oram:oblivious
 //	    File-level, conventionally just above the package clause: every
 //	    function in the package must keep control flow and memory indexing
@@ -30,10 +36,11 @@ import (
 
 // Prefixes for each directive, including the comment slashes.
 const (
-	hotpathPrefix   = "//oram:hotpath"
-	obliviousPrefix = "//oram:oblivious"
-	errdomainPrefix = "//oram:errdomain"
-	allowPrefix     = "//oramlint:allow"
+	hotpathPrefix    = "//oram:hotpath"
+	offhotpathPrefix = "//oram:offhotpath"
+	obliviousPrefix  = "//oram:oblivious"
+	errdomainPrefix  = "//oram:errdomain"
+	allowPrefix      = "//oramlint:allow"
 )
 
 // Allow is one parsed //oramlint:allow directive.
@@ -69,6 +76,16 @@ func Allows(fset *token.FileSet, f *ast.File) []Allow {
 // IsHotpath reports whether fn's doc comment carries //oram:hotpath.
 func IsHotpath(fn *ast.FuncDecl) bool {
 	return hasDirective(fn.Doc, hotpathPrefix)
+}
+
+// IsOffHotpath reports whether fn's doc comment carries //oram:offhotpath:
+// the function is deliberately outside the hot-path allocation closure
+// (e.g. a network transport whose per-op cost is RTT-bound), and the
+// closure neither checks its body nor continues through its callees. The
+// directive takes a free-form reason after the keyword; the doc comment
+// should say why the exemption is sound.
+func IsOffHotpath(fn *ast.FuncDecl) bool {
+	return hasDirective(fn.Doc, offhotpathPrefix)
 }
 
 // IsOblivious reports whether any comment in the file is //oram:oblivious.

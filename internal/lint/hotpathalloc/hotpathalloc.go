@@ -11,41 +11,88 @@
 // Error paths are excluded: a block that ends by returning a non-nil error
 // never runs in steady state, so its fmt.Errorf boxing and composite
 // literals are free.
+//
+// The discipline is closed over the module call graph: a helper that a
+// marked function calls (directly, or through an interface resolved to its
+// declared implementer set) runs on the hot path whether or not its own
+// doc carries the directive, so it inherits the same checks, with the
+// reachability chain named in the finding. //oram:offhotpath on a
+// function's doc opts it (and everything only reachable through it) out,
+// for paths like the remote memory transport whose per-op cost is
+// RTT-bound by design.
 package hotpathalloc
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 
 	"freecursive/internal/lint/analysis"
 	"freecursive/internal/lint/directive"
+	"freecursive/internal/lint/interproc"
 )
 
-// Analyzer flags potential allocations in //oram:hotpath functions.
+// Analyzer flags potential allocations in //oram:hotpath functions and in
+// every function warm-reachable from one on the module call graph.
 var Analyzer = &analysis.Analyzer{
 	Name: "hotpathalloc",
-	Doc: `flag allocation sources in //oram:hotpath functions
+	Doc: `flag allocation sources on the //oram:hotpath call-graph closure
 
-Inside a function whose doc comment carries //oram:hotpath, the analyzer
+Inside a function whose doc comment carries //oram:hotpath — and inside
+every function warm-reachable from one over the module call graph, with
+interface calls resolved to their declared implementer sets — the analyzer
 flags: make and new calls; pointer, slice, and map composite literals;
 []byte/string conversions; append calls that are not the amortized
 self-append idiom (x = append(x, ...)); implicit boxing of non-pointer
 values into interfaces; and capturing closures. Blocks that end by
-returning a non-nil error are cold paths and are skipped. Justified
-allocations (amortized scratch growth, free-list misses pinned by
-AllocsPerRun gates) carry //oramlint:allow hotpathalloc with a reason.`,
+returning a non-nil error are cold paths and are skipped, and hotness does
+not propagate through them. //oram:offhotpath exempts a function and its
+exclusive callees (RTT-bound transports); justified allocations carry
+//oramlint:allow hotpathalloc with a reason.`,
 	Run: run,
 }
 
 func run(pass *analysis.Pass) error {
+	var facts *interproc.Facts
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
-			if !ok || fn.Body == nil || !directive.IsHotpath(fn) {
+			if !ok || fn.Body == nil {
 				continue
 			}
-			check(pass, fn)
+			if directive.IsHotpath(fn) {
+				check(pass, fn)
+				continue
+			}
+			if directive.IsOffHotpath(fn) {
+				continue
+			}
+			// Closure: unmarked but warm-reachable from a marked root.
+			if facts == nil {
+				facts = interproc.FactsFor(pass)
+			}
+			obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sym := interproc.Symbol(obj)
+			info, hot := facts.Hot[sym]
+			if !hot || info.From == "" {
+				continue
+			}
+			if name := pass.Fset.Position(fn.Pos()).Filename; strings.HasSuffix(name, "_test.go") {
+				continue // test helpers are not steady-state serving code
+			}
+			note := fmt.Sprintf(" [on the hot path: reachable from //oram:hotpath root %s via %s]",
+				interproc.ShortSym(info.Root), facts.Chain(sym))
+			sub := *pass
+			sub.Report = func(d analysis.Diagnostic) {
+				d.Message += note
+				pass.Report(d)
+			}
+			check(&sub, fn)
 		}
 	}
 	return nil

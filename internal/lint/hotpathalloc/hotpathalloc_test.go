@@ -14,3 +14,14 @@ func TestFlagsHotPathAllocations(t *testing.T) {
 func TestCleanHotFunctions(t *testing.T) {
 	lintest.Run(t, "clean", "x/internal/backend", hotpathalloc.Analyzer)
 }
+
+// TestClosureReachesHelpers: a helper two calls below an //oram:hotpath
+// root in another package inherits the allocation discipline, with the
+// finding naming the root and the call chain; an //oram:offhotpath barrier
+// exempts its body and everything reachable only through it.
+func TestClosureReachesHelpers(t *testing.T) {
+	lintest.RunModule(t, "closure", hotpathalloc.Analyzer,
+		lintest.ModulePkg{Dir: "mem", Path: "x/internal/mem"},
+		lintest.ModulePkg{Dir: "backend", Path: "x/internal/backend"},
+	)
+}

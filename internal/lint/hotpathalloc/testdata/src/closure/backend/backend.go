@@ -1,0 +1,15 @@
+// Fixture: the hot-path root. Its allocation discipline must extend to
+// callees in other packages, and stop at //oram:offhotpath barriers.
+package backend
+
+import "x/internal/mem"
+
+// Access is the steady-state root.
+//
+//oram:hotpath
+func Access(s *mem.Store, idx uint64) []byte {
+	if idx == 0 {
+		return s.Bounce(0)
+	}
+	return s.Read(idx)
+}

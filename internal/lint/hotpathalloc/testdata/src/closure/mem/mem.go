@@ -1,0 +1,38 @@
+// Fixture: helpers pulled onto the hot path by an //oram:hotpath root in
+// another package. None of these functions is marked; hotness arrives
+// purely through the cross-package call-graph closure.
+package mem
+
+type Store struct {
+	bufs [][]byte
+}
+
+// Read serves a bucket: one call below the root.
+func (s *Store) Read(idx uint64) []byte {
+	return s.load(int(idx))
+}
+
+// load is two calls below the root; the closure must still reach it.
+func (s *Store) load(i int) []byte {
+	b := make([]byte, 64) // want `make allocates on the hot path \[on the hot path: reachable from //oram:hotpath root backend.Access via backend.Access -> \(\*mem.Store\).Read -> \(\*mem.Store\).load\]`
+	if i < len(s.bufs) {
+		copy(b, s.bufs[i])
+	}
+	return b
+}
+
+// Bounce is a reviewed barrier: its own body and everything reachable only
+// through it stay exempt.
+//
+//oram:offhotpath fault-injection wrapper, not a steady-state serving path
+func (s *Store) Bounce(i int) []byte {
+	out := append([]byte{}, s.cold(i)...)
+	return out
+}
+
+// cold is reachable only through the barrier: exempt.
+func (s *Store) cold(i int) []byte {
+	pad := make([]byte, 8)
+	pad[0] = byte(i)
+	return pad
+}

@@ -1,0 +1,714 @@
+package interproc
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"freecursive/internal/lint/analysis"
+)
+
+// EventKind classifies one taint-to-sink observation inside a function.
+type EventKind int
+
+const (
+	// EvVarTime: a tainted value reached a variable-time construct in this
+	// function: branch condition, loop bound, switch tag/case, index or
+	// slice bound, allocation size.
+	EvVarTime EventKind = iota
+	// EvLeak: a tainted value was formatted into an observability surface:
+	// fmt/log format args, errors.New, panic.
+	EvLeak
+	// EvCallVarTime: a tainted argument was passed to a parameter the
+	// callee (transitively) sinks into a variable-time construct.
+	EvCallVarTime
+	// EvCallLeak: a tainted argument was passed to a parameter the callee
+	// (transitively) formats into an observability surface.
+	EvCallLeak
+)
+
+// Event is one sink observation, reported by the analyzers after scope and
+// secrecy filtering.
+type Event struct {
+	Kind   EventKind
+	Pos    token.Pos
+	Mask   Mask   // taint that reached the sink
+	What   string // sink description: "branch condition", "map/slice index", "fmt.Errorf argument"
+	Origin string // human description of the secret's origin
+
+	// Call-event fields.
+	Callee      string // callee symbol
+	CalleeParam string // name of the flagged parameter in the callee
+	Witness     string // where the callee sinks it, e.g. "stash.go:47: branch condition"
+}
+
+// FnFlow is the intraprocedural result for one function: its summary plus
+// the raw sink events analyzers turn into findings.
+type FnFlow struct {
+	Decl         *ast.FuncDecl
+	Summary      *Summary
+	Events       []Event
+	SecretParams Mask // params whose own names mark them secret (addr/leaf/...)
+}
+
+// Resolver looks up a callee summary; ok=false means the callee is outside
+// the module (stdlib, func value) and taint passes through its arguments
+// conservatively.
+type Resolver func(sym string) (*Summary, bool)
+
+// Flows computes per-function flow for every function declared in the
+// pass, resolving callee summaries from facts. This is what the
+// interprocedural analyzers iterate over.
+func Flows(pass *analysis.Pass, facts *Facts) []*FnFlow {
+	unit := pass.Unit()
+	var out []*FnFlow
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			out = append(out, analyzeFn(unit, fd, func(sym string) (*Summary, bool) {
+				s, ok := facts.Summaries[sym]
+				return s, ok
+			}))
+		}
+	}
+	return out
+}
+
+// flowState carries one analyzeFn invocation.
+type flowState struct {
+	unit    *analysis.Unit
+	decl    *ast.FuncDecl
+	resolve Resolver
+
+	params       []*types.Var
+	paramIdx     map[types.Object]int
+	mask         map[types.Object]Mask
+	origin       map[types.Object]string
+	secretParams Mask // bits of params whose names mark them secret
+
+	events []Event
+}
+
+// secretMask reports whether m carries taint that is secret from this
+// function's perspective: intrinsic bits or a secret-named parameter.
+// Plain (non-secret-named) parameter bits are bookkeeping for the summary,
+// not evidence of a secret.
+func (st *flowState) secretMask(m Mask) bool {
+	return m&(BitLocal|BitCall) != 0 || m&st.secretParams != 0
+}
+
+// mergeOrigin picks the label for a combined mask, preferring the
+// contributor that actually carries secret taint: in s.index[b.Addr] the
+// interesting origin is field "Addr", not "parameter s".
+func (st *flowState) mergeOrigin(m1 Mask, o1 string, m2 Mask, o2 string) string {
+	if o1 == "" {
+		return o2
+	}
+	if o2 != "" && st.secretMask(m2) && !st.secretMask(m1) {
+		return o2
+	}
+	return o1
+}
+
+// analyzeFn runs the intraprocedural taint propagation for one function:
+// seed parameters, iterate assignments to a fixpoint, then walk the body
+// once more recording sink events and building the summary.
+func analyzeFn(unit *analysis.Unit, decl *ast.FuncDecl, resolve Resolver) *FnFlow {
+	st := &flowState{
+		unit: unit, decl: decl, resolve: resolve,
+		paramIdx: map[types.Object]int{},
+		mask:     map[types.Object]Mask{},
+		origin:   map[types.Object]string{},
+	}
+	st.seedParams()
+	st.propagate()
+	st.collectEvents()
+	return st.finish()
+}
+
+func (st *flowState) seedParams() {
+	add := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			if len(field.Names) == 0 {
+				// Unnamed (receiver or param): still occupies an index.
+				st.params = append(st.params, nil)
+				continue
+			}
+			for _, name := range field.Names {
+				obj, _ := st.unit.TypesInfo.Defs[name].(*types.Var)
+				i := len(st.params)
+				st.params = append(st.params, obj)
+				if obj != nil && i < MaxParams {
+					st.paramIdx[obj] = i
+					st.mask[obj] = 1 << i
+					st.origin[obj] = "parameter " + name.Name
+					if IsSecretName(name.Name) && Taintable(obj.Type()) {
+						st.secretParams |= 1 << i
+					}
+				}
+			}
+		}
+	}
+	add(st.decl.Recv)
+	add(st.decl.Type.Params)
+	// Named results participate in dataflow like locals.
+}
+
+// propagate iterates assignment-like statements until no mask grows.
+func (st *flowState) propagate() {
+	info := st.unit.TypesInfo
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(st.decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					var rhs ast.Expr
+					switch {
+					case len(n.Rhs) == len(n.Lhs):
+						rhs = n.Rhs[i]
+					case len(n.Rhs) == 1:
+						rhs = n.Rhs[0] // multi-value: taint all LHS together
+					default:
+						continue
+					}
+					m, o := st.exprMask(rhs)
+					if m == 0 {
+						continue
+					}
+					if st.bump(st.lhsObject(lhs), m, o) {
+						changed = true
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range n.Names {
+					var rhs ast.Expr
+					switch {
+					case len(n.Values) == len(n.Names):
+						rhs = n.Values[i]
+					case len(n.Values) == 1:
+						rhs = n.Values[0]
+					default:
+						continue
+					}
+					m, o := st.exprMask(rhs)
+					if m == 0 {
+						continue
+					}
+					if st.bump(info.Defs[name], m, o) {
+						changed = true
+					}
+				}
+			case *ast.RangeStmt:
+				m, o := st.exprMask(n.X)
+				if m == 0 {
+					return true
+				}
+				for _, e := range []ast.Expr{n.Key, n.Value} {
+					if id, ok := e.(*ast.Ident); ok {
+						if st.bump(st.objOf(id), m, o) {
+							changed = true
+						}
+					}
+				}
+			case *ast.CallExpr:
+				// copy(dst, src) taints dst's base object.
+				if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && len(n.Args) == 2 {
+					if b, isB := info.Uses[id].(*types.Builtin); isB && b.Name() == "copy" {
+						m, o := st.exprMask(n.Args[1])
+						if m != 0 && st.bump(st.lhsObject(n.Args[0]), m, o) {
+							changed = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// bump unions m into obj's mask; reports whether it grew. Objects of error
+// type never accumulate taint: error values are declassified (the leak is
+// caught where the error string is built), so `if err != nil` stays clean.
+func (st *flowState) bump(obj types.Object, m Mask, o string) bool {
+	if obj == nil || m == 0 {
+		return false
+	}
+	if isErrorType(obj.Type()) {
+		return false
+	}
+	old := st.mask[obj]
+	if old|m == old {
+		return false
+	}
+	// Keep the most informative origin: a secret contributor displaces a
+	// label recorded when the variable carried only plain parameter taint.
+	if o != "" && (st.origin[obj] == "" || (st.secretMask(m) && !st.secretMask(old))) {
+		st.origin[obj] = o
+	}
+	st.mask[obj] = old | m
+	return true
+}
+
+// lhsObject resolves the assignable object of an lvalue. Only direct
+// variables (possibly through * or parens) track taint: a store into x.f
+// or x[i] does NOT taint the container x. Tainting containers sounds
+// conservative but poisons every method receiver the moment one secret is
+// stashed in one field, turning every later `if s.count > 0` into a
+// finding; secret-named fields are seeded at their read sites instead,
+// which is where the secrecy contract actually lives.
+func (st *flowState) lhsObject(e ast.Expr) types.Object {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return st.objOf(v)
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+func (st *flowState) objOf(id *ast.Ident) types.Object {
+	if obj := st.unit.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return st.unit.TypesInfo.Uses[id]
+}
+
+// exprMask computes the taint mask of an expression and the origin label
+// of its first secret contribution.
+func (st *flowState) exprMask(e ast.Expr) (Mask, string) {
+	if e == nil {
+		return 0, ""
+	}
+	info := st.unit.TypesInfo
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := st.objOf(e)
+		if obj == nil {
+			return 0, ""
+		}
+		m := st.mask[obj]
+		// Seed locals by name, on top of any tracked dataflow: a local
+		// named leaf/addr is a secret by this module's naming contract even
+		// when its value was computed from public inputs. Parameters are
+		// excluded — their bit plus secretParams already says everything,
+		// and adding BitLocal here would make any function reading its own
+		// secret-named parameter look intrinsically secret-returning
+		// (turning every ValidLeaf-style predicate into a source).
+		if v, ok := obj.(*types.Var); ok && IsSecretName(e.Name) && Taintable(v.Type()) {
+			if _, isParam := st.paramIdx[obj]; !isParam {
+				return m | BitLocal, st.mergeOrigin(m, st.origin[obj], BitLocal, fmt.Sprintf("%q", e.Name))
+			}
+		}
+		return m, st.origin[obj]
+	case *ast.SelectorExpr:
+		base, bo := st.exprMask(e.X)
+		obj := info.Uses[e.Sel]
+		if v, ok := obj.(*types.Var); ok && v.IsField() &&
+			IsSecretName(e.Sel.Name) && Taintable(v.Type()) {
+			return base | BitLocal, st.mergeOrigin(BitLocal, fmt.Sprintf("field %q", e.Sel.Name), base, bo)
+		}
+		if _, isFunc := obj.(*types.Func); isFunc {
+			return 0, "" // method value; handled at call sites
+		}
+		// Non-secret field: parameter bits do not pass through. A struct
+		// parameter with one secret field must not make req.Op or res.Found
+		// secret-dependent (that field-insensitivity would flag every
+		// switch on an op code). Intrinsic taint does pass: a value built
+		// by a secret source keeps its secrecy through its fields.
+		if keep := base & (BitLocal | BitCall); keep != 0 {
+			return keep, bo
+		}
+		return 0, ""
+	case *ast.CallExpr:
+		return st.callMask(e)
+	case *ast.BinaryExpr:
+		mx, ox := st.exprMask(e.X)
+		my, oy := st.exprMask(e.Y)
+		return mx | my, st.mergeOrigin(mx, ox, my, oy)
+	case *ast.UnaryExpr:
+		return st.exprMask(e.X)
+	case *ast.ParenExpr:
+		return st.exprMask(e.X)
+	case *ast.StarExpr:
+		return st.exprMask(e.X)
+	case *ast.IndexExpr:
+		mx, ox := st.exprMask(e.X)
+		mi, oi := st.exprMask(e.Index)
+		return mx | mi, st.mergeOrigin(mx, ox, mi, oi)
+	case *ast.SliceExpr:
+		m, o := st.exprMask(e.X)
+		for _, idx := range []ast.Expr{e.Low, e.High, e.Max} {
+			mi, oi := st.exprMask(idx)
+			o = st.mergeOrigin(m, o, mi, oi)
+			m |= mi
+		}
+		return m, o
+	case *ast.CompositeLit:
+		var m Mask
+		var o string
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			me, oe := st.exprMask(elt)
+			o = st.mergeOrigin(m, o, me, oe)
+			m |= me
+		}
+		return m, o
+	case *ast.TypeAssertExpr:
+		return st.exprMask(e.X)
+	}
+	return 0, ""
+}
+
+// callMask computes the taint of a call's results.
+func (st *flowState) callMask(call *ast.CallExpr) (Mask, string) {
+	info := st.unit.TypesInfo
+	fun := ast.Unparen(call.Fun)
+
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, isB := info.Uses[id].(*types.Builtin); isB {
+			switch b.Name() {
+			case "len", "cap":
+				// Lengths are public in this codebase (fixed block and path
+				// geometry); content taint does not make a count secret.
+				return 0, ""
+			case "make", "new":
+				return 0, ""
+			case "append", "min", "max":
+				var m Mask
+				var o string
+				for _, a := range call.Args {
+					ma, oa := st.exprMask(a)
+					o = st.mergeOrigin(m, o, ma, oa)
+					m |= ma
+				}
+				return m, o
+			default:
+				return 0, ""
+			}
+		}
+	}
+
+	// Conversions: T(x) passes taint through.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		return st.exprMask(call.Args[0])
+	}
+
+	masks, origins, _ := st.callArgs(call)
+
+	sym := st.calleeSym(call)
+	if sym != "" {
+		if s, known := st.resolve(sym); known && s != nil {
+			var m Mask
+			var o string
+			if s.Intrinsic {
+				m |= BitCall
+				o = "result of " + shortSym(sym)
+			}
+			for i, am := range masks {
+				if am == 0 || i >= MaxParams {
+					continue
+				}
+				if s.Flows&(1<<i) != 0 {
+					o = st.mergeOrigin(m, o, am, origins[i])
+					m |= am
+				}
+			}
+			return m, o
+		}
+	}
+
+	// Unknown callee (stdlib, func value): conservative pass-through of
+	// every argument, so strconv.FormatUint(addr, 10) stays secret.
+	var m Mask
+	var o string
+	for i, am := range masks {
+		o = st.mergeOrigin(m, o, am, origins[i])
+		m |= am
+	}
+	return m, o
+}
+
+// callArgs computes argument masks in the callee summary's parameter
+// order: receiver first when the call is a method call (summaries of
+// methods index the receiver as parameter 0), plain arguments otherwise.
+func (st *flowState) callArgs(call *ast.CallExpr) (masks []Mask, origins []string, hasRecv bool) {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s, isSel := st.unit.TypesInfo.Selections[sel]; isSel && s.Kind() == types.MethodVal {
+			m, o := st.exprMask(sel.X)
+			masks = append(masks, m)
+			origins = append(origins, o)
+			hasRecv = true
+		}
+	}
+	for _, a := range call.Args {
+		m, o := st.exprMask(a)
+		masks = append(masks, m)
+		origins = append(origins, o)
+	}
+	return
+}
+
+func (st *flowState) calleeSym(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := st.unit.TypesInfo.Uses[fun].(*types.Func); ok {
+			return Symbol(fn)
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := st.unit.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			return Symbol(fn)
+		}
+	}
+	return ""
+}
+
+// collectEvents walks the body once after the fixpoint, recording every
+// sink observation.
+func (st *flowState) collectEvents() {
+	info := st.unit.TypesInfo
+	ast.Inspect(st.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			st.sink(EvVarTime, n.Cond, "branch condition")
+		case *ast.ForStmt:
+			if n.Cond != nil {
+				st.sink(EvVarTime, n.Cond, "loop bound")
+			}
+		case *ast.SwitchStmt:
+			if n.Tag != nil {
+				st.sink(EvVarTime, n.Tag, "switch tag")
+			}
+			for _, stmt := range n.Body.List {
+				if cc, ok := stmt.(*ast.CaseClause); ok {
+					for _, e := range cc.List {
+						st.sink(EvVarTime, e, "switch case")
+					}
+				}
+			}
+		case *ast.IndexExpr:
+			st.sink(EvVarTime, n.Index, "memory index")
+		case *ast.SliceExpr:
+			for _, idx := range []ast.Expr{n.Low, n.High, n.Max} {
+				if idx != nil {
+					st.sink(EvVarTime, idx, "slice bound")
+				}
+			}
+		case *ast.CallExpr:
+			st.callEvents(n, info)
+		}
+		return true
+	})
+}
+
+// leakFuncs names the observability sinks: package path -> function names.
+// An empty name set means every function in the package.
+var leakFuncs = map[string]map[string]bool{
+	"fmt": {
+		"Errorf": true, "Sprintf": true, "Sprint": true, "Sprintln": true,
+		"Printf": true, "Print": true, "Println": true,
+		"Fprintf": true, "Fprint": true, "Fprintln": true,
+		"Appendf": true, "Append": true, "Appendln": true,
+	},
+	"errors": {"New": true},
+	"log":    nil, // every log.* call and *log.Logger method is a sink
+}
+
+func (st *flowState) callEvents(call *ast.CallExpr, info *types.Info) {
+	// panic(x)
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, isB := info.Uses[id].(*types.Builtin); isB {
+			switch b.Name() {
+			case "panic":
+				for _, a := range call.Args {
+					st.sink(EvLeak, a, "panic argument")
+				}
+			case "make":
+				for _, a := range call.Args[1:] {
+					st.sink(EvVarTime, a, "allocation size")
+				}
+			}
+			return
+		}
+	}
+
+	sym := st.calleeSym(call)
+	if sym != "" {
+		// Observability sinks by package.
+		if fn := calleeFunc(info, call); fn != nil && fn.Pkg() != nil {
+			if names, ok := leakFuncs[fn.Pkg().Path()]; ok && (names == nil || names[fn.Name()]) {
+				what := fn.Pkg().Name() + "." + fn.Name() + " argument"
+				for _, a := range call.Args {
+					st.sink(EvLeak, a, what)
+				}
+				return
+			}
+		}
+		// Known callee: tainted args landing on sink parameters.
+		if s, known := st.resolve(sym); known && s != nil && (s.VarTime != 0 || s.Leak != 0) {
+			st.callSinkEvents(call, sym, s)
+		}
+	}
+}
+
+// callSinkEvents records EvCallVarTime/EvCallLeak for tainted arguments
+// passed to parameters the callee sinks.
+func (st *flowState) callSinkEvents(call *ast.CallExpr, sym string, s *Summary) {
+	masks, origins, hasRecv := st.callArgs(call)
+	pos := func(i int) token.Pos {
+		if hasRecv {
+			i-- // slot 0 is the receiver, which has no argument expression
+		}
+		if i < 0 || i >= len(call.Args) {
+			return call.Pos()
+		}
+		return call.Args[i].Pos()
+	}
+	for i, am := range masks {
+		if am == 0 || i >= MaxParams {
+			continue
+		}
+		bit := Mask(1) << i
+		if s.VarTime&bit != 0 {
+			st.events = append(st.events, Event{
+				Kind: EvCallVarTime, Pos: pos(i), Mask: am,
+				What:   "argument to " + shortSym(sym),
+				Origin: origins[i], Callee: sym, CalleeParam: s.paramName(i),
+				Witness: s.VarTimeAt[i],
+			})
+		}
+		if s.Leak&bit != 0 {
+			st.events = append(st.events, Event{
+				Kind: EvCallLeak, Pos: pos(i), Mask: am,
+				What:   "argument to " + shortSym(sym),
+				Origin: origins[i], Callee: sym, CalleeParam: s.paramName(i),
+				Witness: s.LeakAt[i],
+			})
+		}
+	}
+}
+
+func (st *flowState) sink(kind EventKind, e ast.Expr, what string) {
+	m, o := st.exprMask(e)
+	if m == 0 {
+		return
+	}
+	st.events = append(st.events, Event{Kind: kind, Pos: e.Pos(), Mask: m, What: what, Origin: o})
+}
+
+// finish assembles the summary from the fixpointed state and the events.
+func (st *flowState) finish() *FnFlow {
+	sum := &Summary{}
+	for _, p := range st.params {
+		name := ""
+		if p != nil {
+			name = p.Name()
+		}
+		sum.ParamNames = append(sum.ParamNames, name)
+	}
+
+	// Returns: results tainted by params or intrinsics.
+	ast.Inspect(st.decl.Body, func(n ast.Node) bool {
+		if _, isFl := n.(*ast.FuncLit); isFl {
+			return false // a closure's returns are not this function's
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		exprs := ret.Results
+		if len(exprs) == 0 && st.decl.Type.Results != nil {
+			// Naked return: named results carry the value.
+			for _, field := range st.decl.Type.Results.List {
+				for _, name := range field.Names {
+					exprs = append(exprs, name)
+				}
+			}
+		}
+		for _, e := range exprs {
+			m, _ := st.exprMask(e)
+			// Error results never carry secrets out (declassified).
+			if t := st.unit.TypesInfo.TypeOf(e); t != nil && isErrorType(t) {
+				continue
+			}
+			sum.Flows |= ParamBits(m)
+			if m.Intrinsic() {
+				sum.Intrinsic = true
+			}
+		}
+		return true
+	})
+
+	// Param-reaching sinks, with witnesses.
+	witness := func(ev Event) string {
+		w := posString(st.unit.Fset, ev.Pos) + ": " + ev.What
+		if ev.Witness != "" {
+			w = ev.Witness // point at the ultimate sink, not the relay
+		}
+		return w
+	}
+	for _, ev := range st.events {
+		pb := ParamBits(ev.Mask)
+		if pb == 0 {
+			continue
+		}
+		switch ev.Kind {
+		case EvVarTime, EvCallVarTime:
+			sum.VarTime |= pb
+			for i := 0; i < MaxParams; i++ {
+				if pb&(1<<i) != 0 {
+					if sum.VarTimeAt == nil {
+						sum.VarTimeAt = map[int]string{}
+					}
+					if _, ok := sum.VarTimeAt[i]; !ok {
+						sum.VarTimeAt[i] = witness(ev)
+					}
+				}
+			}
+		case EvLeak, EvCallLeak:
+			sum.Leak |= pb
+			for i := 0; i < MaxParams; i++ {
+				if pb&(1<<i) != 0 {
+					if sum.LeakAt == nil {
+						sum.LeakAt = map[int]string{}
+					}
+					if _, ok := sum.LeakAt[i]; !ok {
+						sum.LeakAt[i] = witness(ev)
+					}
+				}
+			}
+		}
+	}
+
+	return &FnFlow{Decl: st.decl, Summary: sum, Events: st.events, SecretParams: st.secretParams}
+}
+
+// calleeFunc returns the *types.Func a call resolves to, or nil.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

@@ -1,0 +1,203 @@
+package interproc_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"freecursive/internal/lint/analysis"
+	"freecursive/internal/lint/interproc"
+)
+
+// computeFacts type-checks src as package x/p and runs the summary engine
+// over it. The fixture deliberately imports nothing, so no importer is
+// needed.
+func computeFacts(t *testing.T, src string) *interproc.Facts {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var conf types.Config
+	pkg, err := conf.Check("x/p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return interproc.Compute([]*analysis.Unit{{
+		Fset: fset, Files: []*ast.File{f}, Pkg: pkg, TypesInfo: info,
+	}})
+}
+
+const engineSrc = `package p
+
+// id passes its secret-named parameter straight through.
+func id(leaf uint64) uint64 { return leaf }
+
+// ping/pong form an SCC: pong branches on its parameter directly, ping
+// only through the cycle. The fixpoint must give both VarTime on bit 0.
+func ping(x uint64) {
+	pong(x)
+}
+
+func pong(y uint64) {
+	if y == 0 {
+		return
+	}
+	ping(y - 1)
+}
+
+// fresh is a secret source: a name-seeded local reaches the result.
+func fresh() uint64 {
+	leaf := uint64(7)
+	return leaf
+}
+
+// drawLeaf is both a source (name-seeded local) and a pass-through.
+func drawLeaf(seed uint64) uint64 {
+	leaf := seed*3 + 1
+	return leaf
+}
+
+// report leaks its parameter directly; wrap only transitively.
+func report(addr uint64) {
+	panic(addr)
+}
+
+func wrap(a uint64) {
+	report(a)
+}
+
+// Sink's method summary must join over the declared implementers: A
+// branches on v, B is clean, so the join carries A's VarTime.
+type Sink interface{ Put(v uint64) }
+
+type A struct{}
+
+func (A) Put(v uint64) {
+	if v == 0 {
+		return
+	}
+}
+
+type B struct{}
+
+func (B) Put(v uint64) {}
+
+var (
+	_ Sink = A{}
+	_ Sink = B{}
+)
+
+// Serve is a hot root; helper and deep inherit hotness transitively.
+// Bypass is a reviewed barrier: it enters the closure but colder, only
+// reachable through it, stays out.
+//
+//oram:hotpath
+func Serve(n int) {
+	helper(n)
+	Bypass(n)
+}
+
+func helper(n int) {
+	deep(n)
+}
+
+func deep(n int) {}
+
+//oram:offhotpath fixture barrier
+func Bypass(n int) {
+	colder(n)
+}
+
+func colder(n int) {}
+`
+
+func TestSummaries(t *testing.T) {
+	facts := computeFacts(t, engineSrc)
+	sum := func(sym string) *interproc.Summary {
+		t.Helper()
+		s := facts.Summaries[sym]
+		if s == nil {
+			t.Fatalf("no summary for %s", sym)
+		}
+		return s
+	}
+
+	if s := sum("x/p.id"); s.Flows&1 == 0 {
+		t.Errorf("id: param 0 does not flow to the result (Flows=%b)", s.Flows)
+	}
+	if s := sum("x/p.pong"); s.VarTime&1 == 0 {
+		t.Errorf("pong: no VarTime on param 0 (VarTime=%b)", s.VarTime)
+	}
+	if s := sum("x/p.ping"); s.VarTime&1 == 0 {
+		t.Errorf("ping: SCC fixpoint lost pong's VarTime (VarTime=%b)", s.VarTime)
+	}
+	if s := sum("x/p.fresh"); !s.Intrinsic {
+		t.Error("fresh: name-seeded local does not make the result intrinsic")
+	}
+	if s := sum("x/p.drawLeaf"); !s.Intrinsic || s.Flows&1 == 0 {
+		t.Errorf("drawLeaf: want intrinsic pass-through, got Intrinsic=%v Flows=%b",
+			s.Intrinsic, s.Flows)
+	}
+	if s := sum("x/p.report"); s.Leak&1 == 0 {
+		t.Errorf("report: panic(addr) not a leak of param 0 (Leak=%b)", s.Leak)
+	}
+	if s := sum("x/p.wrap"); s.Leak&1 == 0 {
+		t.Errorf("wrap: transitive leak through report lost (Leak=%b)", s.Leak)
+	}
+	if s := sum("x/p.helper"); s.Intrinsic || s.Leak != 0 || s.VarTime != 0 {
+		t.Errorf("helper: spurious taint %+v", s)
+	}
+}
+
+func TestInterfaceJoin(t *testing.T) {
+	facts := computeFacts(t, engineSrc)
+	s := facts.Summaries["(x/p.Sink).Put"]
+	if s == nil {
+		t.Fatal("no joined summary for (x/p.Sink).Put")
+	}
+	// Receiver-first order: bit 0 is the receiver, bit 1 is v.
+	if s.VarTime&(1<<1) == 0 {
+		t.Errorf("Sink.Put join lost A's VarTime on v (VarTime=%b)", s.VarTime)
+	}
+}
+
+func TestHotClosure(t *testing.T) {
+	facts := computeFacts(t, engineSrc)
+
+	root, ok := facts.Hot["x/p.Serve"]
+	if !ok || root.Root != "x/p.Serve" || root.From != "" {
+		t.Fatalf("Serve: want self-rooted hot entry, got %+v (present=%v)", root, ok)
+	}
+	h, ok := facts.Hot["x/p.helper"]
+	if !ok || h.Root != "x/p.Serve" || h.From != "x/p.Serve" {
+		t.Errorf("helper: want root Serve via Serve, got %+v (present=%v)", h, ok)
+	}
+	d, ok := facts.Hot["x/p.deep"]
+	if !ok || d.Root != "x/p.Serve" || d.From != "x/p.helper" {
+		t.Errorf("deep: want root Serve via helper, got %+v (present=%v)", d, ok)
+	}
+	if got, want := facts.Chain("x/p.deep"), "p.Serve -> p.helper -> p.deep"; got != want {
+		t.Errorf("Chain(deep) = %q, want %q", got, want)
+	}
+
+	// The barrier itself is on the path (the root called it) but nothing
+	// behind it is.
+	if _, ok := facts.Hot["x/p.Bypass"]; !ok {
+		t.Error("Bypass: the barrier function itself should appear in the closure")
+	}
+	if info, ok := facts.Hot["x/p.colder"]; ok {
+		t.Errorf("colder: reachable only through the barrier, must stay cold, got %+v", info)
+	}
+}

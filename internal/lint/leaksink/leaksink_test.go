@@ -1,0 +1,19 @@
+package leaksink_test
+
+import (
+	"testing"
+
+	"freecursive/internal/lint/leaksink"
+	"freecursive/internal/lint/lintest"
+)
+
+// TestCrossPackageLeaks: secrets handed to another package's formatting
+// helpers are flagged at the call site, whether the fmt call is one or two
+// hops down; direct formatting is flagged at the construction site; public
+// identifiers stay silent.
+func TestCrossPackageLeaks(t *testing.T) {
+	lintest.RunModule(t, "multi", leaksink.Analyzer,
+		lintest.ModulePkg{Dir: "httpapi", Path: "x/internal/httpapi"},
+		lintest.ModulePkg{Dir: "core", Path: "x/internal/core"},
+	)
+}

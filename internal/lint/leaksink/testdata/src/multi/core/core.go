@@ -1,0 +1,30 @@
+// Fixture: trusted-layer code whose secrets must not reach observable
+// strings, directly or through the serving layer's formatting helpers.
+package core
+
+import (
+	"fmt"
+
+	"x/internal/httpapi"
+)
+
+// Access hands the logical address to a helper that formats it one call
+// down.
+func Access(addr uint64) error {
+	return httpapi.Fail("read", addr) // want `secret \(parameter addr\) flows into parameter "v" of httpapi.Fail, which formats it at httpapi.go`
+}
+
+// Retry hands the leaf to a helper that formats it two calls down.
+func Retry(leaf uint64) error {
+	return httpapi.Wrap(leaf) // want `secret \(parameter leaf\) flows into parameter "v" of httpapi.Wrap, which formats it at httpapi.go`
+}
+
+// Direct formats the secret itself: flagged at the construction site.
+func Direct(leaf uint64) error {
+	return fmt.Errorf("core: leaf %d out of range", leaf) // want `secret \(parameter leaf\) reaches fmt.Errorf argument`
+}
+
+// Clean carries public identifiers only.
+func Clean(shard int) error {
+	return fmt.Errorf("core: shard %d unavailable", shard)
+}

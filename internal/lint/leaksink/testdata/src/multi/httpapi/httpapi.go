@@ -1,0 +1,18 @@
+// Fixture: serving-layer helpers that format whatever they are handed.
+// Nothing here is a finding on its own — the parameters are neutrally
+// named — but the summaries record that v reaches fmt.Errorf, so callers
+// passing secrets get flagged at their call sites.
+package httpapi
+
+import "fmt"
+
+// Fail builds the error payload for an op; v is formatted verbatim.
+func Fail(op string, v uint64) error {
+	return fmt.Errorf("op %s failed: slot %d", op, v)
+}
+
+// Wrap rethrows through Fail: the leak is transitive, two calls from the
+// formatting site.
+func Wrap(v uint64) error {
+	return Fail("wrap", v)
+}

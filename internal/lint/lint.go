@@ -20,8 +20,10 @@ import (
 	"freecursive/internal/lint/directive"
 	"freecursive/internal/lint/errwrap"
 	"freecursive/internal/lint/hotpathalloc"
+	"freecursive/internal/lint/leaksink"
 	"freecursive/internal/lint/obliv"
 	"freecursive/internal/lint/secretcompare"
+	"freecursive/internal/lint/secretflow"
 )
 
 // Analyzers returns the full oramlint suite, in reporting order.
@@ -32,6 +34,8 @@ func Analyzers() []*analysis.Analyzer {
 		errwrap.Analyzer,
 		hotpathalloc.Analyzer,
 		obliv.Analyzer,
+		secretflow.Analyzer,
+		leaksink.Analyzer,
 	}
 }
 
@@ -49,11 +53,41 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s: %s [%s]", f.Pos, f.Message, f.Analyzer)
 }
 
+// Stats counts post-suppression findings and used (honored) allow
+// directives per analyzer for one run; the CI report aggregates them
+// across packages and gates allow-count growth against a committed
+// baseline.
+type Stats struct {
+	Findings map[string]int `json:"findings"`
+	Allows   map[string]int `json:"allows"`
+}
+
+// Merge folds other's counts into s.
+func (s *Stats) Merge(other Stats) {
+	for k, v := range other.Findings {
+		s.Findings[k] += v
+	}
+	for k, v := range other.Allows {
+		s.Allows[k] += v
+	}
+}
+
+// NewStats returns an empty, mergeable Stats.
+func NewStats() Stats {
+	return Stats{Findings: map[string]int{}, Allows: map[string]int{}}
+}
+
 // Run executes every analyzer in the suite over one type-checked package
 // and returns the findings that survive //oramlint:allow suppression,
 // sorted by position. Driver-level findings (allow without a reason, allow
 // naming an unknown analyzer, allow that suppressed nothing) are included.
 func Run(pkg *analysis.Pass) ([]Finding, error) {
+	f, _, err := run(Analyzers(), pkg)
+	return f, err
+}
+
+// RunStats is Run returning per-analyzer finding and allow counts as well.
+func RunStats(pkg *analysis.Pass) ([]Finding, Stats, error) {
 	return run(Analyzers(), pkg)
 }
 
@@ -62,7 +96,8 @@ func Run(pkg *analysis.Pass) ([]Finding, error) {
 // directives naming analyzers outside the subset are ignored rather than
 // flagged as unknown.
 func RunAnalyzers(analyzers []*analysis.Analyzer, pkg *analysis.Pass) ([]Finding, error) {
-	return run(analyzers, pkg)
+	f, _, err := run(analyzers, pkg)
+	return f, err
 }
 
 type rawDiag struct {
@@ -71,7 +106,8 @@ type rawDiag struct {
 	message  string
 }
 
-func run(analyzers []*analysis.Analyzer, pkg *analysis.Pass) ([]Finding, error) {
+func run(analyzers []*analysis.Analyzer, pkg *analysis.Pass) ([]Finding, Stats, error) {
+	stats := NewStats()
 	known := map[string]bool{}
 	for _, a := range Analyzers() {
 		known[a.Name] = true
@@ -90,6 +126,7 @@ func run(analyzers []*analysis.Analyzer, pkg *analysis.Pass) ([]Finding, error) 
 			Files:     pkg.Files,
 			Pkg:       pkg.Pkg,
 			TypesInfo: pkg.TypesInfo,
+			Module:    pkg.Module,
 			Report: func(d analysis.Diagnostic) {
 				raw = append(raw, rawDiag{
 					analyzer: a.Name,
@@ -99,7 +136,7 @@ func run(analyzers []*analysis.Analyzer, pkg *analysis.Pass) ([]Finding, error) 
 			},
 		}
 		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("lint: analyzer %s on %s: %w", a.Name, pkg.Pkg.Path(), err)
+			return nil, stats, fmt.Errorf("lint: analyzer %s on %s: %w", a.Name, pkg.Pkg.Path(), err)
 		}
 	}
 
@@ -155,7 +192,13 @@ func run(analyzers []*analysis.Analyzer, pkg *analysis.Pass) ([]Finding, error) 
 			}
 		}
 		if !suppressed {
+			stats.Findings[d.analyzer]++
 			findings = append(findings, Finding{Pos: d.pos, Analyzer: d.analyzer, Message: d.message})
+		}
+	}
+	for i, al := range allAllows {
+		if used[i] {
+			stats.Allows[al.Analyzer]++
 		}
 	}
 
@@ -180,7 +223,7 @@ func run(analyzers []*analysis.Analyzer, pkg *analysis.Pass) ([]Finding, error) 
 		}
 		return a.Column < b.Column
 	})
-	return findings, nil
+	return findings, stats, nil
 }
 
 // ByName returns the analyzer with the given name, or nil.

@@ -48,14 +48,15 @@ func TestBadAllowsAreFindings(t *testing.T) {
 	}
 }
 
-func TestSuiteHasFiveAnalyzers(t *testing.T) {
+func TestSuiteRoster(t *testing.T) {
 	as := lint.Analyzers()
-	if len(as) != 5 {
-		t.Fatalf("suite has %d analyzers, want 5", len(as))
+	if len(as) != 7 {
+		t.Fatalf("suite has %d analyzers, want 7", len(as))
 	}
 	want := map[string]bool{
 		"secretcompare": true, "bufferown": true, "errwrap": true,
 		"hotpathalloc": true, "obliv": true,
+		"secretflow": true, "leaksink": true,
 	}
 	for _, a := range as {
 		if !want[a.Name] {

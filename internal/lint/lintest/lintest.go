@@ -22,7 +22,7 @@ import (
 	"freecursive/internal/lint/analysis"
 )
 
-var wantRe = regexp.MustCompile(`//\s*want\s+"((?:[^"\\]|\\.)*)"`)
+var wantRe = regexp.MustCompile("//\\s*want\\s+(?:\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`)")
 
 // Run type-checks the fixture at testdata/src/<name> as a package imported
 // as pkgpath, runs the analyzer (with driver suppression applied), and
@@ -42,13 +42,84 @@ func Load(t *testing.T, name, pkgpath string) *analysis.Pass {
 	return pass
 }
 
+// ModulePkg names one package of a multi-package fixture: the subdirectory
+// under testdata/src/<name> and the import path it is checked as. Later
+// packages may import earlier ones by that path.
+type ModulePkg struct {
+	Dir  string
+	Path string
+}
+
+// RunModule type-checks several fixture packages as one module — listed in
+// dependency order, with cross-package imports resolved against the
+// already-checked fixtures — runs the analyzer over every package with
+// shared module facts (so the interprocedural analyzers see the whole
+// call graph), and matches the union of surviving findings against all
+// fixtures' want comments.
+func RunModule(t *testing.T, name string, a *analysis.Analyzer, pkgs ...ModulePkg) {
+	t.Helper()
+	fset := token.NewFileSet()
+	checked := map[string]*types.Package{}
+	module := &analysis.Module{}
+	src := map[string][]string{}
+	var passes []*analysis.Pass
+	for _, mp := range pkgs {
+		dir := filepath.Join("testdata", "src", name, mp.Dir)
+		files := parseDir(t, fset, dir, src)
+		info := newInfo()
+		conf := types.Config{Importer: &fixtureImporter{fset: fset, fixtures: checked}}
+		pkg, err := conf.Check(mp.Path, fset, files, info)
+		if err != nil {
+			t.Fatalf("type-checking fixture %s: %v", dir, err)
+		}
+		checked[mp.Path] = pkg
+		module.Units = append(module.Units, &analysis.Unit{
+			Fset: fset, Files: files, Pkg: pkg, TypesInfo: info,
+		})
+		passes = append(passes, &analysis.Pass{
+			Fset: fset, Files: files, Pkg: pkg, TypesInfo: info, Module: module,
+		})
+	}
+	var findings []lint.Finding
+	for _, pass := range passes {
+		fs, err := lint.RunAnalyzers([]*analysis.Analyzer{a}, pass)
+		if err != nil {
+			t.Fatalf("running %s: %v", a.Name, err)
+		}
+		findings = append(findings, fs...)
+	}
+	matchFindings(t, findings, src)
+}
+
+// fixtureImporter resolves fixture import paths to already-checked fixture
+// packages and everything else through the source importer (stdlib).
+type fixtureImporter struct {
+	fset     *token.FileSet
+	fixtures map[string]*types.Package
+	std      types.Importer
+}
+
+func (im *fixtureImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := im.fixtures[path]; ok {
+		return pkg, nil
+	}
+	if im.std == nil {
+		im.std = importer.ForCompiler(im.fset, "source", nil)
+	}
+	return im.std.Import(path)
+}
+
 func match(t *testing.T, a *analysis.Analyzer, pass *analysis.Pass, src map[string][]string) {
 	t.Helper()
 	findings, err := lint.RunAnalyzers([]*analysis.Analyzer{a}, pass)
 	if err != nil {
 		t.Fatalf("running %s: %v", a.Name, err)
 	}
+	matchFindings(t, findings, src)
+}
 
+func matchFindings(t *testing.T, findings []lint.Finding, src map[string][]string) {
+	t.Helper()
 	type key struct {
 		file string
 		line int
@@ -57,9 +128,13 @@ func match(t *testing.T, a *analysis.Analyzer, pass *analysis.Pass, src map[stri
 	for file, lines := range src {
 		for i, text := range lines {
 			for _, m := range wantRe.FindAllStringSubmatch(text, -1) {
-				re, err := regexp.Compile(m[1])
+				pat := m[1]
+				if m[2] != "" {
+					pat = m[2] // backtick-quoted: no escape processing
+				}
+				re, err := regexp.Compile(pat)
 				if err != nil {
-					t.Fatalf("%s:%d: bad want pattern %q: %v", file, i+1, m[1], err)
+					t.Fatalf("%s:%d: bad want pattern %q: %v", file, i+1, pat, err)
 				}
 				wants[key{file, i + 1}] = append(wants[key{file, i + 1}], re)
 			}
@@ -105,13 +180,30 @@ func match(t *testing.T, a *analysis.Analyzer, pass *analysis.Pass, src map[stri
 // lines (for want-comment scanning).
 func load(t *testing.T, dir, pkgpath string) (*analysis.Pass, map[string][]string) {
 	t.Helper()
+	fset := token.NewFileSet()
+	src := map[string][]string{}
+	files := parseDir(t, fset, dir, src)
+	info := newInfo()
+	// Fixtures import only the standard library, so the source importer
+	// (which compiles stdlib packages from source, no export data needed)
+	// resolves everything offline.
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check(pkgpath, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", dir, err)
+	}
+	return &analysis.Pass{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}, src
+}
+
+// parseDir parses every .go file in dir into fset, recording each file's
+// source lines into src for want-comment scanning.
+func parseDir(t *testing.T, fset *token.FileSet, dir string, src map[string][]string) []*ast.File {
+	t.Helper()
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		t.Fatalf("reading fixture dir: %v", err)
 	}
-	fset := token.NewFileSet()
 	var files []*ast.File
-	src := map[string][]string{}
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
 			continue
@@ -131,7 +223,11 @@ func load(t *testing.T, dir, pkgpath string) (*analysis.Pass, map[string][]strin
 	if len(files) == 0 {
 		t.Fatalf("no .go files in %s", dir)
 	}
-	info := &types.Info{
+	return files
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
 		Types:      map[ast.Expr]types.TypeAndValue{},
 		Defs:       map[*ast.Ident]types.Object{},
 		Uses:       map[*ast.Ident]types.Object{},
@@ -139,13 +235,4 @@ func load(t *testing.T, dir, pkgpath string) (*analysis.Pass, map[string][]strin
 		Implicits:  map[ast.Node]types.Object{},
 		Scopes:     map[ast.Node]*types.Scope{},
 	}
-	// Fixtures import only the standard library, so the source importer
-	// (which compiles stdlib packages from source, no export data needed)
-	// resolves everything offline.
-	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
-	pkg, err := conf.Check(pkgpath, fset, files, info)
-	if err != nil {
-		t.Fatalf("type-checking fixture %s: %v", dir, err)
-	}
-	return &analysis.Pass{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}, src
 }

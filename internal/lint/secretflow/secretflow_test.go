@@ -1,0 +1,19 @@
+package secretflow_test
+
+import (
+	"testing"
+
+	"freecursive/internal/lint/lintest"
+	"freecursive/internal/lint/secretflow"
+)
+
+// TestCrossPackageFlows: secrets minted in one package are flagged where
+// another package branches on them, indexes by them, or forwards them into
+// a parameter the callee sinks — with clean and allowed cases staying
+// silent.
+func TestCrossPackageFlows(t *testing.T) {
+	lintest.RunModule(t, "multi", secretflow.Analyzer,
+		lintest.ModulePkg{Dir: "posmap", Path: "x/internal/posmap"},
+		lintest.ModulePkg{Dir: "store", Path: "x/internal/store"},
+	)
+}

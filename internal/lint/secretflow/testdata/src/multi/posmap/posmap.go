@@ -1,0 +1,17 @@
+// Fixture: the secret-source package of the multi-package secretflow
+// fixture. Leaf mints secrets (the name-seeded local marks its summary
+// intrinsic); Probe sinks its neutrally-named parameter, so the findings
+// belong at the call sites that pass secrets in — not here.
+package posmap
+
+// Leaf derives the current leaf for a block: a secret by name.
+func Leaf(seed uint64) uint64 {
+	leaf := seed*2862933555777941757 + 3037000493
+	return leaf
+}
+
+// Probe indexes table by k. k's name says nothing about secrecy, so this
+// body is clean on its own; callers that pass a secret get the finding.
+func Probe(table []uint64, k uint64) uint64 {
+	return table[k]
+}

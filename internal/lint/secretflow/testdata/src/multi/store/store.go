@@ -1,0 +1,35 @@
+// Fixture: consumes posmap secrets across the package boundary. Every
+// local name here is neutral — the taint arrives only through the
+// cross-package call graph.
+package store
+
+import "x/internal/posmap"
+
+// Route branches on and indexes by a value fetched from another package.
+func Route(buckets [][]byte, seed uint64) []byte {
+	v := posmap.Leaf(seed)
+	if v > 64 { // want "secret-dependent branch condition: value derives from result of posmap.Leaf"
+		return nil
+	}
+	return buckets[v] // want "secret-dependent memory index: value derives from result of posmap.Leaf"
+}
+
+// Chase forwards a secret into a neutral parameter that another package
+// sinks; the finding lands here, naming the callee's sink.
+func Chase(table []uint64, seed uint64) uint64 {
+	return posmap.Probe(table, posmap.Leaf(seed)) // want `secret \(result of posmap.Leaf\) flows into parameter "k" of posmap.Probe, which sinks it at posmap.go`
+}
+
+// Sized is clean: the length of a secret-carrying slice is public.
+func Sized(table []uint64, seed uint64) int {
+	v := posmap.Leaf(seed)
+	_ = v
+	return len(table)
+}
+
+// Allowed shows the reviewed-reveal path: the directive suppresses the
+// finding and counts as a used allow.
+func Allowed(buckets [][]byte, seed uint64) []byte {
+	//oramlint:allow secretflow source: posmap.Leaf result; sink: bucket index — fixture for the allow path
+	return buckets[posmap.Leaf(seed)]
+}

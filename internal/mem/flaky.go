@@ -93,6 +93,8 @@ func (f *Flaky) step() error {
 }
 
 // Read implements Backend with fault injection.
+//
+//oram:offhotpath fault-injection wrapper for crash tests, not a steady-state serving path
 func (f *Flaky) Read(idx uint64) ([]byte, error) {
 	if err := f.step(); err != nil {
 		return nil, err
@@ -101,6 +103,8 @@ func (f *Flaky) Read(idx uint64) ([]byte, error) {
 }
 
 // Write implements Backend with fault injection.
+//
+//oram:offhotpath fault-injection wrapper for crash tests, not a steady-state serving path
 func (f *Flaky) Write(idx uint64, data []byte) error {
 	if err := f.step(); err != nil {
 		return err
@@ -111,6 +115,8 @@ func (f *Flaky) Write(idx uint64, data []byte) error {
 // ReadPath implements PathReader with fault injection. An injected failure
 // with PartialPath > 0 serves that many leading buckets into out before
 // erroring — the mid-path partial failure a dropped connection produces.
+//
+//oram:offhotpath fault-injection wrapper for crash tests, not a steady-state serving path
 func (f *Flaky) ReadPath(idxs []uint64, out [][]byte) error {
 	if err := f.step(); err != nil {
 		if n := f.cfg.PartialPath; n > 0 {
@@ -152,6 +158,8 @@ func (f *Flaky) readPathInner(idxs []uint64, out [][]byte) error {
 }
 
 // WritePath implements PathWriter with fault injection.
+//
+//oram:offhotpath fault-injection wrapper for crash tests, not a steady-state serving path
 func (f *Flaky) WritePath(idxs []uint64, data [][]byte) error {
 	if err := f.step(); err != nil {
 		return err

@@ -69,6 +69,7 @@ func (s *Store) ReadPath(idxs []uint64, out [][]byte) error {
 // read.
 func (s *FileStore) ReadPath(idxs []uint64, out [][]byte) error {
 	for len(s.pathBufs) < len(idxs) {
+		//oramlint:allow hotpathalloc per-level scratch grows once on the first full-depth path, then is reused for every later path
 		s.pathBufs = append(s.pathBufs, make([]byte, slotLenBytes+s.slotBytes))
 	}
 	for i, idx := range idxs {

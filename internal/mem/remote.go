@@ -292,6 +292,8 @@ func (r *Remote) roundTrip(req bucketwire.Request) (bucketwire.Response, error) 
 
 // Read implements Backend. The returned slice aliases the receive buffer:
 // valid until the next operation, per the Backend contract.
+//
+//oram:offhotpath the remote transport is RTT-bound by design; per-op heap work is noise next to a network round trip
 func (r *Remote) Read(idx uint64) ([]byte, error) {
 	resp, err := r.roundTrip(bucketwire.Request{Op: bucketwire.OpRead, Space: r.space, Idx: idx})
 	if err != nil {
@@ -307,6 +309,8 @@ func (r *Remote) Read(idx uint64) ([]byte, error) {
 
 // Write implements Backend, synchronously: one full round trip per bucket.
 // This is the honest serial baseline; WritePath is the pipelined fast path.
+//
+//oram:offhotpath the remote transport is RTT-bound by design; per-op heap work is noise next to a network round trip
 func (r *Remote) Write(idx uint64, data []byte) error {
 	if r.onWrite != nil {
 		data = r.onWrite(idx, data)
@@ -321,6 +325,8 @@ func (r *Remote) Write(idx uint64, data []byte) error {
 // ReadPath implements PathReader: the whole path in one round trip. Every
 // out[i] aliases the receive buffer, simultaneously valid until the next
 // operation.
+//
+//oram:offhotpath the remote transport is RTT-bound by design; per-op heap work is noise next to a network round trip
 func (r *Remote) ReadPath(idxs []uint64, out [][]byte) error {
 	resp, err := r.roundTrip(bucketwire.Request{Op: bucketwire.OpReadPath, Space: r.space, Idxs: idxs})
 	if err != nil {
@@ -347,6 +353,8 @@ func (r *Remote) ReadPath(idxs []uint64, out [][]byte) error {
 // acknowledgement is drained at the start of the next operation (where the
 // server's in-order processing places it before that operation's own
 // response). maxPendingAcks bounds how many write-backs may ride unawaited.
+//
+//oram:offhotpath the remote transport is RTT-bound by design; per-op heap work is noise next to a network round trip
 func (r *Remote) WritePath(idxs []uint64, data [][]byte) error {
 	if err := r.ensureConn(); err != nil {
 		return err
@@ -415,6 +423,8 @@ func (r *Remote) Stats() Stats {
 // forcing the next operation to redial: a clean connection loss between
 // operations, the disconnect the Flaky wrapper injects. The remote buckets
 // are untouched.
+//
+//oram:offhotpath the remote transport is RTT-bound by design; per-op heap work is noise next to a network round trip
 func (r *Remote) Bounce() error {
 	if r.conn == nil {
 		return nil

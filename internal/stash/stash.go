@@ -109,6 +109,8 @@ func (s *Stash) Put(b Block) {
 // Get returns the live block with the given address, or nil. Mutating the
 // returned block's fields updates the stash in place (Addr must not be
 // changed); the pointer is only valid until the block is removed or evicted.
+//
+//oramlint:allow secretflow source: addr parameter; sink: stash map probe — the stash is the trusted controller's on-chip store (paper §2); the adversary-visible channel is the path I/O, fixed by the leaf before any stash lookup
 func (s *Stash) Get(addr uint64) *Block { return s.blocks[addr] }
 
 // Remove deletes the block with the given address and returns its recycled
@@ -119,7 +121,9 @@ func (s *Stash) Get(addr uint64) *Block { return s.blocks[addr] }
 //
 //oram:hotpath
 func (s *Stash) Remove(addr uint64) *Block {
+	//oramlint:allow secretflow source: addr parameter; sink: stash map probe — on-chip trusted memory (paper §2); the path I/O the adversary observes is fixed by the leaf, not by this lookup
 	b := s.blocks[addr]
+	//oramlint:allow secretflow source: addr parameter; sink: branch on stash hit — hit/miss disposition is resolved inside the trusted controller; both outcomes issue the same backend access pattern
 	if b != nil {
 		delete(s.blocks, addr)
 		s.removeAddr(addr)

@@ -80,6 +80,7 @@ func (g Geometry) NodeIndex(leaf uint64, level int) uint64 {
 // allocated.
 func (g Geometry) PathIndices(leaf uint64, dst []uint64) []uint64 {
 	if cap(dst) < g.L+1 {
+		//oramlint:allow hotpathalloc growth path only; steady-state callers pass a full-size reuse buffer, pinned by the AllocsPerRun gates
 		dst = make([]uint64, g.L+1)
 	}
 	dst = dst[:g.L+1]

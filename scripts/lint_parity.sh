@@ -1,0 +1,54 @@
+#!/bin/sh
+# lint_parity.sh — run the analyzer suite in both of its modes, standalone
+# (`oramlint ./...`) and as a vet tool (`go vet -vettool=...`), and fail
+# unless they produce the identical finding set. The two modes build their
+# module view differently — the offline loader versus vet's export data
+# plus the interprocedural facts cache — so a drift between them means one
+# side's view has regressed and its verdict can no longer be trusted.
+set -eu
+cd "$(dirname "$0")/.."
+
+mkdir -p bin
+go build -o bin/oramlint ./cmd/oramlint
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+sa_status=0
+./bin/oramlint ./... >"$tmp/standalone.raw" 2>&1 || sa_status=$?
+vet_status=0
+go vet -vettool="$(pwd)/bin/oramlint" ./... >"$tmp/vet.raw" 2>&1 || vet_status=$?
+
+# Normalize both outputs to sorted "file:line:col: message" lines with
+# repo-relative paths (standalone prints absolute, vet relative): drop
+# vet's "# pkg" headers, the standalone run's findings summary, and
+# exit-status chatter. Standalone mode analyzes non-test files only, so
+# findings vet reports from _test.go files are excluded from the set
+# comparison (they are vet mode's extra coverage, not a drift).
+root="$(pwd)"
+norm() {
+    grep -E '^[^ :]+\.go:[0-9]+:[0-9]+: ' "$1" | grep -v '_test\.go:' |
+        sed -e "s,^$root/,," -e 's,^\./,,' | sort -u
+}
+norm "$tmp/standalone.raw" >"$tmp/standalone" || :
+norm "$tmp/vet.raw" >"$tmp/vet" || :
+
+# A nonzero exit without a single finding line is a mode crash (load or
+# typecheck failure), not a lint verdict.
+if [ "$sa_status" -ne 0 ] && [ ! -s "$tmp/standalone" ]; then
+    echo "lint_parity: standalone mode failed without findings:" >&2
+    cat "$tmp/standalone.raw" >&2
+    exit 1
+fi
+if [ "$vet_status" -ne 0 ] && ! grep -qE '\.go:[0-9]+:[0-9]+: ' "$tmp/vet.raw"; then
+    echo "lint_parity: vettool mode failed without findings:" >&2
+    cat "$tmp/vet.raw" >&2
+    exit 1
+fi
+
+if ! cmp -s "$tmp/standalone" "$tmp/vet"; then
+    echo "lint_parity: standalone and vettool finding sets differ:" >&2
+    diff -u "$tmp/standalone" "$tmp/vet" >&2 || :
+    exit 1
+fi
+echo "lint_parity: both modes agree ($(wc -l <"$tmp/standalone" | tr -d ' ') shared finding(s))"
